@@ -1,0 +1,24 @@
+//! # matador-axi — AXI4-Stream transport substrate
+//!
+//! The PS↔PL data movement layer of the SoC-FPGA system: the
+//! [`packetizer`] implements the processor-side splitting of booleanized
+//! datapoints into bandwidth-sized, LSB-first, zero-padded packets
+//! (Fig 4(a) of the paper), and [`stream`] models the AXI4-Stream
+//! valid/ready/last handshake cycle-by-cycle, including backpressure and
+//! an ILA-style transfer monitor.
+//!
+//! ```
+//! use matador_axi::{Packetizer, stream::AxiStreamMaster};
+//! use tsetlin::bits::BitVec;
+//!
+//! let p = Packetizer::new(784, 64);
+//! let mut master = AxiStreamMaster::new();
+//! master.queue_datapoint(&p.packetize(&BitVec::zeros(784)));
+//! assert_eq!(master.pending(), 13); // 13 packets per MNIST datapoint
+//! ```
+
+pub mod packetizer;
+pub mod stream;
+
+pub use packetizer::Packetizer;
+pub use stream::{AxiStreamMaster, Beat, StreamMonitor, TransferRecord};

@@ -1,0 +1,184 @@
+//! Processor-side packetization of datapoints (Fig 4(a) of the paper).
+//!
+//! The booleanized feature vector is split into `ceil(n/W)` packets of the
+//! channel bandwidth `W`, filled **LSB-first** (feature 0 in bit 0 of
+//! packet 0) and zero-padded past the most significant feature bit of the
+//! final packet.
+
+use tsetlin::bits::BitVec;
+
+/// Splits feature vectors into bandwidth-sized packets.
+///
+/// # Examples
+///
+/// ```
+/// use matador_axi::packetizer::Packetizer;
+/// use tsetlin::bits::BitVec;
+///
+/// // A 784-bit MNIST datapoint at W = 64 needs 13 packets.
+/// let p = Packetizer::new(784, 64);
+/// assert_eq!(p.num_packets(), 13);
+/// let packets = p.packetize(&BitVec::ones(784));
+/// assert_eq!(packets.len(), 13);
+/// // Final packet: 784 - 12*64 = 16 live bits, the rest zero padding.
+/// assert_eq!(packets[12], 0xFFFF);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Packetizer {
+    features: usize,
+    bus_width: usize,
+}
+
+impl Packetizer {
+    /// Creates a packetizer for `features`-bit datapoints over a
+    /// `bus_width`-bit channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features == 0`, `bus_width == 0` or `bus_width > 64`
+    /// (packets are carried as `u64` words).
+    pub fn new(features: usize, bus_width: usize) -> Self {
+        assert!(features > 0, "features must be positive");
+        assert!(
+            bus_width > 0 && bus_width <= 64,
+            "bus width must be in 1..=64"
+        );
+        Packetizer {
+            features,
+            bus_width,
+        }
+    }
+
+    /// Feature width this packetizer accepts.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Channel bandwidth in bits.
+    pub fn bus_width(&self) -> usize {
+        self.bus_width
+    }
+
+    /// Packets per datapoint: `ceil(features / bus_width)`.
+    pub fn num_packets(&self) -> usize {
+        self.features.div_ceil(self.bus_width)
+    }
+
+    /// Zero-padding bits in the final packet.
+    pub fn padding_bits(&self) -> usize {
+        self.num_packets() * self.bus_width - self.features
+    }
+
+    /// Splits one datapoint into packets, LSB-first with zero padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != features`.
+    pub fn packetize(&self, input: &BitVec) -> Vec<u64> {
+        assert_eq!(input.len(), self.features, "datapoint width mismatch");
+        (0..self.num_packets())
+            .map(|k| input.extract_word(k * self.bus_width, self.bus_width))
+            .collect()
+    }
+
+    /// Reassembles packets into the original datapoint (the FPGA-side
+    /// inverse; used by tests and the ILA decoder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet count is wrong or padding bits are non-zero
+    /// (a protocol violation the auto-debug flow would flag).
+    pub fn depacketize(&self, packets: &[u64]) -> BitVec {
+        assert_eq!(packets.len(), self.num_packets(), "packet count mismatch");
+        let mut out = BitVec::zeros(self.features);
+        for (k, &packet) in packets.iter().enumerate() {
+            if self.bus_width < 64 {
+                assert_eq!(
+                    packet >> self.bus_width,
+                    0,
+                    "packet {k} carries bits beyond the bus width"
+                );
+            }
+            for b in 0..self.bus_width {
+                let i = k * self.bus_width + b;
+                let bit = (packet >> b) & 1 == 1;
+                if i < self.features {
+                    if bit {
+                        out.set(i, true);
+                    }
+                } else {
+                    assert!(!bit, "non-zero padding bit in final packet");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_packet_counts() {
+        // The Table I datasets at W=64: 13 / 6 / 16 / 13 / 13 packets.
+        assert_eq!(Packetizer::new(784, 64).num_packets(), 13);
+        assert_eq!(Packetizer::new(377, 64).num_packets(), 6);
+        assert_eq!(Packetizer::new(1024, 64).num_packets(), 16);
+    }
+
+    #[test]
+    fn lsb_first_ordering() {
+        let p = Packetizer::new(130, 64);
+        let mut x = BitVec::zeros(130);
+        x.set(0, true);
+        x.set(64, true);
+        x.set(129, true);
+        let packets = p.packetize(&x);
+        assert_eq!(packets, vec![1, 1, 0b10]);
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let p = Packetizer::new(70, 64);
+        assert_eq!(p.padding_bits(), 58);
+        let packets = p.packetize(&BitVec::ones(70));
+        assert_eq!(packets[1], 0b11_1111); // 6 live bits, 58 zeros
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = Packetizer::new(300, 64);
+        let x = BitVec::from_indices(300, &[0, 63, 64, 150, 299]);
+        assert_eq!(p.depacketize(&p.packetize(&x)), x);
+    }
+
+    #[test]
+    fn narrow_bus_works() {
+        let p = Packetizer::new(10, 4);
+        assert_eq!(p.num_packets(), 3);
+        let x = BitVec::from_indices(10, &[0, 5, 9]);
+        let packets = p.packetize(&x);
+        assert_eq!(packets, vec![0b0001, 0b0010, 0b10]);
+        assert_eq!(p.depacketize(&packets), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero padding")]
+    fn depacketize_rejects_dirty_padding() {
+        let p = Packetizer::new(70, 64);
+        p.depacketize(&[0, 1 << 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bus width")]
+    fn rejects_wide_bus() {
+        Packetizer::new(100, 65);
+    }
+
+    #[test]
+    #[should_panic(expected = "datapoint width mismatch")]
+    fn rejects_wrong_width() {
+        Packetizer::new(100, 64).packetize(&BitVec::zeros(99));
+    }
+}

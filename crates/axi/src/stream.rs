@@ -1,0 +1,242 @@
+//! Cycle-level AXI4-Stream channel model (TVALID / TREADY / TLAST).
+//!
+//! This is the PS↔PL link of the SoC: the master (processor-side DMA)
+//! offers one beat per cycle when it has data; a transfer completes on any
+//! cycle where both `tvalid` and `tready` are high. The model reproduces
+//! the handshake semantics the generated controller implements, including
+//! backpressure stalls, so the simulator's latency numbers include real
+//! protocol behaviour rather than an idealized FIFO.
+
+use std::collections::VecDeque;
+
+/// One stream beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Beat {
+    /// Payload (packet), LSB-aligned in a 64-bit word.
+    pub tdata: u64,
+    /// End-of-datapoint marker.
+    pub tlast: bool,
+}
+
+/// Master-side driver state for one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterDrive {
+    /// Whether the master asserts TVALID this cycle.
+    pub tvalid: bool,
+    /// The beat offered (meaningful only when `tvalid`).
+    pub beat: Beat,
+}
+
+/// An AXI4-Stream master with a software-filled transmit queue.
+///
+/// # Examples
+///
+/// ```
+/// use matador_axi::stream::{AxiStreamMaster, Beat};
+///
+/// let mut m = AxiStreamMaster::new();
+/// m.queue_beat(Beat { tdata: 7, tlast: true });
+/// let drive = m.drive();
+/// assert!(drive.tvalid);
+/// m.advance(true); // slave accepted
+/// assert!(m.is_idle());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AxiStreamMaster {
+    queue: VecDeque<Beat>,
+    transfers: u64,
+    stall_cycles: u64,
+}
+
+impl AxiStreamMaster {
+    /// Creates an idle master.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues one beat.
+    pub fn queue_beat(&mut self, beat: Beat) {
+        self.queue.push_back(beat);
+    }
+
+    /// Enqueues a whole datapoint's packets, marking TLAST on the final one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packets` is empty.
+    pub fn queue_datapoint(&mut self, packets: &[u64]) {
+        assert!(!packets.is_empty(), "datapoint must have packets");
+        for (i, &p) in packets.iter().enumerate() {
+            self.queue_beat(Beat {
+                tdata: p,
+                tlast: i + 1 == packets.len(),
+            });
+        }
+    }
+
+    /// The signals the master drives this cycle.
+    pub fn drive(&self) -> MasterDrive {
+        match self.queue.front() {
+            Some(&beat) => MasterDrive { tvalid: true, beat },
+            None => MasterDrive {
+                tvalid: false,
+                beat: Beat {
+                    tdata: 0,
+                    tlast: false,
+                },
+            },
+        }
+    }
+
+    /// Advances one clock edge given the slave's TREADY; returns the beat
+    /// that transferred, if any.
+    pub fn advance(&mut self, tready: bool) -> Option<Beat> {
+        let drive = self.drive();
+        if drive.tvalid && tready {
+            self.transfers += 1;
+            self.queue.pop_front()
+        } else {
+            if drive.tvalid {
+                self.stall_cycles += 1;
+            }
+            None
+        }
+    }
+
+    /// Whether the transmit queue is drained.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Beats still waiting.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Completed transfers since construction.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Cycles spent with TVALID high but TREADY low (backpressure).
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+}
+
+/// A monitor that records the handshake activity on a stream — the model
+/// of the integrated logic analyzer (ILA) cores MATADOR can inject for
+/// auto-debug (Section IV).
+#[derive(Debug, Clone, Default)]
+pub struct StreamMonitor {
+    records: Vec<TransferRecord>,
+}
+
+/// One captured transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TransferRecord {
+    /// Cycle of the transfer.
+    pub cycle: u64,
+    /// Transferred beat.
+    pub beat: Beat,
+}
+
+impl StreamMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed transfer.
+    pub fn capture(&mut self, cycle: u64, beat: Beat) {
+        self.records.push(TransferRecord { cycle, beat });
+    }
+
+    /// All captured transfers, oldest first.
+    pub fn records(&self) -> &[TransferRecord] {
+        &self.records
+    }
+
+    /// Cycles between the first and last captured transfer (inclusive),
+    /// or 0 when fewer than two transfers were seen.
+    pub fn span_cycles(&self) -> u64 {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) if self.records.len() > 1 => b.cycle - a.cycle + 1,
+            _ => 0,
+        }
+    }
+
+    /// Count of TLAST beats seen (= completed datapoints).
+    pub fn datapoints(&self) -> usize {
+        self.records.iter().filter(|r| r.beat.tlast).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_transfers_in_order() {
+        let mut m = AxiStreamMaster::new();
+        m.queue_datapoint(&[1, 2, 3]);
+        assert_eq!(m.pending(), 3);
+        assert_eq!(m.advance(true).map(|b| b.tdata), Some(1));
+        assert_eq!(m.advance(true).map(|b| b.tdata), Some(2));
+        let last = m.advance(true).expect("beat");
+        assert_eq!(last.tdata, 3);
+        assert!(last.tlast);
+        assert!(m.is_idle());
+        assert_eq!(m.transfers(), 3);
+    }
+
+    #[test]
+    fn backpressure_stalls_counted() {
+        let mut m = AxiStreamMaster::new();
+        m.queue_datapoint(&[9]);
+        assert_eq!(m.advance(false), None);
+        assert_eq!(m.advance(false), None);
+        assert_eq!(m.stall_cycles(), 2);
+        assert_eq!(m.advance(true).map(|b| b.tdata), Some(9));
+    }
+
+    #[test]
+    fn idle_master_drives_invalid() {
+        let m = AxiStreamMaster::new();
+        assert!(!m.drive().tvalid);
+    }
+
+    #[test]
+    fn tlast_marks_datapoint_boundaries() {
+        let mut m = AxiStreamMaster::new();
+        m.queue_datapoint(&[1, 2]);
+        m.queue_datapoint(&[3]);
+        let beats: Vec<Beat> = std::iter::from_fn(|| m.advance(true)).collect();
+        assert_eq!(
+            beats.iter().map(|b| b.tlast).collect::<Vec<_>>(),
+            vec![false, true, true]
+        );
+    }
+
+    #[test]
+    fn monitor_counts_datapoints_and_span() {
+        let mut mon = StreamMonitor::new();
+        mon.capture(10, Beat { tdata: 1, tlast: false });
+        mon.capture(11, Beat { tdata: 2, tlast: true });
+        mon.capture(12, Beat { tdata: 3, tlast: true });
+        assert_eq!(mon.datapoints(), 2);
+        assert_eq!(mon.span_cycles(), 3);
+        assert_eq!(mon.records().len(), 3);
+    }
+
+    #[test]
+    fn empty_monitor_has_zero_span() {
+        assert_eq!(StreamMonitor::new().span_cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have packets")]
+    fn empty_datapoint_rejected() {
+        AxiStreamMaster::new().queue_datapoint(&[]);
+    }
+}

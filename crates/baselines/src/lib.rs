@@ -1,0 +1,29 @@
+//! # matador-baselines — the FINN-style BNN/QNN comparison stack
+//!
+//! Everything needed to stand in for the paper's baseline column: the
+//! Table II network topologies ([`topology`]), quantized-MLP training with
+//! the straight-through estimator ([`bnn`] — the Brevitas stand-in that
+//! yields deployed accuracies), and a FINN-style streaming-dataflow
+//! performance/resource model with PE×SIMD folding ([`dataflow`]). The
+//! exact configurations evaluated in Table I are enumerated in
+//! [`presets`].
+//!
+//! ```
+//! use matador_baselines::presets::BaselineKind;
+//!
+//! let finn_mnist = BaselineKind::FinnMnist.design();
+//! let t = finn_mnist.timing();
+//! // Throughput is bound by the slowest layer's fold (~105 cycles).
+//! assert!(t.ii_cycles <= 105);
+//! assert!(finn_mnist.resources().bram > 10.0); // weights live in BRAM
+//! ```
+
+pub mod bnn;
+pub mod dataflow;
+pub mod presets;
+pub mod topology;
+
+pub use bnn::{QuantMlp, TrainConfig};
+pub use dataflow::{DataflowDesign, DataflowTiming, Fold};
+pub use presets::BaselineKind;
+pub use topology::{Quantization, Topology};

@@ -1,0 +1,139 @@
+//! The exact baseline configurations evaluated in Table I: the five FINN
+//! builds re-run on the Pynq Z1 at 100 MHz, and the two ZC706 BNN
+//! reference designs from the FINN paper [3] at 200 MHz.
+
+use crate::dataflow::DataflowDesign;
+use crate::topology::Topology;
+
+/// Identifier of a Table I baseline row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum BaselineKind {
+    /// FINN flow build for a given dataset (100 MHz, XC7Z020).
+    FinnMnist,
+    /// FINN KWS-6 build.
+    FinnKws6,
+    /// FINN CIFAR-2 build.
+    FinnCifar2,
+    /// FINN FMNIST build.
+    FinnFmnist,
+    /// FINN KMNIST build.
+    FinnKmnist,
+    /// Resource-efficient BNN reference of [3] (ZC706, 200 MHz).
+    BnnRRef,
+    /// Fast (max-unfolded) BNN reference of [3] (ZC706, 200 MHz).
+    BnnFRef,
+}
+
+impl BaselineKind {
+    /// Folding initiation-interval target (cycles) the published build
+    /// chose, back-derived from the paper's throughput column at the
+    /// design's clock.
+    pub fn target_ii(self) -> u64 {
+        match self {
+            // 954,457 inf/s @ 100 MHz.
+            BaselineKind::FinnMnist => 105,
+            // 750,188 inf/s @ 100 MHz.
+            BaselineKind::FinnKws6 => 133,
+            // 1,369,879 inf/s @ 100 MHz.
+            BaselineKind::FinnCifar2 => 73,
+            // 232,114 inf/s @ 100 MHz.
+            BaselineKind::FinnFmnist => 430,
+            // 255,127 inf/s @ 100 MHz.
+            BaselineKind::FinnKmnist => 392,
+            // 12,200 inf/s @ 200 MHz.
+            BaselineKind::BnnRRef => 16_393,
+            // 12,361,000 inf/s @ 200 MHz → fully unfolded.
+            BaselineKind::BnnFRef => 16,
+        }
+    }
+
+    /// Operating clock in MHz.
+    pub fn clock_mhz(self) -> f64 {
+        match self {
+            BaselineKind::BnnRRef | BaselineKind::BnnFRef => 200.0,
+            _ => 100.0,
+        }
+    }
+
+    /// The network topology (Table II).
+    pub fn topology(self) -> Topology {
+        match self {
+            BaselineKind::FinnMnist => Topology::finn_mnist(),
+            BaselineKind::FinnKws6 => Topology::finn_kws6(),
+            BaselineKind::FinnCifar2 => Topology::finn_cifar2(),
+            BaselineKind::FinnFmnist => Topology::finn_fmnist(),
+            BaselineKind::FinnKmnist => Topology::finn_kmnist(),
+            BaselineKind::BnnRRef | BaselineKind::BnnFRef => Topology::bnn_ref(),
+        }
+    }
+
+    /// Builds the folded dataflow design for this baseline.
+    pub fn design(self) -> DataflowDesign {
+        DataflowDesign::fold_for_target_ii(self.topology(), self.target_ii(), self.clock_mhz())
+    }
+
+    /// Display name matching the Table I row labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            BaselineKind::FinnMnist => "FINN",
+            BaselineKind::FinnKws6 => "FINN",
+            BaselineKind::FinnCifar2 => "FINN",
+            BaselineKind::FinnFmnist => "FINN",
+            BaselineKind::FinnKmnist => "FINN",
+            BaselineKind::BnnRRef => "BNN-r-ref",
+            BaselineKind::BnnFRef => "BNN-f-ref",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughputs_track_paper_rows() {
+        // (kind, paper inf/s, tolerance factor)
+        let rows = [
+            (BaselineKind::FinnMnist, 954_457.0),
+            (BaselineKind::FinnKws6, 750_188.0),
+            (BaselineKind::FinnCifar2, 1_369_879.0),
+            (BaselineKind::FinnFmnist, 232_114.0),
+            (BaselineKind::FinnKmnist, 255_127.0),
+        ];
+        for (kind, paper) in rows {
+            let fps = kind.design().throughput_inf_s();
+            let ratio = fps / paper;
+            assert!(
+                (0.8..2.0).contains(&ratio),
+                "{kind:?}: {fps} vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn bnn_f_is_orders_faster_than_bnn_r() {
+        let fast = BaselineKind::BnnFRef.design().throughput_inf_s();
+        let slow = BaselineKind::BnnRRef.design().throughput_inf_s();
+        assert!(fast / slow > 100.0);
+    }
+
+    #[test]
+    fn bnn_f_uses_far_more_luts_than_bnn_r() {
+        let fast = BaselineKind::BnnFRef.design().resources().luts();
+        let slow = BaselineKind::BnnRRef.design().resources().luts();
+        assert!(fast > 5 * slow, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn finn_brams_scale_with_model_size() {
+        let mnist = BaselineKind::FinnMnist.design().resources().bram;
+        let fmnist = BaselineKind::FinnFmnist.design().resources().bram;
+        assert!(fmnist > 5.0 * mnist);
+    }
+
+    #[test]
+    fn clocks_match_boards() {
+        assert_eq!(BaselineKind::FinnMnist.clock_mhz(), 100.0);
+        assert_eq!(BaselineKind::BnnFRef.clock_mhz(), 200.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Baseline network topologies and quantization configurations (Table II).
+
+use serde::{Deserialize, Serialize};
+
+/// Quantization of one network (weights / activations, in bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quantization {
+    /// Weight bits (1 = binary ±1).
+    pub weight_bits: u8,
+    /// Activation bits (1 = sign).
+    pub activation_bits: u8,
+}
+
+/// A fully-connected BNN/QNN topology plus quantization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Human-readable name, e.g. `"FINN MNIST"`.
+    pub name: String,
+    /// Layer widths including input and output, e.g. `[784,64,64,64,10]`.
+    pub layers: Vec<usize>,
+    /// Quantization config.
+    pub quant: Quantization,
+}
+
+impl Topology {
+    /// Builds a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layer widths are given or any is zero.
+    pub fn new(name: impl Into<String>, layers: Vec<usize>, quant: Quantization) -> Self {
+        assert!(layers.len() >= 2, "need at least input and output widths");
+        assert!(layers.iter().all(|&w| w > 0), "zero-width layer");
+        Topology {
+            name: name.into(),
+            layers,
+            quant,
+        }
+    }
+
+    /// Number of weight layers.
+    pub fn num_weight_layers(&self) -> usize {
+        self.layers.len() - 1
+    }
+
+    /// (rows, cols) = (outputs, inputs) of weight layer `l`.
+    pub fn layer_shape(&self, l: usize) -> (usize, usize) {
+        (self.layers[l + 1], self.layers[l])
+    }
+
+    /// Total multiply-accumulate operations per inference.
+    pub fn total_ops(&self) -> usize {
+        (0..self.num_weight_layers())
+            .map(|l| {
+                let (m, n) = self.layer_shape(l);
+                m * n
+            })
+            .sum()
+    }
+
+    /// Total weight storage bits.
+    pub fn weight_bits(&self) -> usize {
+        self.total_ops() * self.quant.weight_bits as usize
+    }
+
+    /// The paper's FINN topology for each Table I dataset (Table II), and
+    /// the BNN-r/f reference topology from the FINN paper.
+    pub fn finn_mnist() -> Topology {
+        Topology::new(
+            "FINN MNIST",
+            vec![784, 64, 64, 64, 10],
+            Quantization {
+                weight_bits: 1,
+                activation_bits: 1,
+            },
+        )
+    }
+
+    /// FINN KWS-6: 377-512-256-6, 1-bit input, 2-bit weights/activations.
+    pub fn finn_kws6() -> Topology {
+        Topology::new(
+            "FINN KWS-6",
+            vec![377, 512, 256, 6],
+            Quantization {
+                weight_bits: 2,
+                activation_bits: 2,
+            },
+        )
+    }
+
+    /// FINN CIFAR-2: 1024-256-128-2, 1-bit weights, 2-bit activations.
+    pub fn finn_cifar2() -> Topology {
+        Topology::new(
+            "FINN CIFAR-2",
+            vec![1024, 256, 128, 2],
+            Quantization {
+                weight_bits: 1,
+                activation_bits: 2,
+            },
+        )
+    }
+
+    /// FINN FMNIST: 784-256-256-10, 2-bit weights/activations.
+    pub fn finn_fmnist() -> Topology {
+        Topology::new(
+            "FINN FMNIST",
+            vec![784, 256, 256, 10],
+            Quantization {
+                weight_bits: 2,
+                activation_bits: 2,
+            },
+        )
+    }
+
+    /// FINN KMNIST: same shape as FMNIST.
+    pub fn finn_kmnist() -> Topology {
+        Topology::new(
+            "FINN KMNIST",
+            vec![784, 256, 256, 10],
+            Quantization {
+                weight_bits: 2,
+                activation_bits: 2,
+            },
+        )
+    }
+
+    /// The BNN reference topology of [3]: 784-256-256-256-10, fully binary
+    /// (used for both the resource-efficient `-r` and fast `-f` variants).
+    pub fn bnn_ref() -> Topology {
+        Topology::new(
+            "BNN-ref",
+            vec![784, 256, 256, 256, 10],
+            Quantization {
+                weight_bits: 1,
+                activation_bits: 1,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_topology_matches_table_ii() {
+        let t = Topology::finn_mnist();
+        assert_eq!(t.layers, vec![784, 64, 64, 64, 10]);
+        assert_eq!(t.num_weight_layers(), 4);
+        assert_eq!(t.total_ops(), 784 * 64 + 64 * 64 + 64 * 64 + 64 * 10);
+        assert_eq!(t.weight_bits(), t.total_ops());
+    }
+
+    #[test]
+    fn kws_weight_bits_doubled() {
+        let t = Topology::finn_kws6();
+        assert_eq!(t.weight_bits(), 2 * t.total_ops());
+    }
+
+    #[test]
+    fn layer_shapes() {
+        let t = Topology::finn_cifar2();
+        assert_eq!(t.layer_shape(0), (256, 1024));
+        assert_eq!(t.layer_shape(2), (2, 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_degenerate() {
+        Topology::new(
+            "x",
+            vec![4],
+            Quantization {
+                weight_bits: 1,
+                activation_bits: 1,
+            },
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Fig 4**: packetization of one MNIST datapoint into 13
+//! 64-bit AXI packets (LSB-first order, zero padding in the last packet),
+//! plus a snippet of the trained clause expressions (Fig 4(b)).
+
+use matador_axi::Packetizer;
+use matador_bench::eval::{tm_params_for, EvalOptions};
+use matador_datasets::{generate, DatasetKind};
+use matador_logic::cube::Cube;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tsetlin::MultiClassTm;
+
+fn main() {
+    let mut opts = EvalOptions::from_args(std::env::args().skip(1));
+    opts.tm_epochs = opts.tm_epochs.min(3);
+    let data = generate(DatasetKind::Mnist, opts.sizes, opts.seed);
+    let x = &data.test[0].input;
+
+    println!("Fig 4(a) reproduction — packetization of one 784-bit MNIST datapoint (W = 64)\n");
+    let p = Packetizer::new(784, 64);
+    let packets = p.packetize(x);
+    println!("packets needed : {}", p.num_packets());
+    println!("padding bits   : {} (packet 13 is zero-padded past bit 784)\n", p.padding_bits());
+    for (i, packet) in packets.iter().enumerate() {
+        println!("packet {:>2} : {:#018x}", i + 1, packet);
+    }
+    assert_eq!(p.depacketize(&packets), *x, "roundtrip must be lossless");
+
+    println!("\nFig 4(b) reproduction — clause expression snippet of a trained model\n");
+    eprintln!("[fig4] training a small MNIST model for the snippet…");
+    let mut tm = MultiClassTm::new(tm_params_for(DatasetKind::Mnist));
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let subset: Vec<_> = data.train.iter().take(300).cloned().collect();
+    tm.fit(&subset, opts.tm_epochs, &mut rng);
+    let model = tm.to_model();
+    for class in 0..2 {
+        for j in 0..2 {
+            let cube = Cube::from_mask(model.clause(class, j));
+            let text = cube.to_string();
+            let shown: String = text.chars().take(100).collect();
+            println!(
+                "clauses[{class}][{j}] = {}{}",
+                shown,
+                if text.len() > 100 { " …" } else { "" }
+            );
+        }
+    }
+}

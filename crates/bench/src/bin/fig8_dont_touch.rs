@@ -1,0 +1,81 @@
+//! Regenerates **Fig 8**: per-HCB LUT and slice-register counts of the
+//! MNIST design, implemented normally vs with `DON'T TOUCH` pragmas —
+//! quantifying what logic sharing buys.
+//!
+//! ```text
+//! cargo run -p matador-bench --bin fig8_dont_touch --release [-- --quick]
+//! ```
+
+use matador::config::MatadorConfig;
+use matador::design::AcceleratorDesign;
+use matador::flow::{MatadorFlow, TrainSpec};
+use matador_bench::eval::{tm_params_for, EvalOptions};
+use matador_datasets::{generate, DatasetKind};
+use matador_logic::dag::Sharing;
+
+fn main() {
+    let opts = EvalOptions::from_args(std::env::args().skip(1));
+    let kind = DatasetKind::Mnist;
+    eprintln!("[fig8] training MNIST model…");
+    let data = generate(kind, opts.sizes, opts.seed);
+    let config = MatadorConfig::builder().build().expect("valid config");
+    let outcome = MatadorFlow::new(config).verify_limit(Some(16)).run(
+        TrainSpec {
+            params: tm_params_for(kind),
+            epochs: opts.tm_epochs,
+            seed: opts.seed,
+        },
+        &data.train,
+        &data.test,
+    );
+    let model = outcome.model.clone();
+
+    eprintln!("[fig8] implementing with DON'T TOUCH…");
+    let dt_config = MatadorConfig::builder()
+        .sharing(Sharing::DontTouch)
+        .build()
+        .expect("valid config");
+    let dt = AcceleratorDesign::generate(model, dt_config);
+    let opt = &outcome.design;
+
+    println!("Fig 8 reproduction — MNIST per-HCB resources, optimized vs DON'T TOUCH\n");
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "HCB", "LUT-opt", "LUT-dt", "SR-opt", "SR-dt", "LUT saved"
+    );
+    let mut tot_opt = 0usize;
+    let mut tot_dt = 0usize;
+    let mut tot_sr_opt = 0usize;
+    let mut tot_sr_dt = 0usize;
+    for (k, (o, d)) in opt.hcb_logic().iter().zip(dt.hcb_logic()).enumerate() {
+        let luts_o = o.luts + o.chain_and_luts;
+        let luts_d = d.luts + d.chain_and_luts;
+        tot_opt += luts_o;
+        tot_dt += luts_d;
+        tot_sr_opt += o.registers;
+        tot_sr_dt += d.registers;
+        println!(
+            "{:<6} {:>9} {:>9} {:>9} {:>9} {:>9.1}%",
+            format!("hcb_{k}"),
+            luts_o,
+            luts_d,
+            o.registers,
+            d.registers,
+            100.0 * (1.0 - luts_o as f64 / luts_d.max(1) as f64)
+        );
+    }
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>9} {:>9.1}%",
+        "total",
+        tot_opt,
+        tot_dt,
+        tot_sr_opt,
+        tot_sr_dt,
+        100.0 * (1.0 - tot_opt as f64 / tot_dt.max(1) as f64)
+    );
+    println!(
+        "\nshape check: optimization reduces HCB LUTs by {:.1}x and registers by {:.2}x",
+        tot_dt as f64 / tot_opt.max(1) as f64,
+        tot_sr_dt as f64 / tot_sr_opt.max(1) as f64
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Table I**: MATADOR vs FINN (and the BNN-r/f references on
+//! MNIST) across the five evaluation datasets — resources, accuracy,
+//! power, latency and throughput.
+//!
+//! ```text
+//! cargo run -p matador-bench --bin table1 --release [-- --quick --seed N]
+//! ```
+
+use matador_bench::eval::{baseline_for, run_baseline, run_matador, EvalOptions};
+use matador_bench::table::{format_table1, Table1Row};
+use matador_baselines::presets::BaselineKind;
+use matador_datasets::{generate, DatasetKind};
+
+fn main() {
+    let opts = EvalOptions::from_args(std::env::args().skip(1));
+    println!(
+        "Table I reproduction — sizes {}x{}, tm epochs {}, bnn epochs {}, seed {}",
+        opts.sizes.train, opts.sizes.test, opts.tm_epochs, opts.bnn_epochs, opts.seed
+    );
+    println!("(synthetic datasets; see DESIGN.md §1 for the substitution argument)\n");
+
+    let mut groups = Vec::new();
+    for kind in DatasetKind::TABLE_I {
+        eprintln!("[table1] {kind}: training TM + generating accelerator…");
+        let matador = run_matador(kind, &opts);
+        assert!(
+            matador.outcome.verification.passed(),
+            "{kind}: generated design failed verification"
+        );
+        let data = generate(kind, opts.sizes, opts.seed);
+        eprintln!("[table1] {kind}: training baseline + folding FINN dataflow…");
+        let finn = run_baseline(baseline_for(kind), &data, &opts);
+
+        let mut rows = Vec::new();
+        if kind == DatasetKind::Mnist {
+            // The paper also quotes the ZC706 BNN references on MNIST.
+            for bnn in [BaselineKind::BnnRRef, BaselineKind::BnnFRef] {
+                rows.push(Table1Row::from_baseline(&run_baseline(bnn, &data, &opts)));
+            }
+        }
+        rows.push(Table1Row::from_baseline(&finn));
+        rows.push(Table1Row::from_matador(&matador));
+        groups.push((kind.to_string(), rows));
+    }
+
+    println!("{}", format_table1(&groups));
+
+    // Shape summary (the claims the paper's abstract makes).
+    println!("shape checks:");
+    for (dataset, rows) in &groups {
+        let matador = rows.iter().find(|r| r.label == "MATADOR").expect("row");
+        let finn = rows.iter().find(|r| r.label == "FINN").expect("row");
+        println!(
+            "  {dataset:<8} throughput x{:>5.1}  LUTs x{:>4.2}  BRAM x{:>5.1}  power x{:>4.2}  (MATADOR advantage over FINN)",
+            matador.throughput_inf_s / finn.throughput_inf_s,
+            finn.luts as f64 / matador.luts as f64,
+            finn.bram / matador.bram,
+            finn.total_pwr_w / matador.total_pwr_w,
+        );
+    }
+}

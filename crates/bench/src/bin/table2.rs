@@ -1,0 +1,38 @@
+//! Regenerates **Table II**: the model configurations used for evaluation
+//! (FINN topologies/quantization vs MATADOR clause budgets).
+
+use matador_baselines::presets::BaselineKind;
+use matador_datasets::DatasetKind;
+
+fn main() {
+    println!("Table II — models used for evaluation\n");
+    println!(
+        "{:<10} {:<28} {:<30} {:>22}",
+        "Dataset", "FINN topology", "FINN quantization", "MATADOR clauses/class"
+    );
+    let pairs = [
+        (DatasetKind::Mnist, BaselineKind::FinnMnist),
+        (DatasetKind::Kws6, BaselineKind::FinnKws6),
+        (DatasetKind::Cifar2, BaselineKind::FinnCifar2),
+        (DatasetKind::Fmnist, BaselineKind::FinnFmnist),
+        (DatasetKind::Kmnist, BaselineKind::FinnKmnist),
+    ];
+    for (dataset, baseline) in pairs {
+        let topo = baseline.topology();
+        let shape: Vec<String> = topo.layers.iter().map(ToString::to_string).collect();
+        println!(
+            "{:<10} {:<28} {:<30} {:>22}",
+            dataset.to_string(),
+            shape.join("-"),
+            format!(
+                "{}-bit weight, {}-bit activation",
+                topo.quant.weight_bits, topo.quant.activation_bits
+            ),
+            dataset.paper_clauses_per_class()
+        );
+    }
+    println!(
+        "\nBNN-r/f-ref topology: {:?} (1-bit weight/activation, ZC706 @ 200 MHz)",
+        BaselineKind::BnnRRef.topology().layers
+    );
+}

@@ -1,0 +1,210 @@
+//! Per-dataset evaluation drivers for both sides of Table I.
+
+use matador::config::MatadorConfig;
+use matador::flow::{FlowOutcome, MatadorFlow, TrainSpec};
+use matador_baselines::bnn::{QuantMlp, TrainConfig};
+use matador_baselines::dataflow::DataflowDesign;
+use matador_baselines::presets::BaselineKind;
+use matador_datasets::{generate, Dataset, DatasetKind, SplitSizes};
+use matador_synth::device::Device;
+use matador_synth::power::{PowerModel, PowerReport};
+use matador_synth::resources::ResourceReport;
+use tsetlin::params::TmParams;
+
+/// Run sizing shared by all harness binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Dataset split sizes.
+    pub sizes: SplitSizes,
+    /// TM training epochs.
+    pub tm_epochs: usize,
+    /// Baseline (BNN/QNN) training epochs.
+    pub bnn_epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl EvalOptions {
+    /// Full-size evaluation (the numbers quoted in `EXPERIMENTS.md`).
+    pub fn full() -> Self {
+        EvalOptions {
+            sizes: SplitSizes::FULL,
+            tm_epochs: 10,
+            bnn_epochs: 8,
+            seed: 2024,
+        }
+    }
+
+    /// Reduced run for CI / smoke testing.
+    pub fn quick() -> Self {
+        EvalOptions {
+            sizes: SplitSizes::QUICK,
+            tm_epochs: 5,
+            bnn_epochs: 4,
+            seed: 2024,
+        }
+    }
+
+    /// Parses `--quick` / `--seed <n>` from command-line arguments.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let args: Vec<String> = args.into_iter().collect();
+        let mut opts = if args.iter().any(|a| a == "--quick") {
+            EvalOptions::quick()
+        } else {
+            EvalOptions::full()
+        };
+        if let Some(pos) = args.iter().position(|a| a == "--seed") {
+            if let Some(seed) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+                opts.seed = seed;
+            }
+        }
+        opts
+    }
+}
+
+/// TM hyperparameters used for a dataset (Table II's right column plus the
+/// training knobs the paper holds per-application).
+pub fn tm_params_for(kind: DatasetKind) -> TmParams {
+    let (threshold, specificity) = match kind {
+        DatasetKind::Mnist => (15, 5.0),
+        DatasetKind::Kmnist | DatasetKind::Fmnist => (15, 5.0),
+        DatasetKind::Cifar2 => (30, 6.0),
+        DatasetKind::Kws6 => (15, 5.0),
+        DatasetKind::NoisyXor => (5, 4.0),
+        DatasetKind::Iris => (5, 4.0),
+    };
+    TmParams::builder(kind.features(), kind.classes())
+        .clauses_per_class(kind.paper_clauses_per_class())
+        .threshold(threshold)
+        .specificity(specificity)
+        .build()
+        .expect("per-dataset parameters are valid by construction")
+}
+
+/// One MATADOR Table I row, fully measured.
+#[derive(Debug, Clone)]
+pub struct MatadorRow {
+    /// Which dataset.
+    pub kind: DatasetKind,
+    /// The complete flow outcome (design, reports, verification).
+    pub outcome: FlowOutcome,
+}
+
+/// Runs the full MATADOR flow for `kind`.
+pub fn run_matador(kind: DatasetKind, opts: &EvalOptions) -> MatadorRow {
+    let data = generate(kind, opts.sizes, opts.seed);
+    let config = MatadorConfig::builder()
+        .design_name(format!("matador_{}", kind.to_string().to_lowercase()))
+        .build()
+        .expect("default configuration is valid");
+    let outcome = MatadorFlow::new(config).verify_limit(Some(64)).run(
+        TrainSpec {
+            params: tm_params_for(kind),
+            epochs: opts.tm_epochs,
+            seed: opts.seed,
+        },
+        &data.train,
+        &data.test,
+    );
+    MatadorRow { kind, outcome }
+}
+
+/// One baseline Table I row.
+#[derive(Debug, Clone)]
+pub struct BaselineRow {
+    /// Which baseline configuration.
+    pub kind: BaselineKind,
+    /// The folded dataflow design.
+    pub design: DataflowDesign,
+    /// Resources of the folded design.
+    pub resources: ResourceReport,
+    /// Power at the design clock.
+    pub power: PowerReport,
+    /// Test accuracy of the trained quantized network.
+    pub test_accuracy: f64,
+}
+
+/// Trains the baseline network on `data` and models its FINN dataflow
+/// implementation.
+pub fn run_baseline(kind: BaselineKind, data: &Dataset, opts: &EvalOptions) -> BaselineRow {
+    let design = kind.design();
+    let resources = design.resources();
+    let device = match kind {
+        BaselineKind::BnnRRef | BaselineKind::BnnFRef => Device::zc706(),
+        _ => Device::xc7z020(),
+    };
+    let power = PowerModel::default().estimate(&device, &resources, design.clock_mhz);
+
+    let mut net = QuantMlp::new(kind.topology(), opts.seed ^ 0xF1);
+    net.train(
+        &data.train,
+        TrainConfig {
+            learning_rate: 0.03,
+            epochs: opts.bnn_epochs,
+            float_fraction: 0.0,
+        },
+        opts.seed ^ 0xF2,
+    );
+    let test_accuracy = net.accuracy(&data.test);
+    BaselineRow {
+        kind,
+        design,
+        resources,
+        power,
+        test_accuracy,
+    }
+}
+
+/// The baseline configuration paired with each dataset row of Table I.
+pub fn baseline_for(kind: DatasetKind) -> BaselineKind {
+    match kind {
+        DatasetKind::Mnist => BaselineKind::FinnMnist,
+        DatasetKind::Kws6 => BaselineKind::FinnKws6,
+        DatasetKind::Cifar2 => BaselineKind::FinnCifar2,
+        DatasetKind::Fmnist => BaselineKind::FinnFmnist,
+        DatasetKind::Kmnist => BaselineKind::FinnKmnist,
+        DatasetKind::NoisyXor | DatasetKind::Iris => BaselineKind::FinnMnist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_from_args() {
+        let quick = EvalOptions::from_args(["--quick".to_string()]);
+        assert_eq!(quick.sizes, SplitSizes::QUICK);
+        let seeded =
+            EvalOptions::from_args(["--seed".to_string(), "7".to_string()]);
+        assert_eq!(seeded.seed, 7);
+        assert_eq!(seeded.sizes, SplitSizes::FULL);
+    }
+
+    #[test]
+    fn params_match_table_ii_budgets() {
+        assert_eq!(tm_params_for(DatasetKind::Mnist).clauses_per_class(), 200);
+        assert_eq!(tm_params_for(DatasetKind::Cifar2).clauses_per_class(), 1000);
+    }
+
+    #[test]
+    fn baseline_pairing() {
+        assert_eq!(baseline_for(DatasetKind::Kws6), BaselineKind::FinnKws6);
+    }
+
+    #[test]
+    fn quick_matador_run_on_smallest_dataset() {
+        // End-to-end smoke: the 6-packet KWS design through the whole flow
+        // at tiny sizes.
+        let mut opts = EvalOptions::quick();
+        opts.sizes = SplitSizes {
+            train: 120,
+            test: 60,
+        };
+        opts.tm_epochs = 2;
+        let row = run_matador(DatasetKind::Kws6, &opts);
+        assert!(row.outcome.verification.passed());
+        assert_eq!(row.outcome.design.num_hcbs(), 6);
+        assert_eq!(row.outcome.latency.initial_latency_cycles, 9); // 6 + 3
+    }
+}

@@ -1,0 +1,16 @@
+//! # matador-bench — evaluation harnesses for every table and figure
+//!
+//! Shared machinery behind the `table1`, `table2`, `fig3_sharing`,
+//! `fig4_packets`, `fig7_timing` and `fig8_dont_touch` binaries: dataset +
+//! flow orchestration for the MATADOR side, baseline training + dataflow
+//! modeling for the FINN side, and the row formatting that mirrors the
+//! paper's Table I layout.
+//!
+//! Every binary accepts `--quick` (smaller splits/epochs, CI-friendly) and
+//! `--seed <n>`.
+
+pub mod eval;
+pub mod table;
+
+pub use eval::{run_baseline, run_matador, BaselineRow, EvalOptions, MatadorRow};
+pub use table::{format_table1, Table1Row};

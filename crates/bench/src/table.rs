@@ -1,0 +1,167 @@
+//! Table I row assembly and formatting (the paper's column layout).
+
+use crate::eval::{BaselineRow, MatadorRow};
+use std::fmt::Write as _;
+
+/// One formatted row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Row label (`MATADOR`, `FINN`, `BNN-r-ref`, …).
+    pub label: String,
+    /// Total LUTs.
+    pub luts: usize,
+    /// Slice registers.
+    pub slice_registers: usize,
+    /// F7 muxes.
+    pub f7_mux: usize,
+    /// F8 muxes.
+    pub f8_mux: usize,
+    /// Occupied slices.
+    pub slices: usize,
+    /// LUTs as logic.
+    pub lut_as_logic: usize,
+    /// LUTs as memory.
+    pub lut_as_mem: usize,
+    /// BRAM blocks.
+    pub bram: f64,
+    /// Test accuracy in percent.
+    pub test_acc_pct: f64,
+    /// Total power in watts.
+    pub total_pwr_w: f64,
+    /// Dynamic power in watts.
+    pub dyn_pwr_w: f64,
+    /// Latency of one datapoint in microseconds.
+    pub latency_us: f64,
+    /// Throughput in inferences per second.
+    pub throughput_inf_s: f64,
+}
+
+impl Table1Row {
+    /// Builds the MATADOR row from a measured flow outcome.
+    pub fn from_matador(row: &MatadorRow) -> Table1Row {
+        let r = &row.outcome.implementation.resources;
+        let p = &row.outcome.implementation.power;
+        Table1Row {
+            label: "MATADOR".into(),
+            luts: r.luts(),
+            slice_registers: r.registers,
+            f7_mux: r.f7_mux,
+            f8_mux: r.f8_mux,
+            slices: r.slices,
+            lut_as_logic: r.lut_logic,
+            lut_as_mem: r.lut_mem,
+            bram: r.bram,
+            test_acc_pct: row.outcome.test_accuracy * 100.0,
+            total_pwr_w: p.total_w(),
+            dyn_pwr_w: p.dynamic_w(),
+            latency_us: row.outcome.latency_us(),
+            throughput_inf_s: row.outcome.throughput_inf_s(),
+        }
+    }
+
+    /// Builds a baseline row from a modeled dataflow design.
+    pub fn from_baseline(row: &BaselineRow) -> Table1Row {
+        let r = &row.resources;
+        Table1Row {
+            label: row.kind.label().into(),
+            luts: r.luts(),
+            slice_registers: r.registers,
+            f7_mux: r.f7_mux,
+            f8_mux: r.f8_mux,
+            slices: r.slices,
+            lut_as_logic: r.lut_logic,
+            lut_as_mem: r.lut_mem,
+            bram: r.bram,
+            test_acc_pct: row.test_accuracy * 100.0,
+            total_pwr_w: row.power.total_w(),
+            dyn_pwr_w: row.power.dynamic_w(),
+            latency_us: row.design.latency_us(),
+            throughput_inf_s: row.design.throughput_inf_s(),
+        }
+    }
+}
+
+/// Renders rows grouped per dataset in the paper's layout.
+pub fn format_table1(groups: &[(String, Vec<Table1Row>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:>7} {:>8} {:>5} {:>5} {:>7} {:>8} {:>7} {:>6} {:>8} {:>8} {:>8} {:>9} {:>12}",
+        "Model",
+        "LUTs",
+        "SliceReg",
+        "F7Mux",
+        "F8Mux",
+        "Slice",
+        "LUTlogic",
+        "LUTmem",
+        "BRAM",
+        "Acc(%)",
+        "TotPwr(W)",
+        "DynPwr(W)",
+        "Lat(us)",
+        "Thru(inf/s)"
+    );
+    for (dataset, rows) in groups {
+        let _ = writeln!(out, "--- {dataset} ---");
+        for r in rows {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>7} {:>8} {:>5} {:>5} {:>7} {:>8} {:>7} {:>6.1} {:>8.2} {:>8.3} {:>8.3} {:>9.3} {:>12.0}",
+                r.label,
+                r.luts,
+                r.slice_registers,
+                r.f7_mux,
+                r.f8_mux,
+                r.slices,
+                r.lut_as_logic,
+                r.lut_as_mem,
+                r.bram,
+                r.test_acc_pct,
+                r.total_pwr_w,
+                r.dyn_pwr_w,
+                r.latency_us,
+                r.throughput_inf_s
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(label: &str) -> Table1Row {
+        Table1Row {
+            label: label.into(),
+            luts: 8709,
+            slice_registers: 17440,
+            f7_mux: 5,
+            f8_mux: 0,
+            slices: 4186,
+            lut_as_logic: 8516,
+            lut_as_mem: 193,
+            bram: 3.0,
+            test_acc_pct: 95.48,
+            total_pwr_w: 1.427,
+            dyn_pwr_w: 1.292,
+            latency_us: 0.32,
+            throughput_inf_s: 3_846_153.0,
+        }
+    }
+
+    #[test]
+    fn table_formatting_contains_groups_and_columns() {
+        let text = format_table1(&[
+            ("MNIST".into(), vec![row("MATADOR"), row("FINN")]),
+            ("KWS-6".into(), vec![row("MATADOR")]),
+        ]);
+        assert!(text.contains("--- MNIST ---"));
+        assert!(text.contains("--- KWS-6 ---"));
+        assert!(text.contains("MATADOR"));
+        assert!(text.contains("3846153"));
+        // header + "--- MNIST ---" + 2 rows + "--- KWS-6 ---" + 1 row.
+        assert_eq!(text.lines().count(), 6);
+    }
+}

@@ -1,0 +1,243 @@
+//! Flow configuration: the handful of knobs the MATADOR GUI exposes.
+
+use matador_logic::dag::Sharing;
+use matador_synth::device::Device;
+use std::fmt;
+
+/// How the operating clock is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ClockChoice {
+    /// Use the slower of the timing estimate and the 50 MHz evaluation
+    /// floor the paper reports its latency/throughput numbers at.
+    Auto,
+    /// Fixed clock in MHz (must be met by timing).
+    FixedMhz(f64),
+}
+
+/// Error returned when a [`MatadorConfig`] is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfigError(String);
+
+impl fmt::Display for InvalidConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid matador configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidConfigError {}
+
+/// Configuration of one accelerator generation run.
+///
+/// # Examples
+///
+/// ```
+/// use matador::config::MatadorConfig;
+///
+/// let config = MatadorConfig::builder()
+///     .bus_width(64)
+///     .design_name("mnist_accel")
+///     .build()?;
+/// assert_eq!(config.bus_width(), 64);
+/// # Ok::<(), matador::config::InvalidConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MatadorConfig {
+    design_name: String,
+    bus_width: usize,
+    clock: ClockChoice,
+    sharing: Sharing,
+    device: Device,
+    #[serde(default)]
+    pipeline_class_sum: bool,
+}
+
+impl MatadorConfig {
+    /// Starts a builder with the paper's defaults: 64-bit bus, automatic
+    /// clock, logic sharing enabled, XC7Z020 target.
+    pub fn builder() -> MatadorConfigBuilder {
+        MatadorConfigBuilder {
+            design_name: "matador_accel".into(),
+            bus_width: 64,
+            clock: ClockChoice::Auto,
+            sharing: Sharing::Enabled,
+            device: Device::xc7z020(),
+            pipeline_class_sum: false,
+        }
+    }
+
+    /// Top-level design name.
+    pub fn design_name(&self) -> &str {
+        &self.design_name
+    }
+
+    /// AXI stream width in bits.
+    pub fn bus_width(&self) -> usize {
+        self.bus_width
+    }
+
+    /// Clock selection policy.
+    pub fn clock(&self) -> ClockChoice {
+        self.clock
+    }
+
+    /// Whether logic sharing is enabled (or `DON'T TOUCH`ed for Fig 8).
+    pub fn sharing(&self) -> Sharing {
+        self.sharing
+    }
+
+    /// Target device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Whether the class-sum adders are split into two registered stages
+    /// (the paper: "The MATADOR tool allows users to pipeline these
+    /// adders") — one extra latency cycle for a shorter critical path.
+    pub fn pipeline_class_sum(&self) -> bool {
+        self.pipeline_class_sum
+    }
+
+    /// Resolves the operating clock given a timing estimate.
+    pub fn resolve_clock_mhz(&self, fmax_mhz: f64) -> f64 {
+        match self.clock {
+            ClockChoice::Auto => fmax_mhz.min(50.0),
+            ClockChoice::FixedMhz(f) => f,
+        }
+    }
+}
+
+/// Builder for [`MatadorConfig`].
+#[derive(Debug, Clone)]
+pub struct MatadorConfigBuilder {
+    design_name: String,
+    bus_width: usize,
+    clock: ClockChoice,
+    sharing: Sharing,
+    device: Device,
+    pipeline_class_sum: bool,
+}
+
+impl MatadorConfigBuilder {
+    /// Sets the top-level design name (sanitized to a Verilog identifier).
+    pub fn design_name(mut self, name: impl Into<String>) -> Self {
+        self.design_name = name.into();
+        self
+    }
+
+    /// Sets the AXI stream width (1..=64 bits).
+    pub fn bus_width(mut self, width: usize) -> Self {
+        self.bus_width = width;
+        self
+    }
+
+    /// Sets the clock policy.
+    pub fn clock(mut self, clock: ClockChoice) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Enables or disables logic sharing (DON'T TOUCH mode).
+    pub fn sharing(mut self, sharing: Sharing) -> Self {
+        self.sharing = sharing;
+        self
+    }
+
+    /// Sets the target device.
+    pub fn device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Splits the class-sum adders into two registered pipeline stages.
+    pub fn pipeline_class_sum(mut self, pipelined: bool) -> Self {
+        self.pipeline_class_sum = pipelined;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfigError`] for an empty design name, a bus
+    /// width outside `1..=64`, or a non-positive fixed clock.
+    pub fn build(self) -> Result<MatadorConfig, InvalidConfigError> {
+        if self.design_name.trim().is_empty() {
+            return Err(InvalidConfigError("design name must not be empty".into()));
+        }
+        if self.bus_width == 0 || self.bus_width > 64 {
+            return Err(InvalidConfigError(
+                "bus width must be between 1 and 64 bits".into(),
+            ));
+        }
+        if let ClockChoice::FixedMhz(f) = self.clock {
+            if !(f > 0.0) {
+                return Err(InvalidConfigError("fixed clock must be positive".into()));
+            }
+        }
+        Ok(MatadorConfig {
+            design_name: matador_rtl::netlist::sanitize_identifier(&self.design_name),
+            bus_width: self.bus_width,
+            clock: self.clock,
+            sharing: self.sharing,
+            device: self.device,
+            pipeline_class_sum: self.pipeline_class_sum,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MatadorConfig::builder().build().expect("valid");
+        assert_eq!(c.bus_width(), 64);
+        assert_eq!(c.sharing(), Sharing::Enabled);
+        assert!(c.device().name.contains("XC7Z020"));
+    }
+
+    #[test]
+    fn auto_clock_floors_at_50mhz() {
+        let c = MatadorConfig::builder().build().expect("valid");
+        assert_eq!(c.resolve_clock_mhz(63.0), 50.0);
+        assert_eq!(c.resolve_clock_mhz(42.0), 42.0);
+    }
+
+    #[test]
+    fn fixed_clock_passes_through() {
+        let c = MatadorConfig::builder()
+            .clock(ClockChoice::FixedMhz(65.0))
+            .build()
+            .expect("valid");
+        assert_eq!(c.resolve_clock_mhz(80.0), 65.0);
+    }
+
+    #[test]
+    fn design_name_sanitized() {
+        let c = MatadorConfig::builder()
+            .design_name("my design!")
+            .build()
+            .expect("valid");
+        assert_eq!(c.design_name(), "my_design_");
+    }
+
+    #[test]
+    fn rejects_bad_bus_width() {
+        assert!(MatadorConfig::builder().bus_width(0).build().is_err());
+        assert!(MatadorConfig::builder().bus_width(65).build().is_err());
+    }
+
+    #[test]
+    fn rejects_empty_name() {
+        assert!(MatadorConfig::builder().design_name("  ").build().is_err());
+    }
+
+    #[test]
+    fn rejects_nonpositive_fixed_clock() {
+        assert!(MatadorConfig::builder()
+            .clock(ClockChoice::FixedMhz(0.0))
+            .build()
+            .is_err());
+    }
+}

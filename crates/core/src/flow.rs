@@ -1,0 +1,258 @@
+//! The end-to-end MATADOR flow (Fig 6, pink path): train (or import) a
+//! Tsetlin Machine, generate the accelerator, implement it, verify it and
+//! characterize latency/throughput.
+
+use crate::config::MatadorConfig;
+use crate::design::AcceleratorDesign;
+use crate::verify::{verify_design, VerificationReport};
+use matador_sim::{LatencyReport, SimEngine};
+use matador_synth::report::ImplementationReport;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tsetlin::model::TrainedModel;
+use tsetlin::params::TmParams;
+use tsetlin::tm::MultiClassTm;
+use tsetlin::Sample;
+
+/// Training inputs for the flow.
+#[derive(Debug, Clone)]
+pub struct TrainSpec {
+    /// TM hyperparameters.
+    pub params: TmParams,
+    /// Training epochs.
+    pub epochs: usize,
+    /// RNG seed (training is stochastic; runs are reproducible per seed).
+    pub seed: u64,
+}
+
+/// Everything the flow produces for one run.
+#[derive(Debug, Clone)]
+pub struct FlowOutcome {
+    /// The trained (or imported) model.
+    pub model: TrainedModel,
+    /// The partitioned design.
+    pub design: AcceleratorDesign,
+    /// Implementation (resources / timing / power) report.
+    pub implementation: ImplementationReport,
+    /// Verification report.
+    pub verification: VerificationReport,
+    /// Measured latency/throughput from cycle simulation.
+    pub latency: LatencyReport,
+    /// Test accuracy of the model (= deployed accuracy: hardware is
+    /// verified bit-equivalent).
+    pub test_accuracy: f64,
+}
+
+impl FlowOutcome {
+    /// Latency in microseconds at the implemented clock.
+    pub fn latency_us(&self) -> f64 {
+        self.latency.latency_us(self.implementation.clock_mhz)
+    }
+
+    /// Throughput in inferences/second at the implemented clock.
+    pub fn throughput_inf_s(&self) -> f64 {
+        self.latency.throughput_inf_s(self.implementation.clock_mhz)
+    }
+}
+
+/// Orchestrates the full flow.
+///
+/// # Examples
+///
+/// ```no_run
+/// use matador::flow::{MatadorFlow, TrainSpec};
+/// use matador::config::MatadorConfig;
+/// use matador_datasets::{generate, DatasetKind, SplitSizes};
+/// use tsetlin::params::TmParams;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = generate(DatasetKind::Kws6, SplitSizes::QUICK, 7);
+/// let params = TmParams::builder(377, 6).clauses_per_class(60).build()?;
+/// let config = MatadorConfig::builder().build()?;
+/// let outcome = MatadorFlow::new(config)
+///     .run(TrainSpec { params, epochs: 5, seed: 1 }, &data.train, &data.test);
+/// assert!(outcome.verification.passed());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatadorFlow {
+    config: MatadorConfig,
+    /// Gate-level vectors per window during verification.
+    gate_vectors: usize,
+    /// Datapoints streamed during verification/measurement (caps cost on
+    /// large test sets; `None` = all).
+    verify_limit: Option<usize>,
+}
+
+impl MatadorFlow {
+    /// Creates a flow with default verification effort (32 vectors per
+    /// window, up to 256 streamed datapoints).
+    pub fn new(config: MatadorConfig) -> Self {
+        MatadorFlow {
+            config,
+            gate_vectors: 32,
+            verify_limit: Some(256),
+        }
+    }
+
+    /// Sets gate-level vector count per window.
+    pub fn gate_vectors(mut self, vectors: usize) -> Self {
+        self.gate_vectors = vectors;
+        self
+    }
+
+    /// Caps (or uncaps) the number of datapoints streamed in verification.
+    pub fn verify_limit(mut self, limit: Option<usize>) -> Self {
+        self.verify_limit = limit;
+        self
+    }
+
+    /// Trains a fresh model then continues with [`MatadorFlow::run_with_model`].
+    pub fn run(&self, spec: TrainSpec, train: &[Sample], test: &[Sample]) -> FlowOutcome {
+        let mut tm = MultiClassTm::new(spec.params);
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        tm.fit(train, spec.epochs, &mut rng);
+        self.run_with_model(tm.to_model(), test)
+    }
+
+    /// Runs the hardware half of the flow on an existing model — the
+    /// import path (Fig 6, yellow) for models trained outside MATADOR.
+    pub fn run_with_model(&self, model: TrainedModel, test: &[Sample]) -> FlowOutcome {
+        let design = AcceleratorDesign::generate(model.clone(), self.config.clone());
+        let implementation = design.implement();
+
+        let verify_set: Vec<Sample> = match self.verify_limit {
+            Some(limit) => test.iter().take(limit).cloned().collect(),
+            None => test.to_vec(),
+        };
+        let verification = verify_design(&design, &verify_set, self.gate_vectors, 0xD0_D0);
+
+        // Latency characterization: stream a back-to-back batch.
+        let accel = design.compile_for_sim();
+        let mut sim = SimEngine::new(&accel);
+        sim.set_pipelined_sum(self.config.pipeline_class_sum());
+        let batch: Vec<_> = verify_set
+            .iter()
+            .take(32.max(verify_set.len().min(64)))
+            .map(|s| s.input.clone())
+            .collect();
+        let latency = if batch.is_empty() {
+            LatencyReport {
+                initial_latency_cycles: 0,
+                steady_ii_cycles: design.num_hcbs() as f64,
+            }
+        } else {
+            let results = sim.run_datapoints(&batch);
+            LatencyReport::from_results(&results, 0)
+        };
+
+        let test_accuracy = model.accuracy(test);
+        FlowOutcome {
+            model,
+            design,
+            implementation,
+            verification,
+            latency,
+            test_accuracy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsetlin::bits::BitVec;
+
+    fn tiny_task() -> (Vec<Sample>, Vec<Sample>) {
+        let mut train = Vec::new();
+        for i in 0..40 {
+            let class = i % 2;
+            let bits: Vec<usize> = if class == 0 {
+                vec![0, 1, 2]
+            } else {
+                vec![8, 9, 10]
+            };
+            train.push(Sample::new(BitVec::from_indices(12, &bits), class));
+        }
+        let test = train.split_off(28);
+        (train, test)
+    }
+
+    fn spec() -> TrainSpec {
+        TrainSpec {
+            params: TmParams::builder(12, 2)
+                .clauses_per_class(8)
+                .threshold(4)
+                .specificity(3.5)
+                .states_per_action(24)
+                .build()
+                .expect("valid"),
+            epochs: 30,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn end_to_end_flow_passes() {
+        let (train, test) = tiny_task();
+        let config = MatadorConfig::builder()
+            .bus_width(4)
+            .design_name("flow_test")
+            .build()
+            .expect("valid");
+        let outcome = MatadorFlow::new(config).run(spec(), &train, &test);
+        assert!(outcome.verification.passed(), "{:?}", outcome.verification);
+        assert!(outcome.test_accuracy > 0.9, "acc {}", outcome.test_accuracy);
+        assert_eq!(outcome.design.num_hcbs(), 3);
+        // Latency = packets + 3 at back-to-back streaming.
+        assert_eq!(outcome.latency.initial_latency_cycles, 6);
+        assert!((outcome.latency.steady_ii_cycles - 3.0).abs() < 1e-9);
+        assert!(outcome.throughput_inf_s() > 0.0);
+        assert!(outcome.latency_us() > 0.0);
+    }
+
+    #[test]
+    fn pipelined_flow_verifies_with_one_extra_cycle() {
+        let (train, test) = tiny_task();
+        let config = MatadorConfig::builder()
+            .bus_width(4)
+            .pipeline_class_sum(true)
+            .build()
+            .expect("valid");
+        let outcome = MatadorFlow::new(config).run(spec(), &train, &test);
+        assert!(outcome.verification.passed(), "{:?}", outcome.verification);
+        // Latency = packets + 4 with the split class sum; II unchanged.
+        assert_eq!(outcome.latency.initial_latency_cycles, 7);
+        assert!((outcome.latency.steady_ii_cycles - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn import_path_skips_training() {
+        let (_, test) = tiny_task();
+        let params = spec().params;
+        let model = MultiClassTm::new(params).to_model();
+        let config = MatadorConfig::builder()
+            .bus_width(4)
+            .build()
+            .expect("valid");
+        let outcome = MatadorFlow::new(config).run_with_model(model, &test);
+        // Untrained model: accuracy is chance-level but the hardware is
+        // still bit-equivalent to it.
+        assert!(outcome.verification.passed());
+    }
+
+    #[test]
+    fn verify_limit_caps_streamed_vectors() {
+        let (train, test) = tiny_task();
+        let config = MatadorConfig::builder()
+            .bus_width(4)
+            .build()
+            .expect("valid");
+        let outcome = MatadorFlow::new(config)
+            .verify_limit(Some(4))
+            .gate_vectors(2)
+            .run(spec(), &train, &test);
+        assert_eq!(outcome.verification.system_vectors, 4);
+    }
+}

@@ -1,0 +1,50 @@
+//! # matador — automated SoC Tsetlin Machine accelerator generation
+//!
+//! A Rust reproduction of **MATADOR** (Rahman et al., DATE 2024): the
+//! boolean-to-silicon toolflow that trains a Tsetlin Machine, translates
+//! its include/exclude decisions into a compact combinational circuit, and
+//! deploys it as a bandwidth-driven AXI4-Stream accelerator.
+//!
+//! The flow (Fig 6 of the paper):
+//!
+//! 1. **Train** (or import) a TM — [`flow::TrainSpec`] /
+//!    [`flow::MatadorFlow::run_with_model`];
+//! 2. **Generate** the design: bandwidth-driven partitioning into
+//!    Hard-Coded Clause Blocks with logic sharing — [`design::AcceleratorDesign`];
+//! 3. **Implement**: LUT mapping, resource/timing/power estimation —
+//!    [`design::AcceleratorDesign::implement`];
+//! 4. **Verify**: gate-level + cycle-accurate equivalence against
+//!    software inference — [`verify::verify_design`];
+//! 5. **Deploy**: Verilog, testbench, model and host runner — [`deploy::deploy`].
+//!
+//! ```
+//! use matador::config::MatadorConfig;
+//! use matador::design::AcceleratorDesign;
+//! use tsetlin::model::{IncludeMask, TrainedModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A hand-written 2-class model over 8 features (4 clauses).
+//! let masks = vec![IncludeMask::empty(8); 4];
+//! let model = TrainedModel::from_masks(8, 2, 2, masks);
+//! let config = MatadorConfig::builder().bus_width(4).build()?;
+//! let design = AcceleratorDesign::generate(model, config);
+//! assert_eq!(design.num_hcbs(), 2); // 8 features / 4-bit bus
+//! let report = design.implement();
+//! assert!(report.meets_timing());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod deploy;
+pub mod design;
+pub mod flow;
+pub mod verify;
+pub mod wizard;
+
+pub use config::{ClockChoice, MatadorConfig};
+pub use deploy::{deploy, DeployManifest};
+pub use design::{AcceleratorDesign, VerilogFile};
+pub use flow::{FlowOutcome, MatadorFlow, TrainSpec};
+pub use verify::{verify_design, VerificationReport};
+pub use wizard::{Wizard, WizardOutcome};

@@ -1,0 +1,212 @@
+//! The GUI substitute: a scriptable question/answer wizard that walks a
+//! user through the accelerator design flow exactly like the MATADOR GUI
+//! (Fig 6(a)) — dataset choice, clause budget, hyperparameters, bandwidth —
+//! and produces a validated configuration pair.
+//!
+//! The wizard is I/O-agnostic: answers come from any iterator of strings,
+//! so the same code drives the interactive example (stdin) and tests
+//! (canned answers).
+
+use crate::config::MatadorConfig;
+use crate::flow::TrainSpec;
+use std::fmt;
+use tsetlin::params::TmParams;
+
+/// One wizard question.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Prompt shown to the user.
+    pub prompt: String,
+    /// Default used on empty input.
+    pub default: String,
+}
+
+/// Error produced when an answer cannot be parsed/validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WizardError {
+    question: String,
+    message: String,
+}
+
+impl fmt::Display for WizardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wizard: {} — {}", self.question, self.message)
+    }
+}
+
+impl std::error::Error for WizardError {}
+
+/// The answers a completed wizard session yields.
+#[derive(Debug, Clone)]
+pub struct WizardOutcome {
+    /// Hardware flow configuration.
+    pub config: MatadorConfig,
+    /// Training specification.
+    pub train: TrainSpec,
+}
+
+/// The design-flow questionnaire.
+#[derive(Debug, Clone)]
+pub struct Wizard {
+    features: usize,
+    classes: usize,
+}
+
+impl Wizard {
+    /// Creates a wizard for a dataset of known shape.
+    pub fn new(features: usize, classes: usize) -> Self {
+        Wizard { features, classes }
+    }
+
+    /// The ordered question list (shown verbatim by the CLI driver).
+    pub fn questions(&self) -> Vec<Question> {
+        vec![
+            Question {
+                prompt: "design name".into(),
+                default: "matador_accel".into(),
+            },
+            Question {
+                prompt: "clauses per class (even)".into(),
+                default: "100".into(),
+            },
+            Question {
+                prompt: "vote threshold T".into(),
+                default: "15".into(),
+            },
+            Question {
+                prompt: "specificity s (> 1.0)".into(),
+                default: "10.0".into(),
+            },
+            Question {
+                prompt: "training epochs".into(),
+                default: "10".into(),
+            },
+            Question {
+                prompt: "AXI bus width (bits, 1-64)".into(),
+                default: "64".into(),
+            },
+            Question {
+                prompt: "random seed".into(),
+                default: "42".into(),
+            },
+        ]
+    }
+
+    /// Consumes answers (one per question; empty string = default) and
+    /// builds the validated outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WizardError`] on unparseable answers or invalid
+    /// parameter combinations.
+    pub fn complete<I>(&self, answers: I) -> Result<WizardOutcome, WizardError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let questions = self.questions();
+        let mut answers = answers.into_iter();
+        let mut take = |idx: usize| -> String {
+            let q = &questions[idx];
+            match answers.next() {
+                Some(a) if !a.trim().is_empty() => a.trim().to_string(),
+                _ => q.default.clone(),
+            }
+        };
+
+        let name = take(0);
+        let clauses: usize = parse(&questions[1], &take(1))?;
+        let threshold: u32 = parse(&questions[2], &take(2))?;
+        let specificity: f64 = parse(&questions[3], &take(3))?;
+        let epochs: usize = parse(&questions[4], &take(4))?;
+        let bus: usize = parse(&questions[5], &take(5))?;
+        let seed: u64 = parse(&questions[6], &take(6))?;
+
+        let params = TmParams::builder(self.features, self.classes)
+            .clauses_per_class(clauses)
+            .threshold(threshold)
+            .specificity(specificity)
+            .build()
+            .map_err(|e| WizardError {
+                question: "hyperparameters".into(),
+                message: e.to_string(),
+            })?;
+        let config = MatadorConfig::builder()
+            .design_name(name)
+            .bus_width(bus)
+            .build()
+            .map_err(|e| WizardError {
+                question: "configuration".into(),
+                message: e.to_string(),
+            })?;
+        Ok(WizardOutcome {
+            config,
+            train: TrainSpec {
+                params,
+                epochs,
+                seed,
+            },
+        })
+    }
+}
+
+fn parse<T: std::str::FromStr>(q: &Question, answer: &str) -> Result<T, WizardError> {
+    answer.parse().map_err(|_| WizardError {
+        question: q.prompt.clone(),
+        message: format!("could not parse '{answer}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_complete_successfully() {
+        let w = Wizard::new(784, 10);
+        let outcome = w
+            .complete(std::iter::repeat_n(String::new(), 7))
+            .expect("defaults are valid");
+        assert_eq!(outcome.config.bus_width(), 64);
+        assert_eq!(outcome.train.params.clauses_per_class(), 100);
+        assert_eq!(outcome.train.epochs, 10);
+    }
+
+    #[test]
+    fn explicit_answers_override() {
+        let w = Wizard::new(377, 6);
+        let answers = ["kws", "300", "20", "8.5", "3", "32", "7"]
+            .map(String::from)
+            .to_vec();
+        let outcome = w.complete(answers).expect("valid");
+        assert_eq!(outcome.config.design_name(), "kws");
+        assert_eq!(outcome.config.bus_width(), 32);
+        assert_eq!(outcome.train.params.clauses_per_class(), 300);
+        assert_eq!(outcome.train.seed, 7);
+    }
+
+    #[test]
+    fn unparseable_answer_is_reported() {
+        let w = Wizard::new(8, 2);
+        let answers = ["d", "ten", "5", "4.0", "1", "8", "0"]
+            .map(String::from)
+            .to_vec();
+        let err = w.complete(answers).unwrap_err();
+        assert!(err.to_string().contains("clauses per class"));
+    }
+
+    #[test]
+    fn invalid_combination_is_reported() {
+        let w = Wizard::new(8, 2);
+        // Odd clause count fails TmParams validation.
+        let answers = ["d", "5", "5", "4.0", "1", "8", "0"]
+            .map(String::from)
+            .to_vec();
+        let err = w.complete(answers).unwrap_err();
+        assert!(err.to_string().contains("hyperparameters"));
+    }
+
+    #[test]
+    fn question_count_is_stable() {
+        assert_eq!(Wizard::new(4, 2).questions().len(), 7);
+    }
+}

@@ -1,0 +1,366 @@
+//! Prototype-based synthetic dataset generation.
+
+use crate::spec::{DatasetKind, SyntheticSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tsetlin::bits::BitVec;
+use tsetlin::booleanize::ThermometerEncoder;
+use tsetlin::Sample;
+
+/// A generated train/test split.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Which dataset was generated.
+    pub kind: DatasetKind,
+    /// Training samples.
+    pub train: Vec<Sample>,
+    /// Held-out samples.
+    pub test: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Booleanized feature width of every sample.
+    pub fn features(&self) -> usize {
+        self.kind.features()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.kind.classes()
+    }
+}
+
+/// Sizing of a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SplitSizes {
+    /// Training samples (spread round-robin over classes).
+    pub train: usize,
+    /// Test samples.
+    pub test: usize,
+}
+
+impl SplitSizes {
+    /// Full-size evaluation split used by the table/figure harnesses.
+    pub const FULL: SplitSizes = SplitSizes {
+        train: 2000,
+        test: 500,
+    };
+
+    /// Reduced split for CI and `--quick` runs.
+    pub const QUICK: SplitSizes = SplitSizes {
+        train: 400,
+        test: 200,
+    };
+}
+
+/// Generates `kind` with its default difficulty parameters.
+///
+/// Deterministic for a given `(kind, sizes, seed)` triple.
+///
+/// # Examples
+///
+/// ```
+/// use matador_datasets::{generate, DatasetKind, SplitSizes};
+///
+/// let data = generate(DatasetKind::Kws6, SplitSizes::QUICK, 7);
+/// assert_eq!(data.features(), 377);
+/// assert_eq!(data.train.len(), 400);
+/// assert_eq!(data.test.len(), 200);
+/// ```
+pub fn generate(kind: DatasetKind, sizes: SplitSizes, seed: u64) -> Dataset {
+    generate_with_spec(&kind.default_spec(), sizes, seed)
+}
+
+/// Generates a dataset from explicit [`SyntheticSpec`] parameters.
+///
+/// # Panics
+///
+/// Panics if the spec's `distinct_bits`/`mode_spread_bits` exceed the
+/// feature width.
+pub fn generate_with_spec(spec: &SyntheticSpec, sizes: SplitSizes, seed: u64) -> Dataset {
+    match spec.kind {
+        DatasetKind::NoisyXor => generate_noisy_xor(sizes, seed),
+        DatasetKind::Iris => generate_iris(sizes, seed),
+        _ => generate_prototype(spec, sizes, seed),
+    }
+}
+
+fn generate_prototype(spec: &SyntheticSpec, sizes: SplitSizes, seed: u64) -> Dataset {
+    let n = spec.kind.features();
+    let classes = spec.kind.classes();
+    assert!(
+        spec.distinct_bits + spec.mode_spread_bits <= n,
+        "signature bits exceed feature width"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4d41_5441_444f_5231); // "MATADOR1"
+
+    // Shared background pattern.
+    let mut base = BitVec::zeros(n);
+    for k in 0..n {
+        if rng.gen::<f64>() < spec.base_density {
+            base.set(k, true);
+        }
+    }
+
+    // Per-class, per-mode prototypes. Signature flips are confined to a
+    // centred band of the feature range (see `SyntheticSpec::central_band`).
+    let band = spec.central_band.clamp(0.0, 1.0);
+    let band_lo = ((n as f64) * (1.0 - band) / 2.0) as usize;
+    let band_hi = (band_lo + ((n as f64) * band) as usize).min(n).max(band_lo + 1);
+    let mut prototypes: Vec<Vec<BitVec>> = Vec::with_capacity(classes);
+    for _class in 0..classes {
+        let mut class_sig = base.clone();
+        flip_random_bits_in(&mut class_sig, spec.distinct_bits, band_lo..band_hi, &mut rng);
+        let modes = (0..spec.modes_per_class.max(1))
+            .map(|_| {
+                let mut proto = class_sig.clone();
+                flip_random_bits_in(
+                    &mut proto,
+                    spec.mode_spread_bits,
+                    band_lo..band_hi,
+                    &mut rng,
+                );
+                proto
+            })
+            .collect();
+        prototypes.push(modes);
+    }
+
+    let draw = |rng: &mut SmallRng, count: usize| -> Vec<Sample> {
+        (0..count)
+            .map(|i| {
+                let class = i % classes;
+                let proto = &prototypes[class][rng.gen_range(0..prototypes[class].len())];
+                let mut x = proto.clone();
+                for k in 0..n {
+                    if rng.gen::<f64>() < spec.noise {
+                        x.toggle(k);
+                    }
+                }
+                Sample::new(x, class)
+            })
+            .collect()
+    };
+
+    let train = draw(&mut rng, sizes.train);
+    let test = draw(&mut rng, sizes.test);
+    Dataset {
+        kind: spec.kind,
+        train,
+        test,
+    }
+}
+
+fn flip_random_bits_in(
+    bits: &mut BitVec,
+    count: usize,
+    range: std::ops::Range<usize>,
+    rng: &mut SmallRng,
+) {
+    assert!(
+        count <= range.len(),
+        "cannot flip {count} distinct bits in a {}-bit band",
+        range.len()
+    );
+    let mut flipped = 0usize;
+    let mut chosen = vec![false; range.len()];
+    while flipped < count {
+        let k = rng.gen_range(range.clone());
+        if !chosen[k - range.start] {
+            chosen[k - range.start] = true;
+            bits.toggle(k);
+            flipped += 1;
+        }
+    }
+}
+
+/// The 2-D Noisy XOR benchmark of the early TM-FPGA literature: label is
+/// `x₀ ⊕ x₁`, ten distractor bits are uniform noise, and 40 % of *training*
+/// labels are flipped (the test split is clean).
+fn generate_noisy_xor(sizes: SplitSizes, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x584f_52);
+    let n = DatasetKind::NoisyXor.features();
+    let draw = |rng: &mut SmallRng, count: usize, label_noise: f64| -> Vec<Sample> {
+        (0..count)
+            .map(|_| {
+                let mut x = BitVec::zeros(n);
+                for k in 0..n {
+                    if rng.gen::<bool>() {
+                        x.set(k, true);
+                    }
+                }
+                let mut label = usize::from(x.get(0) ^ x.get(1));
+                if rng.gen::<f64>() < label_noise {
+                    label = 1 - label;
+                }
+                Sample::new(x, label)
+            })
+            .collect()
+    };
+    let train = draw(&mut rng, sizes.train, 0.4);
+    let test = draw(&mut rng, sizes.test, 0.0);
+    Dataset {
+        kind: DatasetKind::NoisyXor,
+        train,
+        test,
+    }
+}
+
+/// IRIS stand-in: three Gaussian clusters over four continuous features,
+/// thermometer-booleanized to 4 levels (16 bits) with encoder fitted on the
+/// training split — exercising the full booleanization path of the flow.
+fn generate_iris(sizes: SplitSizes, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4952_4953);
+    // Cluster means loosely shaped like the real iris classes.
+    let means = [
+        [5.0f64, 3.4, 1.5, 0.25],
+        [5.9, 2.8, 4.3, 1.3],
+        [6.6, 3.0, 5.5, 2.0],
+    ];
+    let sd = [0.35f64, 0.30, 0.35, 0.25];
+    let draw_raw = |rng: &mut SmallRng, count: usize| -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rows = Vec::with_capacity(count);
+        let mut labels = Vec::with_capacity(count);
+        for i in 0..count {
+            let class = i % 3;
+            let row: Vec<f64> = (0..4)
+                .map(|f| means[class][f] + gaussian(rng) * sd[f])
+                .collect();
+            rows.push(row);
+            labels.push(class);
+        }
+        (rows, labels)
+    };
+    let (train_raw, train_labels) = draw_raw(&mut rng, sizes.train);
+    let (test_raw, test_labels) = draw_raw(&mut rng, sizes.test);
+    let encoder = ThermometerEncoder::fit(&train_raw, 4);
+    let encode = |rows: &[Vec<f64>], labels: &[usize]| -> Vec<Sample> {
+        rows.iter()
+            .zip(labels)
+            .map(|(row, &label)| {
+                let bits = encoder.encode(row).expect("width fixed by construction");
+                Sample::new(bits, label)
+            })
+            .collect()
+    };
+    Dataset {
+        kind: DatasetKind::Iris,
+        train: encode(&train_raw, &train_labels),
+        test: encode(&test_raw, &test_labels),
+    }
+}
+
+/// Box–Muller standard normal deviate.
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(DatasetKind::Mnist, SplitSizes::QUICK, 11);
+        let b = generate(DatasetKind::Mnist, SplitSizes::QUICK, 11);
+        assert_eq!(a.train[0].input, b.train[0].input);
+        assert_eq!(a.test[37].input, b.test[37].input);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(DatasetKind::Mnist, SplitSizes::QUICK, 11);
+        let b = generate(DatasetKind::Mnist, SplitSizes::QUICK, 12);
+        assert_ne!(a.train[0].input, b.train[0].input);
+    }
+
+    #[test]
+    fn labels_cover_all_classes() {
+        for kind in DatasetKind::TABLE_I {
+            let d = generate(kind, SplitSizes::QUICK, 3);
+            let mut seen = vec![false; kind.classes()];
+            for s in &d.train {
+                seen[s.label] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "{kind}: missing class in train");
+        }
+    }
+
+    #[test]
+    fn widths_match_kind() {
+        for kind in [
+            DatasetKind::Mnist,
+            DatasetKind::Cifar2,
+            DatasetKind::Kws6,
+            DatasetKind::NoisyXor,
+            DatasetKind::Iris,
+        ] {
+            let d = generate(kind, SplitSizes::QUICK, 1);
+            assert!(d.train.iter().all(|s| s.input.len() == kind.features()));
+            assert!(d.test.iter().all(|s| s.input.len() == kind.features()));
+        }
+    }
+
+    #[test]
+    fn xor_test_labels_are_clean() {
+        let d = generate(DatasetKind::NoisyXor, SplitSizes::QUICK, 5);
+        for s in &d.test {
+            assert_eq!(s.label, usize::from(s.input.get(0) ^ s.input.get(1)));
+        }
+    }
+
+    #[test]
+    fn iris_is_thermometer_monotone_per_feature() {
+        let d = generate(DatasetKind::Iris, SplitSizes::QUICK, 5);
+        for s in &d.train {
+            for f in 0..4 {
+                let mut seen_zero = false;
+                for l in 0..4 {
+                    let bit = s.input.get(f * 4 + l);
+                    if !bit {
+                        seen_zero = true;
+                    } else {
+                        assert!(!seen_zero, "non-monotone thermometer run");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classes_are_separable_under_hamming_nearest_prototype() {
+        // Sanity: a trivial nearest-class-centroid rule must beat chance by
+        // a wide margin, otherwise the TM has nothing to learn.
+        let d = generate(DatasetKind::Mnist, SplitSizes::QUICK, 9);
+        let classes = d.classes();
+        let n = d.features();
+        let mut centroids = vec![vec![0i32; n]; classes];
+        let mut counts = vec![0i32; classes];
+        for s in &d.train {
+            counts[s.label] += 1;
+            for k in s.input.iter_ones() {
+                centroids[s.label][k] += 1;
+            }
+        }
+        let protos: Vec<BitVec> = centroids
+            .iter()
+            .zip(&counts)
+            .map(|(c, &n_c)| {
+                BitVec::from_bools(c.iter().map(|&v| 2 * v > n_c))
+            })
+            .collect();
+        let mut correct = 0usize;
+        for s in &d.test {
+            let best = (0..classes)
+                .min_by_key(|&c| s.input.xor(&protos[c]).count_ones())
+                .expect("non-empty");
+            if best == s.label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / d.test.len() as f64;
+        assert!(acc > 0.6, "centroid accuracy {acc} too low");
+    }
+}

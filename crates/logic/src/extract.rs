@@ -1,0 +1,342 @@
+//! Common-cube divisor extraction (fast-extract restricted to two-input
+//! single-cube divisors).
+//!
+//! A trained TM window is a *set of cubes* over the same 2W literals. The
+//! paper's Fig 3/Fig 5 observation is that literal groups recur across
+//! clauses and classes; extracting a recurring pair `a·b` as a shared node
+//! converts `count` AND2 instantiations into one divisor plus `count`
+//! references — saving `count − 1` gates per extraction. Iterating this to
+//! a fixed point (divisors can themselves pair with literals or other
+//! divisors) yields the multi-level shared structure that synthesis tools
+//! discover with their logic-absorption algorithms.
+//!
+//! The implementation keeps pair occurrence counts incrementally and uses a
+//! lazy max-heap, so each extraction costs `O(cube_len · log)` rather than
+//! a full recount.
+
+use crate::cube::{Cube, Lit};
+use std::collections::{BinaryHeap, HashMap};
+
+/// An element of a factored cube: either an original literal or a reference
+/// to an extracted divisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Item {
+    /// An input literal.
+    Lit(Lit),
+    /// The `i`-th extracted divisor.
+    Div(u32),
+}
+
+/// A two-input divisor: the AND of two items.
+pub type Divisor = (Item, Item);
+
+/// Result of divisor extraction over a cube set.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Extraction {
+    /// Extracted divisors, index `i` referenced as [`Item::Div`]`(i)`.
+    /// A divisor's operands only reference literals or *earlier* divisors.
+    pub divisors: Vec<Divisor>,
+    /// Each input cube rewritten over literals + divisors (sorted).
+    pub cubes: Vec<Vec<Item>>,
+}
+
+impl Extraction {
+    /// AND2 gates needed by the factored form: one per divisor plus
+    /// `len−1` per rewritten cube (before any structural dedup of
+    /// identical cubes).
+    pub fn and2_cost(&self) -> usize {
+        self.divisors.len()
+            + self
+                .cubes
+                .iter()
+                .map(|c| c.len().saturating_sub(1))
+                .sum::<usize>()
+    }
+
+    /// Evaluates rewritten cube `idx` against an input window, resolving
+    /// divisors recursively. Used by equivalence tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or a literal reads past `input`.
+    pub fn eval_cube(&self, idx: usize, input: &tsetlin::bits::BitVec) -> bool {
+        self.cubes[idx].iter().all(|&it| self.eval_item(it, input))
+    }
+
+    fn eval_item(&self, item: Item, input: &tsetlin::bits::BitVec) -> bool {
+        match item {
+            Item::Lit(l) => l.eval(input),
+            Item::Div(d) => {
+                let (a, b) = self.divisors[d as usize];
+                self.eval_item(a, input) && self.eval_item(b, input)
+            }
+        }
+    }
+}
+
+/// Options for [`extract_divisors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ExtractOptions {
+    /// Stop after this many divisors (0 = unbounded).
+    pub max_divisors: usize,
+    /// Minimum occurrence count for a pair to be extracted (≥ 2).
+    pub min_count: usize,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            max_divisors: 0,
+            min_count: 2,
+        }
+    }
+}
+
+type Pair = (Item, Item);
+
+fn ordered(a: Item, b: Item) -> Pair {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Extracts shared two-input divisors from `cubes` until no pair of items
+/// co-occurs in at least `min_count` cubes.
+///
+/// Deterministic: ties between equally frequent pairs break toward the
+/// smallest pair in `Item` order.
+///
+/// # Examples
+///
+/// ```
+/// use matador_logic::cube::{Cube, Lit};
+/// use matador_logic::extract::{extract_divisors, ExtractOptions};
+///
+/// // Three clauses sharing the pair x0·x1.
+/// let cubes = vec![
+///     Cube::from_lits([Lit::pos(0), Lit::pos(1), Lit::pos(2)]),
+///     Cube::from_lits([Lit::pos(0), Lit::pos(1), Lit::neg(3)]),
+///     Cube::from_lits([Lit::pos(0), Lit::pos(1)]),
+/// ];
+/// let ex = extract_divisors(&cubes, ExtractOptions::default());
+/// assert_eq!(ex.divisors.len(), 1);
+/// // Naive: 2+2+1 = 5 AND2. Factored: 1 divisor + 1 + 1 + 0 = 3.
+/// assert_eq!(ex.and2_cost(), 3);
+/// ```
+pub fn extract_divisors(cubes: &[Cube], options: ExtractOptions) -> Extraction {
+    let min_count = options.min_count.max(2);
+    let mut work: Vec<Vec<Item>> = cubes
+        .iter()
+        .map(|c| c.lits().iter().map(|&l| Item::Lit(l)).collect())
+        .collect();
+
+    // cube index sets per pair are implicit; we track only counts and do a
+    // linear pass over cubes when applying an extraction (cube sets are
+    // small and extraction count is bounded by total literal mass).
+    let mut counts: HashMap<Pair, i64> = HashMap::new();
+    for cube in &work {
+        for i in 0..cube.len() {
+            for j in i + 1..cube.len() {
+                *counts.entry(ordered(cube[i], cube[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut heap: BinaryHeap<(i64, std::cmp::Reverse<Pair>)> = counts
+        .iter()
+        .map(|(&p, &c)| (c, std::cmp::Reverse(p)))
+        .collect();
+
+    let mut divisors: Vec<Divisor> = Vec::new();
+    while let Some((count, std::cmp::Reverse(pair))) = heap.pop() {
+        if count < min_count as i64 {
+            break;
+        }
+        // Lazy heap: skip stale entries; re-queue pairs whose count shrank
+        // (decrements do not push, so the shrunken count may be absent).
+        match counts.get(&pair) {
+            Some(&c) if c == count => {}
+            Some(&c) if c >= min_count as i64 => {
+                // c < count here (the heap pops maxima first), so re-pushes
+                // strictly decrease and the loop terminates.
+                heap.push((c, std::cmp::Reverse(pair)));
+                continue;
+            }
+            _ => continue,
+        }
+        if options.max_divisors != 0 && divisors.len() >= options.max_divisors {
+            break;
+        }
+        let d = Item::Div(divisors.len() as u32);
+        divisors.push(pair);
+        counts.remove(&pair);
+
+        // Rewrite every cube containing both items.
+        for cube in &mut work {
+            let ia = cube.binary_search(&pair.0);
+            let ib = cube.binary_search(&pair.1);
+            let (Ok(ia), Ok(ib)) = (ia, ib) else { continue };
+            debug_assert!(ia < ib);
+            // Decrement pair counts of the removed items vs the rest.
+            for (k, &t) in cube.iter().enumerate() {
+                if k != ia && k != ib {
+                    decrement(&mut counts, &mut heap, ordered(pair.0, t));
+                    decrement(&mut counts, &mut heap, ordered(pair.1, t));
+                }
+            }
+            cube.remove(ib);
+            cube.remove(ia);
+            // Insert divisor and bump its pair counts vs the remainder.
+            let pos = cube.binary_search(&d).unwrap_or_else(|e| e);
+            cube.insert(pos, d);
+            for &t in cube.iter() {
+                if t != d {
+                    increment(&mut counts, &mut heap, ordered(d, t));
+                }
+            }
+        }
+    }
+
+    Extraction {
+        divisors,
+        cubes: work,
+    }
+}
+
+fn decrement(
+    counts: &mut HashMap<Pair, i64>,
+    _heap: &mut BinaryHeap<(i64, std::cmp::Reverse<Pair>)>,
+    pair: Pair,
+) {
+    if let Some(c) = counts.get_mut(&pair) {
+        *c -= 1;
+        if *c <= 0 {
+            counts.remove(&pair);
+        }
+        // Stale larger entries in the heap are skipped lazily on pop.
+    }
+}
+
+fn increment(
+    counts: &mut HashMap<Pair, i64>,
+    heap: &mut BinaryHeap<(i64, std::cmp::Reverse<Pair>)>,
+    pair: Pair,
+) {
+    let c = counts.entry(pair).or_insert(0);
+    *c += 1;
+    heap.push((*c, std::cmp::Reverse(pair)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsetlin::bits::BitVec;
+
+    fn cube(lits: &[(u32, bool)]) -> Cube {
+        Cube::from_lits(lits.iter().map(|&(b, n)| if n { Lit::neg(b) } else { Lit::pos(b) }))
+    }
+
+    #[test]
+    fn no_sharing_no_divisors() {
+        let cubes = vec![cube(&[(0, false), (1, false)]), cube(&[(2, false), (3, false)])];
+        let ex = extract_divisors(&cubes, ExtractOptions::default());
+        assert!(ex.divisors.is_empty());
+        assert_eq!(ex.and2_cost(), 2);
+    }
+
+    #[test]
+    fn extraction_preserves_function() {
+        // Random-ish overlapping cubes over 8 bits.
+        let cubes = vec![
+            cube(&[(0, false), (1, true), (4, false)]),
+            cube(&[(0, false), (1, true), (5, false)]),
+            cube(&[(0, false), (1, true)]),
+            cube(&[(2, false), (3, false), (0, false), (1, true)]),
+            cube(&[(6, true), (7, true)]),
+        ];
+        let ex = extract_divisors(&cubes, ExtractOptions::default());
+        assert!(!ex.divisors.is_empty());
+        for v in 0..256u32 {
+            let input = BitVec::from_bools((0..8).map(|b| (v >> b) & 1 == 1));
+            for (i, c) in cubes.iter().enumerate() {
+                assert_eq!(
+                    ex.eval_cube(i, &input),
+                    c.eval(&input),
+                    "cube {i} diverges on input {v:08b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_reduces_cost() {
+        // 10 cubes all sharing a 3-literal core.
+        let core = [(0u32, false), (1, false), (2, true)];
+        let cubes: Vec<Cube> = (0..10)
+            .map(|i| {
+                let mut lits = core.to_vec();
+                lits.push((3 + i, false));
+                cube(&lits)
+            })
+            .collect();
+        let naive: usize = cubes.iter().map(Cube::and2_cost).sum();
+        let ex = extract_divisors(&cubes, ExtractOptions::default());
+        assert!(ex.and2_cost() < naive, "{} !< {naive}", ex.and2_cost());
+        // Multi-level: the 3-literal core needs two chained divisors.
+        assert!(ex.divisors.len() >= 2);
+    }
+
+    #[test]
+    fn identical_cubes_collapse_to_single_divisor_reference() {
+        let c = cube(&[(0, false), (5, true)]);
+        let cubes = vec![c.clone(), c.clone(), c];
+        let ex = extract_divisors(&cubes, ExtractOptions::default());
+        assert_eq!(ex.divisors.len(), 1);
+        for rewritten in &ex.cubes {
+            assert_eq!(rewritten.len(), 1);
+        }
+        assert_eq!(ex.and2_cost(), 1);
+    }
+
+    #[test]
+    fn max_divisors_caps_extraction() {
+        let cubes: Vec<Cube> = (0..6)
+            .map(|i| cube(&[(0, false), (1, false), (2 + i, false)]))
+            .collect();
+        let ex = extract_divisors(
+            &cubes,
+            ExtractOptions {
+                max_divisors: 1,
+                min_count: 2,
+            },
+        );
+        assert_eq!(ex.divisors.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let ex = extract_divisors(&[], ExtractOptions::default());
+        assert!(ex.divisors.is_empty());
+        assert!(ex.cubes.is_empty());
+        assert_eq!(ex.and2_cost(), 0);
+    }
+
+    #[test]
+    fn empty_cubes_stay_empty() {
+        let ex = extract_divisors(&[Cube::one(), Cube::one()], ExtractOptions::default());
+        assert_eq!(ex.cubes, vec![Vec::<Item>::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let cubes = vec![
+            cube(&[(0, false), (1, false), (2, false)]),
+            cube(&[(1, false), (2, false), (3, false)]),
+            cube(&[(0, false), (2, false), (3, false)]),
+        ];
+        let a = extract_divisors(&cubes, ExtractOptions::default());
+        let b = extract_divisors(&cubes, ExtractOptions::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,205 @@
+//! Model-level logic-sharing analysis and window optimization — the
+//! quantitative backing for the paper's Fig 3 observation and the Fig 8
+//! DON'T TOUCH experiment.
+
+use crate::cube::Cube;
+use crate::dag::{LogicDag, Sharing};
+use crate::extract::{extract_divisors, ExtractOptions, Extraction};
+use std::collections::HashSet;
+use tsetlin::model::TrainedModel;
+
+/// Gate-level sharing statistics for one bandwidth window.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WindowGateStats {
+    /// Window index (HCB position).
+    pub window: usize,
+    /// AND2 gates if every clause's cube is instantiated verbatim.
+    pub naive_and2: usize,
+    /// AND2 gates after structural hashing only.
+    pub hashed_and2: usize,
+    /// AND2 gates after divisor extraction + structural hashing.
+    pub extracted_and2: usize,
+    /// Divisors extracted in this window.
+    pub divisors: usize,
+}
+
+impl WindowGateStats {
+    /// Fraction of naive gates eliminated by the full optimization.
+    pub fn reduction(&self) -> f64 {
+        if self.naive_and2 == 0 {
+            0.0
+        } else {
+            1.0 - self.extracted_and2 as f64 / self.naive_and2 as f64
+        }
+    }
+}
+
+/// Splits a model into per-window cube lists, clause order preserved
+/// (`class`-major), one cube per clause per window.
+pub fn window_cubes(model: &TrainedModel, window_bits: usize) -> Vec<Vec<Cube>> {
+    assert!(window_bits > 0, "window width must be positive");
+    let n = model.num_features();
+    let windows = n.div_ceil(window_bits);
+    (0..windows)
+        .map(|w| {
+            model
+                .iter_clauses()
+                .map(|(_, _, mask)| Cube::from_mask(&mask.window(w * window_bits, window_bits)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Optimizes one window's cube list into a [`LogicDag`].
+///
+/// With [`Sharing::Enabled`], divisor extraction runs first and the DAG is
+/// structurally hashed; with [`Sharing::DontTouch`] each cube becomes its
+/// own verbatim AND tree (the pragma'd flow of Fig 8).
+pub fn optimize_window(width: usize, cubes: &[Cube], sharing: Sharing) -> LogicDag {
+    match sharing {
+        Sharing::Enabled => {
+            let ex = extract_divisors(cubes, ExtractOptions::default());
+            LogicDag::from_extraction(width, &ex, sharing)
+        }
+        Sharing::DontTouch => LogicDag::from_cubes(width, cubes, sharing),
+    }
+}
+
+/// Runs extraction for one window and returns both the factored form and
+/// the resulting DAG (the factored form drives Verilog emission).
+pub fn optimize_window_with_extraction(
+    width: usize,
+    cubes: &[Cube],
+) -> (Extraction, LogicDag) {
+    let ex = extract_divisors(cubes, ExtractOptions::default());
+    let dag = LogicDag::from_extraction(width, &ex, Sharing::Enabled);
+    (ex, dag)
+}
+
+/// Computes [`WindowGateStats`] for every window of a model.
+pub fn gate_stats(model: &TrainedModel, window_bits: usize) -> Vec<WindowGateStats> {
+    window_cubes(model, window_bits)
+        .into_iter()
+        .enumerate()
+        .map(|(w, cubes)| {
+            let width = window_bits.min(model.num_features() - w * window_bits);
+            let naive: usize = cubes.iter().map(Cube::and2_cost).sum();
+            let hashed = LogicDag::from_cubes(width.max(1), &cubes, Sharing::Enabled)
+                .and2_count();
+            let ex = extract_divisors(&cubes, ExtractOptions::default());
+            let extracted =
+                LogicDag::from_extraction(width.max(1), &ex, Sharing::Enabled).and2_count();
+            WindowGateStats {
+                window: w,
+                naive_and2: naive,
+                hashed_and2: hashed,
+                extracted_and2: extracted,
+                divisors: ex.divisors.len(),
+            }
+        })
+        .collect()
+}
+
+/// Distinct *cumulative* partial-clause signals after each window.
+///
+/// The partial-clause register of clause `c` after HCB `k` holds
+/// `AND` of `c`'s includes over features `[0, (k+1)·W)`. Two clauses whose
+/// prefixes are identical can share one register — this is where the
+/// slice-register savings of Fig 8 come from. Returns one count per window
+/// (DON'T TOUCH designs always hold `total_clauses` registers per window).
+pub fn prefix_register_counts(model: &TrainedModel, window_bits: usize) -> Vec<usize> {
+    assert!(window_bits > 0, "window width must be positive");
+    let n = model.num_features();
+    let windows = n.div_ceil(window_bits);
+    let mut counts = Vec::with_capacity(windows);
+    for w in 0..windows {
+        let prefix_bits = ((w + 1) * window_bits).min(n);
+        let mut distinct: HashSet<(Vec<u64>, Vec<u64>)> = HashSet::new();
+        for (_, _, mask) in model.iter_clauses() {
+            let prefix = mask.window(0, prefix_bits);
+            distinct.insert((
+                prefix.pos.words().to_vec(),
+                prefix.neg.words().to_vec(),
+            ));
+        }
+        counts.push(distinct.len());
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsetlin::bits::BitVec;
+    use tsetlin::model::IncludeMask;
+
+    fn model() -> TrainedModel {
+        let f = 8;
+        let mk = |pos: &[usize], neg: &[usize]| IncludeMask {
+            pos: BitVec::from_indices(f, pos),
+            neg: BitVec::from_indices(f, neg),
+        };
+        // Window width 4: clauses 0 and 2 share the window-0 cube {x0,x1};
+        // clause 1 differs in window 0 but matches clause 3 in window 1.
+        TrainedModel::from_masks(
+            f,
+            2,
+            2,
+            vec![
+                mk(&[0, 1], &[]),
+                mk(&[0, 2], &[5]),
+                mk(&[0, 1], &[6]),
+                mk(&[], &[5]),
+            ],
+        )
+    }
+
+    #[test]
+    fn window_cubes_shape() {
+        let cubes = window_cubes(&model(), 4);
+        assert_eq!(cubes.len(), 2);
+        assert_eq!(cubes[0].len(), 4);
+        assert_eq!(cubes[0][0].to_string(), "x0 & x1");
+        assert_eq!(cubes[1][1].to_string(), "~x1"); // ¬x5 reindexed to window
+    }
+
+    #[test]
+    fn gate_stats_show_reduction() {
+        let stats = gate_stats(&model(), 4);
+        // Window 0 naive: (x0&x1)=1, (x0&x2)=1, (x0&x1)=1, ()=0 → 3.
+        assert_eq!(stats[0].naive_and2, 3);
+        // Hashing merges the duplicate x0&x1.
+        assert_eq!(stats[0].hashed_and2, 2);
+        assert!(stats[0].extracted_and2 <= stats[0].hashed_and2);
+        assert!(stats[0].reduction() > 0.0);
+    }
+
+    #[test]
+    fn prefix_registers_shrink_with_sharing() {
+        let counts = prefix_register_counts(&model(), 4);
+        // After window 0: prefixes {x0,x1}, {x0,x2}, {x0,x1}, {} → 3 distinct.
+        assert_eq!(counts[0], 3);
+        // After window 1 (full clauses): all 4 distinct.
+        assert_eq!(counts[1], 4);
+    }
+
+    #[test]
+    fn optimize_window_dont_touch_keeps_duplicates() {
+        let cubes = window_cubes(&model(), 4).remove(0);
+        let opt = optimize_window(4, &cubes, Sharing::Enabled);
+        let dt = optimize_window(4, &cubes, Sharing::DontTouch);
+        assert!(opt.and2_count() < dt.and2_count());
+        // Functional equivalence between modes.
+        for v in 0..16u32 {
+            let input = BitVec::from_bools((0..4).map(|b| (v >> b) & 1 == 1));
+            assert_eq!(opt.eval(&input), dt.eval(&input));
+        }
+    }
+
+    #[test]
+    fn extraction_variant_returns_consistent_pair() {
+        let cubes = window_cubes(&model(), 4).remove(0);
+        let (ex, dag) = optimize_window_with_extraction(4, &cubes);
+        assert_eq!(ex.cubes.len(), dag.outputs().len());
+    }
+}

@@ -1,0 +1,38 @@
+//! # matador-rtl — netlist IR and Verilog generation
+//!
+//! The hardware back-end representation of the MATADOR flow:
+//!
+//! * [`netlist`] — a flat, validated, simulatable AND/NOT gate netlist,
+//!   lowered from the logic optimizer's DAG (the clause logic of Fig 5),
+//! * [`verilog`] — structural Verilog-2001 emission with optional
+//!   `DONT_TOUCH` attributes (the Fig 8 experiment),
+//! * [`gen`] — generators for every accelerator block: HCBs, polarity-split
+//!   class sum, argmax comparison tree, stream controller, top level and
+//!   the auto-debug testbench.
+//!
+//! The gate-level netlist is bit-true simulatable ([`netlist::Netlist::eval`]),
+//! which the verification flow uses to prove the emitted clause logic
+//! equivalent to software inference on every test vector.
+//!
+//! ```
+//! use matador_logic::cube::{Cube, Lit};
+//! use matador_logic::dag::{LogicDag, Sharing};
+//! use matador_rtl::netlist::Netlist;
+//! use tsetlin::bits::BitVec;
+//!
+//! let dag = LogicDag::from_cubes(
+//!     4,
+//!     &[Cube::from_lits([Lit::pos(0), Lit::neg(3)])],
+//!     Sharing::Enabled,
+//! );
+//! let nl = Netlist::from_dag("window0", &dag);
+//! assert_eq!(nl.eval(&BitVec::from_indices(4, &[0])), vec![true]);
+//! ```
+
+pub mod gen;
+pub mod netlist;
+pub mod verilog;
+
+pub use gen::{DesignParams, TestVector};
+pub use netlist::{Gate, NetId, Netlist, NetlistError};
+pub use verilog::{emit_netlist, emit_netlist_body, EmitOptions};

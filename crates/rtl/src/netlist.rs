@@ -1,0 +1,414 @@
+//! Gate-level netlist for the combinational clause logic.
+//!
+//! The HCB partial-clause logic is pure AND/NOT structure (Fig 5's
+//! "gate-level description of the partial clause"), so it is represented,
+//! simulated and emitted at gate level. Sequential elements and arithmetic
+//! (class sum, argmax) are generated as behavioral Verilog by [`crate::gen`]
+//! and verified architecturally by the cycle-accurate simulator.
+
+use matador_logic::dag::{LogicDag, Node};
+use std::collections::HashMap;
+use std::fmt;
+use tsetlin::bits::BitVec;
+
+/// Reference to a single-bit net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct NetId(u32);
+
+impl NetId {
+    /// Index into the netlist's net table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A combinational cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Gate {
+    /// `y = a & b`.
+    And2 {
+        /// First operand net.
+        a: NetId,
+        /// Second operand net.
+        b: NetId,
+        /// Output net.
+        y: NetId,
+    },
+    /// `y = ~a`.
+    Not {
+        /// Operand net.
+        a: NetId,
+        /// Output net.
+        y: NetId,
+    },
+    /// `y = value`.
+    Const {
+        /// Driven constant.
+        value: bool,
+        /// Output net.
+        y: NetId,
+    },
+}
+
+impl Gate {
+    /// The net driven by this gate.
+    pub fn output(&self) -> NetId {
+        match *self {
+            Gate::And2 { y, .. } | Gate::Not { y, .. } | Gate::Const { y, .. } => y,
+        }
+    }
+}
+
+/// Error returned when netlist validation fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistError(String);
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid netlist: {}", self.0)
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A flat combinational netlist with named input and output ports.
+///
+/// Gates are stored in topological order (a gate's operands are either
+/// inputs or outputs of earlier gates), which [`Netlist::validate`]
+/// enforces and the evaluator exploits.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Netlist {
+    name: String,
+    net_names: Vec<String>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    gates: Vec<Gate>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            net_names: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            gates: Vec::new(),
+        }
+    }
+
+    /// Module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a new net; `name` is sanitized to a Verilog identifier.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.net_names.len() as u32);
+        self.net_names.push(sanitize_identifier(&name.into()));
+        id
+    }
+
+    /// Declares an input port net.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.add_net(name);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Marks an existing net as an output port.
+    pub fn add_output(&mut self, net: NetId) {
+        self.outputs.push(net);
+    }
+
+    /// Adds `y = a & b`, returning the output net.
+    pub fn and2(&mut self, a: NetId, b: NetId, name: impl Into<String>) -> NetId {
+        let y = self.add_net(name);
+        self.gates.push(Gate::And2 { a, b, y });
+        y
+    }
+
+    /// Adds `y = ~a`, returning the output net.
+    pub fn not(&mut self, a: NetId, name: impl Into<String>) -> NetId {
+        let y = self.add_net(name);
+        self.gates.push(Gate::Not { a, y });
+        y
+    }
+
+    /// Adds a constant driver, returning the output net.
+    pub fn constant(&mut self, value: bool, name: impl Into<String>) -> NetId {
+        let y = self.add_net(name);
+        self.gates.push(Gate::Const { value, y });
+        y
+    }
+
+    /// Input ports in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Output ports in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// All gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not belong to this netlist.
+    pub fn net_name(&self, net: NetId) -> &str {
+        &self.net_names[net.index()]
+    }
+
+    /// Number of AND2 gates.
+    pub fn and2_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::And2 { .. }))
+            .count()
+    }
+
+    /// Number of NOT gates.
+    pub fn not_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Not { .. }))
+            .count()
+    }
+
+    /// Checks structural sanity: every gate operand is an input or driven
+    /// by an earlier gate, each net has at most one driver, no dangling
+    /// output ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let mut driven = vec![false; self.net_names.len()];
+        for &i in &self.inputs {
+            driven[i.index()] = true;
+        }
+        for (gi, gate) in self.gates.iter().enumerate() {
+            let operands: Vec<NetId> = match *gate {
+                Gate::And2 { a, b, .. } => vec![a, b],
+                Gate::Not { a, .. } => vec![a],
+                Gate::Const { .. } => vec![],
+            };
+            for op in operands {
+                if !driven[op.index()] {
+                    return Err(NetlistError(format!(
+                        "gate {gi} reads undriven net '{}'",
+                        self.net_name(op)
+                    )));
+                }
+            }
+            let y = gate.output();
+            if driven[y.index()] {
+                return Err(NetlistError(format!(
+                    "net '{}' has multiple drivers",
+                    self.net_name(y)
+                )));
+            }
+            driven[y.index()] = true;
+        }
+        for &o in &self.outputs {
+            if !driven[o.index()] {
+                return Err(NetlistError(format!(
+                    "output '{}' is undriven",
+                    self.net_name(o)
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the netlist on `inputs` (one bit per input port, in
+    /// declaration order), returning output values in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of input ports.
+    pub fn eval(&self, inputs: &BitVec) -> Vec<bool> {
+        assert_eq!(inputs.len(), self.inputs.len(), "input port count mismatch");
+        let mut values = vec![false; self.net_names.len()];
+        for (k, &net) in self.inputs.iter().enumerate() {
+            values[net.index()] = inputs.get(k);
+        }
+        for gate in &self.gates {
+            match *gate {
+                Gate::And2 { a, b, y } => {
+                    values[y.index()] = values[a.index()] && values[b.index()]
+                }
+                Gate::Not { a, y } => values[y.index()] = !values[a.index()],
+                Gate::Const { value, y } => values[y.index()] = value,
+            }
+        }
+        self.outputs.iter().map(|o| values[o.index()]).collect()
+    }
+
+    /// Lowers a [`LogicDag`] into a netlist. DAG inputs become ports
+    /// `in_0..in_{w-1}`; DAG outputs become ports `out_0..`.
+    ///
+    /// Only reachable nodes are instantiated, so unshared (`DON'T TOUCH`)
+    /// DAGs lower to proportionally larger netlists.
+    pub fn from_dag(name: impl Into<String>, dag: &LogicDag) -> Netlist {
+        let mut nl = Netlist::new(name);
+        let input_nets: Vec<NetId> = (0..dag.width())
+            .map(|i| nl.add_input(format!("in_{i}")))
+            .collect();
+        let reachable = dag.reachable();
+        let mut node_net: HashMap<usize, NetId> = HashMap::new();
+        let mut const0: Option<NetId> = None;
+        let mut const1: Option<NetId> = None;
+        for (i, node) in dag.nodes().iter().enumerate() {
+            if !reachable[i] {
+                continue;
+            }
+            let net = match *node {
+                Node::Const0 => *const0.get_or_insert_with(|| nl_const(&mut nl, false)),
+                Node::Const1 => *const1.get_or_insert_with(|| nl_const(&mut nl, true)),
+                Node::Input(b) => input_nets[b as usize],
+                Node::NotInput(b) => {
+                    let a = input_nets[b as usize];
+                    nl.not(a, format!("n_inv_{b}"))
+                }
+                Node::And(a, b) => {
+                    let na = node_net[&a.index()];
+                    let nb = node_net[&b.index()];
+                    nl.and2(na, nb, format!("n_and_{i}"))
+                }
+            };
+            node_net.insert(i, net);
+        }
+        let buffer_one = match const1 {
+            Some(n) => n,
+            None => nl_const(&mut nl, true),
+        };
+        for (k, out) in dag.outputs().iter().enumerate() {
+            let net = node_net[&out.index()];
+            // Outputs are dedicated ports, aliased through an AND-with-1
+            // buffer so a net shared by several outputs (or an input pin)
+            // keeps single-driver semantics trivially true.
+            let port = nl.add_net(format!("out_{k}"));
+            nl.gates.push(Gate::And2 {
+                a: net,
+                b: buffer_one,
+                y: port,
+            });
+            nl.outputs.push(port);
+        }
+        nl
+    }
+}
+
+fn nl_const(nl: &mut Netlist, value: bool) -> NetId {
+    nl.constant(value, if value { "const1" } else { "const0" })
+}
+
+/// Rewrites `name` into a legal Verilog identifier (alphanumerics and
+/// underscores, non-digit first character).
+pub fn sanitize_identifier(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matador_logic::cube::{Cube, Lit};
+    use matador_logic::dag::Sharing;
+
+    #[test]
+    fn build_and_eval_small_netlist() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let nb = nl.not(b, "nb");
+        let y = nl.and2(a, nb, "y");
+        nl.add_output(y);
+        nl.validate().expect("valid");
+        assert_eq!(nl.eval(&BitVec::from_indices(2, &[0])), vec![true]);
+        assert_eq!(nl.eval(&BitVec::from_indices(2, &[0, 1])), vec![false]);
+        assert_eq!(nl.and2_count(), 1);
+        assert_eq!(nl.not_count(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_undriven_operand() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let ghost = nl.add_net("ghost");
+        let y = nl.and2(a, ghost, "y");
+        nl.add_output(y);
+        let err = nl.validate().unwrap_err();
+        assert!(err.to_string().contains("undriven"));
+    }
+
+    #[test]
+    fn validate_rejects_double_driver() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let y = nl.not(a, "y");
+        nl.gates.push(Gate::Not { a, y });
+        let err = nl.validate().unwrap_err();
+        assert!(err.to_string().contains("multiple drivers"));
+    }
+
+    #[test]
+    fn from_dag_matches_dag_semantics() {
+        let cubes = vec![
+            Cube::from_lits([Lit::pos(0), Lit::neg(1)]),
+            Cube::from_lits([Lit::pos(2)]),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(3), Lit::neg(3)]), // const 0
+        ];
+        for sharing in [Sharing::Enabled, Sharing::DontTouch] {
+            let dag = LogicDag::from_cubes(4, &cubes, sharing);
+            let nl = Netlist::from_dag("w0", &dag);
+            nl.validate().expect("valid");
+            for v in 0..16u32 {
+                let input = BitVec::from_bools((0..4).map(|k| (v >> k) & 1 == 1));
+                assert_eq!(nl.eval(&input), dag.eval(&input), "input {v:04b}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_dag_gate_counts_track_sharing() {
+        let cubes = vec![Cube::from_lits([Lit::pos(0), Lit::pos(1)]); 6];
+        let shared = Netlist::from_dag(
+            "s",
+            &LogicDag::from_cubes(4, &cubes, Sharing::Enabled),
+        );
+        let dt = Netlist::from_dag(
+            "d",
+            &LogicDag::from_cubes(4, &cubes, Sharing::DontTouch),
+        );
+        // +1 AND per output for the port buffer in both cases.
+        assert!(shared.and2_count() < dt.and2_count());
+    }
+
+    #[test]
+    fn sanitize_identifier_rules() {
+        assert_eq!(sanitize_identifier("clause[3].out"), "clause_3__out");
+        assert_eq!(sanitize_identifier("3bad"), "_3bad");
+        assert_eq!(sanitize_identifier(""), "_");
+        assert_eq!(sanitize_identifier("ok_name9"), "ok_name9");
+    }
+}

@@ -1,0 +1,458 @@
+//! The cycle-accurate engine: controller FSM, HCB register chain, class
+//! sum and argmax pipeline stages, driven by an AXI4-Stream master.
+//!
+//! Cycle semantics mirror the generated RTL exactly: all registers update
+//! at the end of a cycle from values computed during it, so the measured
+//! latencies are the paper's (Fig 7): a `P`-packet datapoint accepted
+//! back-to-back produces its classification `P + 3` cycles after the first
+//! packet (HCB chain fill + class-sum + argmax + output register), and the
+//! steady-state initiation interval is `P` cycles.
+
+use crate::accel::CompiledAccelerator;
+use matador_axi::stream::{AxiStreamMaster, StreamMonitor};
+use tsetlin::bits::BitVec;
+use tsetlin::tm::argmax;
+
+/// One classification result leaving the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SimResult {
+    /// Winning class index.
+    pub winner: usize,
+    /// Cycle at which `result_valid` asserted.
+    pub cycle: u64,
+}
+
+/// Per-cycle observable activity, for the Fig 7 timing diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CycleTrace {
+    /// Simulation cycle.
+    pub cycle: u64,
+    /// Packet accepted this cycle (HCB index), if any.
+    pub hcb_en: Option<usize>,
+    /// Class-sum stage enabled.
+    pub sum_en: bool,
+    /// Argmax stage enabled.
+    pub argmax_en: bool,
+    /// Result register valid.
+    pub result_valid: bool,
+}
+
+/// The cycle-accurate accelerator simulator.
+///
+/// # Examples
+///
+/// See `matador-sim`'s crate-level documentation; the engine is normally
+/// driven through [`SimEngine::run_datapoints`].
+#[derive(Debug)]
+pub struct SimEngine<'a> {
+    accel: &'a CompiledAccelerator,
+    master: AxiStreamMaster,
+    monitor: StreamMonitor,
+    /// Registered partial-clause vector per HCB.
+    hcb_regs: Vec<BitVec>,
+    /// Controller packet counter.
+    pkt: usize,
+    /// Optional extra pipeline stage: registered partial popcounts when
+    /// class-sum pipelining is enabled (one more latency cycle).
+    sum_stage_pre: Option<Vec<i32>>,
+    /// Pipeline: class sums latched last cycle (awaiting argmax).
+    sum_stage: Option<Vec<i32>>,
+    /// Pipeline: winner latched last cycle (awaiting result register).
+    argmax_stage: Option<usize>,
+    /// Events scheduled by register writes this cycle.
+    sum_en_next: bool,
+    cycle: u64,
+    stall: bool,
+    results: Vec<SimResult>,
+    trace: Vec<CycleTrace>,
+    trace_enabled: bool,
+    /// Two-stage class-sum pipeline (the paper's optional adder pipelining).
+    pipelined_sum: bool,
+}
+
+impl<'a> SimEngine<'a> {
+    /// Creates an engine in the post-reset state.
+    pub fn new(accel: &'a CompiledAccelerator) -> Self {
+        let c = accel.shape().total_clauses();
+        SimEngine {
+            accel,
+            master: AxiStreamMaster::new(),
+            monitor: StreamMonitor::new(),
+            hcb_regs: vec![BitVec::zeros(c); accel.shape().num_packets()],
+            pkt: 0,
+            sum_stage_pre: None,
+            sum_stage: None,
+            argmax_stage: None,
+            sum_en_next: false,
+            cycle: 0,
+            stall: false,
+            results: Vec::new(),
+            trace: Vec::new(),
+            trace_enabled: false,
+            pipelined_sum: false,
+        }
+    }
+
+    /// Enables the two-stage (pipelined) class-sum model — one extra cycle
+    /// of initial latency, matching designs generated with
+    /// `pipeline_class_sum`.
+    pub fn set_pipelined_sum(&mut self, pipelined: bool) {
+        self.pipelined_sum = pipelined;
+    }
+
+    /// Enables per-cycle trace capture (Fig 7).
+    pub fn enable_trace(&mut self) {
+        self.trace_enabled = true;
+    }
+
+    /// Queues one datapoint (feature vector) for streaming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width differs from the accelerator's feature count.
+    pub fn queue_datapoint(&mut self, input: &BitVec) {
+        let shape = self.accel.shape();
+        assert_eq!(input.len(), shape.features, "datapoint width mismatch");
+        let packets: Vec<u64> = (0..shape.num_packets())
+            .map(|k| input.extract_word(k * shape.bus_width, shape.bus_width))
+            .collect();
+        self.master.queue_datapoint(&packets);
+    }
+
+    /// Asserts or releases backpressure (the controller's `stall` input).
+    pub fn set_stall(&mut self, stall: bool) {
+        self.stall = stall;
+    }
+
+    /// Advances one clock cycle.
+    pub fn step(&mut self) {
+        let shape = self.accel.shape();
+        let p = shape.num_packets();
+
+        // --- combinational phase -----------------------------------------
+        let tready = !self.stall;
+        let transferred = self.master.advance(tready);
+        let mut hcb_en = None;
+        let mut new_reg: Option<(usize, BitVec)> = None;
+        let mut tlast = false;
+        if let Some(beat) = transferred {
+            self.monitor.capture(self.cycle, beat);
+            let k = self.pkt;
+            hcb_en = Some(k);
+            let pc = self.accel.eval_window(k, beat.tdata);
+            let reg = if k == 0 {
+                pc
+            } else {
+                self.hcb_regs[k - 1].and(&pc)
+            };
+            new_reg = Some((k, reg));
+            tlast = beat.tlast;
+        }
+        // Stage enables derived from last cycle's register writes.
+        let sum_en = self.sum_en_next;
+        let sums_now = if sum_en {
+            Some(self.class_sums_from_regs())
+        } else {
+            None
+        };
+        let argmax_en = self.sum_stage.is_some();
+        let winner_now = self.sum_stage.as_ref().map(|s| argmax(s));
+        let result_valid = self.argmax_stage.is_some();
+
+        if self.trace_enabled {
+            self.trace.push(CycleTrace {
+                cycle: self.cycle,
+                hcb_en,
+                sum_en,
+                argmax_en,
+                result_valid,
+            });
+        }
+        if let Some(winner) = self.argmax_stage.take() {
+            self.results.push(SimResult {
+                winner,
+                cycle: self.cycle,
+            });
+        }
+
+        // --- register update phase (end of cycle) ------------------------
+        self.argmax_stage = winner_now;
+        if self.pipelined_sum {
+            // Two-stage class sum: popcounts register first, subtract next.
+            self.sum_stage = self.sum_stage_pre.take();
+            self.sum_stage_pre = sums_now;
+        } else {
+            self.sum_stage = sums_now;
+        }
+        self.sum_en_next = false;
+        if let Some((k, reg)) = new_reg {
+            self.hcb_regs[k] = reg;
+            if tlast {
+                assert_eq!(k, p - 1, "TLAST on a non-final packet");
+                self.sum_en_next = true;
+                self.pkt = 0;
+            } else {
+                self.pkt = (self.pkt + 1) % p;
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs until the stream drains and the pipeline empties, with a
+    /// safety bound of `max_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design fails to drain within `max_cycles` (a hang —
+    /// exactly what the auto-debug ILA flow would be used to find).
+    pub fn run_to_completion(&mut self, max_cycles: u64) {
+        let start = self.cycle;
+        while !(self.master.is_idle()
+            && self.sum_stage.is_none()
+            && self.sum_stage_pre.is_none()
+            && self.argmax_stage.is_none()
+            && !self.sum_en_next)
+        {
+            assert!(
+                self.cycle - start < max_cycles,
+                "simulation did not drain within {max_cycles} cycles"
+            );
+            self.step();
+        }
+    }
+
+    /// Streams `inputs` back-to-back and returns the classifications in
+    /// arrival order.
+    pub fn run_datapoints(&mut self, inputs: &[BitVec]) -> Vec<SimResult> {
+        let before = self.results.len();
+        for x in inputs {
+            self.queue_datapoint(x);
+        }
+        let shape = self.accel.shape();
+        let bound = (inputs.len() as u64 + 4) * (shape.num_packets() as u64 + 4) + 64;
+        self.run_to_completion(bound);
+        self.results[before..].to_vec()
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[SimResult] {
+        &self.results
+    }
+
+    /// Captured per-cycle trace (requires [`SimEngine::enable_trace`]).
+    pub fn trace(&self) -> &[CycleTrace] {
+        &self.trace
+    }
+
+    /// The stream monitor (ILA model).
+    pub fn monitor(&self) -> &StreamMonitor {
+        &self.monitor
+    }
+
+    /// Current cycle counter.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn class_sums_from_regs(&self) -> Vec<i32> {
+        let shape = self.accel.shape();
+        let final_regs = &self.hcb_regs[shape.num_packets() - 1];
+        let cpc = shape.clauses_per_class;
+        (0..shape.classes)
+            .map(|class| {
+                (0..cpc)
+                    .map(|j| match (final_regs.get(class * cpc + j), j % 2 == 0) {
+                        (true, true) => 1,
+                        (true, false) => -1,
+                        (false, _) => 0,
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Latency/throughput characterization of a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LatencyReport {
+    /// Cycles from first packet acceptance to first `result_valid`,
+    /// inclusive (the paper's "Latency" column, in cycles).
+    pub initial_latency_cycles: u64,
+    /// Steady-state initiation interval in cycles (= packets/datapoint
+    /// when unstalled).
+    pub steady_ii_cycles: f64,
+}
+
+impl LatencyReport {
+    /// Derives the report from a result stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is empty.
+    pub fn from_results(results: &[SimResult], first_packet_cycle: u64) -> LatencyReport {
+        assert!(!results.is_empty(), "no results to characterize");
+        let initial = results[0].cycle - first_packet_cycle + 1;
+        let ii = if results.len() > 1 {
+            (results[results.len() - 1].cycle - results[0].cycle) as f64
+                / (results.len() - 1) as f64
+        } else {
+            initial as f64
+        };
+        LatencyReport {
+            initial_latency_cycles: initial,
+            steady_ii_cycles: ii,
+        }
+    }
+
+    /// Latency in microseconds at `clock_mhz`.
+    pub fn latency_us(&self, clock_mhz: f64) -> f64 {
+        self.initial_latency_cycles as f64 / clock_mhz
+    }
+
+    /// Throughput in inferences/second at `clock_mhz`.
+    pub fn throughput_inf_s(&self, clock_mhz: f64) -> f64 {
+        clock_mhz * 1.0e6 / self.steady_ii_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::AccelShape;
+    use matador_logic::cube::{Cube, Lit};
+    use matador_logic::dag::Sharing;
+
+    /// 8-feature, 2-window accelerator: class0 votes for x0, class1 for x4.
+    fn accel() -> CompiledAccelerator {
+        let shape = AccelShape {
+            bus_width: 4,
+            features: 8,
+            classes: 2,
+            clauses_per_class: 2,
+        };
+        let w0 = vec![
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::from_lits([Lit::pos(1)]),
+            Cube::from_lits([Lit::pos(2)]),
+            Cube::from_lits([Lit::pos(3)]),
+        ];
+        let w1 = vec![
+            Cube::one(),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::one(),
+        ];
+        CompiledAccelerator::from_window_cubes(shape, &[w0, w1], Sharing::Enabled)
+    }
+
+    #[test]
+    fn latency_is_packets_plus_three() {
+        let a = accel();
+        let mut sim = SimEngine::new(&a);
+        sim.enable_trace();
+        let x = BitVec::from_indices(8, &[0]);
+        let results = sim.run_datapoints(&[x]);
+        assert_eq!(results.len(), 1);
+        // 2 packets + sum + argmax + output register = 5 cycles.
+        let report = LatencyReport::from_results(&results, 0);
+        assert_eq!(report.initial_latency_cycles, 2 + 3);
+    }
+
+    #[test]
+    fn steady_state_ii_equals_packet_count() {
+        let a = accel();
+        let mut sim = SimEngine::new(&a);
+        let x = BitVec::from_indices(8, &[0]);
+        let inputs = vec![x; 10];
+        let results = sim.run_datapoints(&inputs);
+        assert_eq!(results.len(), 10);
+        let report = LatencyReport::from_results(&results, 0);
+        assert!((report.steady_ii_cycles - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classification_matches_reference() {
+        let a = accel();
+        let mut sim = SimEngine::new(&a);
+        let xs = vec![
+            BitVec::from_indices(8, &[0]),
+            BitVec::from_indices(8, &[2, 4]),
+            BitVec::from_indices(8, &[1, 3]),
+        ];
+        let results = sim.run_datapoints(&xs);
+        for (x, r) in xs.iter().zip(&results) {
+            let sums = a.reference_class_sums(x);
+            let expect = argmax(&sums);
+            assert_eq!(r.winner, expect, "input {x}");
+        }
+    }
+
+    #[test]
+    fn stall_blocks_acceptance() {
+        let a = accel();
+        let mut sim = SimEngine::new(&a);
+        sim.queue_datapoint(&BitVec::from_indices(8, &[0]));
+        sim.set_stall(true);
+        for _ in 0..5 {
+            sim.step();
+        }
+        assert_eq!(sim.results().len(), 0);
+        assert_eq!(sim.monitor().records().len(), 0);
+        sim.set_stall(false);
+        sim.run_to_completion(100);
+        assert_eq!(sim.results().len(), 1);
+    }
+
+    #[test]
+    fn trace_records_pipeline_stages() {
+        let a = accel();
+        let mut sim = SimEngine::new(&a);
+        sim.enable_trace();
+        sim.run_datapoints(&[BitVec::from_indices(8, &[0])]);
+        let trace = sim.trace();
+        assert_eq!(trace[0].hcb_en, Some(0));
+        assert_eq!(trace[1].hcb_en, Some(1));
+        assert!(trace[2].sum_en);
+        assert!(trace[3].argmax_en);
+        assert!(trace[4].result_valid);
+    }
+
+    #[test]
+    fn throughput_formula() {
+        let report = LatencyReport {
+            initial_latency_cycles: 16,
+            steady_ii_cycles: 13.0,
+        };
+        // Paper's MNIST row: 13-packet II at 50 MHz → 3,846,153 inf/s,
+        // 0.32 µs initial latency.
+        assert!((report.throughput_inf_s(50.0) - 3_846_153.8).abs() < 10.0);
+        assert!((report.latency_us(50.0) - 0.32).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_sum_adds_one_cycle() {
+        let a = accel();
+        let mut sim = SimEngine::new(&a);
+        sim.set_pipelined_sum(true);
+        let x = BitVec::from_indices(8, &[0]);
+        let results = sim.run_datapoints(&[x.clone(), x.clone(), x]);
+        let report = LatencyReport::from_results(&results, 0);
+        // 2 packets + popcount stage + subtract stage + argmax + output.
+        assert_eq!(report.initial_latency_cycles, 2 + 4);
+        // Throughput (II) is unchanged: still bandwidth-bound.
+        assert!((report.steady_ii_cycles - 2.0).abs() < 1e-9);
+        // Classifications are unaffected, just later.
+        for r in &results {
+            assert_eq!(r.winner, 0);
+        }
+    }
+
+    #[test]
+    fn monitor_sees_all_packets() {
+        let a = accel();
+        let mut sim = SimEngine::new(&a);
+        sim.run_datapoints(&[BitVec::zeros(8), BitVec::zeros(8)]);
+        assert_eq!(sim.monitor().records().len(), 4);
+        assert_eq!(sim.monitor().datapoints(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Target device descriptions (Zynq-7000 family parts used in Table I).
+
+/// An FPGA/SoC target with the capacity figures the estimators need.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Device {
+    /// Marketing name, e.g. `"XC7Z020 (Pynq Z1)"`.
+    pub name: String,
+    /// Total 6-input LUTs.
+    pub luts: usize,
+    /// Total slice flip-flops.
+    pub registers: usize,
+    /// Total 36Kb BRAM blocks.
+    pub bram36: f64,
+    /// Static (device leakage) power in watts at nominal conditions.
+    pub static_power_w: f64,
+    /// Processing-system (ARM) active power in watts while streaming.
+    pub ps_power_w: f64,
+}
+
+impl Device {
+    /// Zynq XC7Z020 as on the Pynq Z1 — the board both MATADOR and the
+    /// re-run FINN designs use in the paper.
+    pub fn xc7z020() -> Device {
+        Device {
+            name: "XC7Z020 (Pynq Z1)".into(),
+            luts: 53_200,
+            registers: 106_400,
+            bram36: 140.0,
+            static_power_w: 0.135,
+            ps_power_w: 1.25,
+        }
+    }
+
+    /// Zynq XC7Z045 as on the ZC706 — the board the BNN-r/f reference
+    /// designs of [3] ran on at 200 MHz.
+    pub fn zc706() -> Device {
+        Device {
+            name: "XC7Z045 (ZC706)".into(),
+            luts: 218_600,
+            registers: 437_200,
+            bram36: 545.0,
+            static_power_w: 0.20,
+            ps_power_w: 1.25,
+        }
+    }
+
+    /// Utilization fraction for a LUT count.
+    pub fn lut_utilization(&self, used: usize) -> f64 {
+        used as f64 / self.luts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pynq_capacity_matches_datasheet() {
+        let d = Device::xc7z020();
+        assert_eq!(d.luts, 53_200);
+        assert_eq!(d.registers, 106_400);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let d = Device::xc7z020();
+        assert!((d.lut_utilization(5320) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zc706_is_larger() {
+        assert!(Device::zc706().luts > Device::xc7z020().luts);
+    }
+}

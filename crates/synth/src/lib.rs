@@ -1,0 +1,36 @@
+//! # matador-synth — synthesis, place-and-route and sign-off estimation
+//!
+//! The stand-in for the Xilinx Vivado flow the paper drives: a real K-LUT
+//! technology mapper over the clause DAG ([`mapper`]), closed-form
+//! resource models for the regular datapath ([`resources`]), a LUT-level
+//! static timing model ([`timing`]) and a power model calibrated against
+//! the paper's published XC7Z020 implementation reports ([`power`]).
+//!
+//! Because the mapper runs on the *same shared DAG* the logic optimizer
+//! produces, the LUT/register deltas between optimized and `DON'T TOUCH`
+//! builds (Fig 8) fall out of the algorithms rather than being asserted.
+//!
+//! ```
+//! use matador_logic::cube::{Cube, Lit};
+//! use matador_logic::dag::{LogicDag, Sharing};
+//! use matador_synth::mapper::map_dag;
+//!
+//! let cube = Cube::from_lits((0..6).map(Lit::pos));
+//! let dag = LogicDag::from_cubes(8, &[cube], Sharing::Enabled);
+//! let mapping = map_dag(&dag, 6);
+//! assert_eq!(mapping.lut_count(), 1); // a 6-cube is exactly one LUT6
+//! ```
+
+pub mod device;
+pub mod mapper;
+pub mod power;
+pub mod report;
+pub mod resources;
+pub mod timing;
+
+pub use device::Device;
+pub use mapper::{map_dag, LutMapping, MappedLut, LUT_K};
+pub use power::{PowerModel, PowerReport};
+pub use report::ImplementationReport;
+pub use resources::{estimate_design, ArchParams, HcbLogic, ResourceReport};
+pub use timing::{matador_paths, PathTiming, TimingModel};

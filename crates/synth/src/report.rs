@@ -1,0 +1,135 @@
+//! Combined implementation report — the Vivado-report-shaped artifact the
+//! flow hands back to the user after "synthesis".
+
+use crate::device::Device;
+use crate::power::PowerReport;
+use crate::resources::ResourceReport;
+use crate::timing::PathTiming;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything "implementation" produces for one design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImplementationReport {
+    /// Design name.
+    pub design: String,
+    /// Target device name.
+    pub device: String,
+    /// Resource utilization.
+    pub resources: ResourceReport,
+    /// Achievable clock in MHz.
+    pub fmax_mhz: f64,
+    /// Selected operating clock in MHz.
+    pub clock_mhz: f64,
+    /// Power at the operating clock.
+    pub power: PowerReport,
+    /// Characterized paths, critical first.
+    pub paths: Vec<PathTiming>,
+}
+
+impl ImplementationReport {
+    /// Whether the design meets timing at its operating clock.
+    pub fn meets_timing(&self) -> bool {
+        self.fmax_mhz + 1e-9 >= self.clock_mhz
+    }
+
+    /// LUT utilization fraction on `device`.
+    pub fn lut_utilization(&self, device: &Device) -> f64 {
+        device.lut_utilization(self.resources.luts())
+    }
+}
+
+impl fmt::Display for ImplementationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "implementation report: {} on {}", self.design, self.device)?;
+        writeln!(f, "  LUTs          : {:>8}", self.resources.luts())?;
+        writeln!(f, "    as logic    : {:>8}", self.resources.lut_logic)?;
+        writeln!(f, "    as memory   : {:>8}", self.resources.lut_mem)?;
+        writeln!(f, "  registers     : {:>8}", self.resources.registers)?;
+        writeln!(f, "  slices        : {:>8}", self.resources.slices)?;
+        writeln!(
+            f,
+            "  F7 / F8 mux   : {:>5} / {}",
+            self.resources.f7_mux, self.resources.f8_mux
+        )?;
+        writeln!(f, "  BRAM (36Kb)   : {:>8.1}", self.resources.bram)?;
+        writeln!(
+            f,
+            "  fmax / clock  : {:>6.1} / {:.1} MHz ({})",
+            self.fmax_mhz,
+            self.clock_mhz,
+            if self.meets_timing() { "met" } else { "VIOLATED" }
+        )?;
+        writeln!(
+            f,
+            "  power         : {:.3} W total ({:.3} W dynamic)",
+            self.power.total_w(),
+            self.power.dynamic_w()
+        )?;
+        for p in &self.paths {
+            writeln!(f, "    path {:<18} {:>6.2} ns", p.name, p.delay_ns)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerModel;
+    use crate::resources::ResourceReport;
+    use crate::timing::TimingModel;
+
+    fn sample() -> ImplementationReport {
+        let resources = ResourceReport {
+            lut_logic: 1000,
+            lut_mem: 185,
+            registers: 2000,
+            slices: 600,
+            f7_mux: 5,
+            f8_mux: 0,
+            bram: 3.0,
+        };
+        let device = Device::xc7z020();
+        let paths = vec![PathTiming {
+            name: "hcb clause cone".into(),
+            delay_ns: 9.0,
+        }];
+        let model = TimingModel::default();
+        let fmax = model.fmax_mhz(&paths);
+        let power = PowerModel::default().estimate(&device, &resources, 50.0);
+        ImplementationReport {
+            design: "unit".into(),
+            device: device.name.clone(),
+            resources,
+            fmax_mhz: fmax,
+            clock_mhz: 50.0,
+            power,
+            paths,
+        }
+    }
+
+    #[test]
+    fn timing_check() {
+        let mut r = sample();
+        assert!(r.meets_timing());
+        r.clock_mhz = 500.0;
+        assert!(!r.meets_timing());
+    }
+
+    #[test]
+    fn display_contains_key_rows() {
+        let text = sample().to_string();
+        assert!(text.contains("LUTs"));
+        assert!(text.contains("BRAM"));
+        assert!(text.contains("met"));
+        assert!(text.contains("hcb clause cone"));
+    }
+
+    #[test]
+    fn utilization_against_device() {
+        let r = sample();
+        let util = r.lut_utilization(&Device::xc7z020());
+        assert!(util > 0.0 && util < 0.1);
+    }
+}

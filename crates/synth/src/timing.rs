@@ -1,0 +1,157 @@
+//! Static timing estimation: LUT-level depth → achievable clock.
+//!
+//! The paper runs every MATADOR design "at optimum frequencies per design
+//! between 50 MHz and 65 MHz"; the binding paths are the HCB clause cones,
+//! the unpipelined class-sum adders and the argmax tree. This model uses
+//! generic 7-series -1 speed-grade constants.
+
+use serde::{Deserialize, Serialize};
+
+/// Delay constants of the timing model (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Clock-to-Q plus setup overhead per register-to-register path.
+    pub overhead_ns: f64,
+    /// LUT6 cell delay.
+    pub lut_ns: f64,
+    /// Average routing delay per LUT level.
+    pub net_ns: f64,
+    /// Carry-chain delay per bit (adders/comparators).
+    pub carry_per_bit_ns: f64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            overhead_ns: 1.2,
+            lut_ns: 0.45,
+            net_ns: 1.10,
+            carry_per_bit_ns: 0.04,
+        }
+    }
+}
+
+/// A characterized register-to-register path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathTiming {
+    /// Human-readable path name (shows up in the report).
+    pub name: String,
+    /// Total path delay in nanoseconds.
+    pub delay_ns: f64,
+}
+
+impl TimingModel {
+    /// Delay of a pure LUT path of `levels` logic levels.
+    pub fn lut_path_ns(&self, levels: u32) -> f64 {
+        self.overhead_ns + levels as f64 * (self.lut_ns + self.net_ns)
+    }
+
+    /// Delay of an adder-tree path: `levels` LUT stages plus a final
+    /// `width`-bit carry chain.
+    pub fn adder_path_ns(&self, levels: u32, width: usize) -> f64 {
+        self.lut_path_ns(levels) + width as f64 * self.carry_per_bit_ns
+    }
+
+    /// Achievable frequency for a set of paths, in MHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty.
+    pub fn fmax_mhz(&self, paths: &[PathTiming]) -> f64 {
+        let critical = paths
+            .iter()
+            .map(|p| p.delay_ns)
+            .fold(f64::MIN, f64::max);
+        assert!(critical > 0.0, "no timing paths supplied");
+        1000.0 / critical
+    }
+
+    /// The critical path of a set.
+    pub fn critical_path<'a>(&self, paths: &'a [PathTiming]) -> &'a PathTiming {
+        paths
+            .iter()
+            .max_by(|a, b| a.delay_ns.partial_cmp(&b.delay_ns).expect("finite delays"))
+            .expect("no timing paths supplied")
+    }
+}
+
+/// Builds the three characteristic paths of a MATADOR design.
+///
+/// * HCB: deepest clause cone (`hcb_depth` LUT levels + chain AND),
+/// * class sum: popcount tree of `clauses_per_class/2` votes + subtract,
+/// * argmax: `log2(padded)` comparator levels of `sum_width` bits.
+pub fn matador_paths(
+    model: &TimingModel,
+    hcb_depth: u32,
+    clauses_per_class: usize,
+    classes: usize,
+    sum_width: usize,
+) -> Vec<PathTiming> {
+    let half = (clauses_per_class / 2).max(1);
+    // Compressor-tree depth: 6-bit groups per level.
+    let popcount_levels = (half as f64).log(6.0).ceil().max(1.0) as u32;
+    let padded = classes.max(2).next_power_of_two();
+    let argmax_levels = (usize::BITS - (padded - 1).leading_zeros()).max(1);
+    vec![
+        PathTiming {
+            name: "hcb clause cone".into(),
+            delay_ns: model.lut_path_ns(hcb_depth + 1),
+        },
+        PathTiming {
+            name: "class sum".into(),
+            delay_ns: model.adder_path_ns(popcount_levels, sum_width),
+        },
+        PathTiming {
+            name: "argmax tree".into(),
+            delay_ns: model.adder_path_ns(argmax_levels, sum_width),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deeper_paths_are_slower() {
+        let m = TimingModel::default();
+        assert!(m.lut_path_ns(6) > m.lut_path_ns(2));
+    }
+
+    #[test]
+    fn mnist_like_design_lands_in_paper_band() {
+        // MNIST: HCB depth ~2–3, 200 clauses/class, 10 classes, 8-bit sums.
+        let m = TimingModel::default();
+        let paths = matador_paths(&m, 3, 200, 10, 8);
+        let fmax = m.fmax_mhz(&paths);
+        assert!(
+            (45.0..150.0).contains(&fmax),
+            "fmax {fmax} MHz outside plausible band"
+        );
+        // Designs are clocked at 50–65 MHz in the paper; the model must
+        // comfortably admit 50 MHz.
+        assert!(fmax >= 50.0);
+    }
+
+    #[test]
+    fn critical_path_identified() {
+        let m = TimingModel::default();
+        let paths = matador_paths(&m, 12, 1000, 2, 11);
+        let crit = m.critical_path(&paths);
+        assert_eq!(crit.name, "hcb clause cone");
+    }
+
+    #[test]
+    fn class_sum_dominates_for_huge_clause_budgets() {
+        let m = TimingModel::default();
+        let paths = matador_paths(&m, 1, 1000, 2, 11);
+        let crit = m.critical_path(&paths);
+        assert_eq!(crit.name, "class sum");
+    }
+
+    #[test]
+    #[should_panic(expected = "no timing paths")]
+    fn fmax_requires_paths() {
+        TimingModel::default().fmax_mhz(&[]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Booleanization of raw (integer / real-valued) features.
+//!
+//! The TM consumes boolean literals, so raw sensor or pixel data must be
+//! booleanized before training (the paper's pipeline does this before the
+//! "Tsetlin Machine Inference" box of Fig 3). Two standard encoders are
+//! provided: a single per-feature threshold and a thermometer encoder over
+//! per-feature quantile cut points (the REDRESS-style encoding the authors
+//! use for larger datasets).
+
+use crate::bits::BitVec;
+use std::fmt;
+
+/// Error returned when an encoder is applied to data of the wrong width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeWidthError {
+    expected: usize,
+    got: usize,
+}
+
+impl fmt::Display for EncodeWidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "encoder fitted for {} features but input has {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for EncodeWidthError {}
+
+/// Single-threshold booleanizer: bit `k` = `x_k > threshold_k`.
+///
+/// # Examples
+///
+/// ```
+/// use tsetlin::booleanize::ThresholdEncoder;
+///
+/// let enc = ThresholdEncoder::fit_mean(&[vec![0.0, 10.0], vec![2.0, 20.0]]);
+/// let bits = enc.encode(&[3.0, 5.0])?;
+/// assert!(bits.get(0));   // 3.0 > mean(0,2)=1
+/// assert!(!bits.get(1));  // 5.0 < mean(10,20)=15
+/// # Ok::<(), tsetlin::booleanize::EncodeWidthError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThresholdEncoder {
+    thresholds: Vec<f64>,
+}
+
+impl ThresholdEncoder {
+    /// Creates an encoder from explicit per-feature thresholds.
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        ThresholdEncoder { thresholds }
+    }
+
+    /// Fits per-feature thresholds to the mean of `data` (rows = samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or rows are ragged.
+    pub fn fit_mean(data: &[Vec<f64>]) -> Self {
+        assert!(!data.is_empty(), "cannot fit on empty data");
+        let width = data[0].len();
+        let mut sums = vec![0.0; width];
+        for row in data {
+            assert_eq!(row.len(), width, "ragged data");
+            for (s, v) in sums.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        let n = data.len() as f64;
+        ThresholdEncoder {
+            thresholds: sums.into_iter().map(|s| s / n).collect(),
+        }
+    }
+
+    /// Number of raw input features.
+    pub fn num_features(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// Output width in bits (equal to the feature count).
+    pub fn output_bits(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// Encodes one raw sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeWidthError`] on width mismatch.
+    pub fn encode(&self, raw: &[f64]) -> Result<BitVec, EncodeWidthError> {
+        if raw.len() != self.thresholds.len() {
+            return Err(EncodeWidthError {
+                expected: self.thresholds.len(),
+                got: raw.len(),
+            });
+        }
+        Ok(raw
+            .iter()
+            .zip(&self.thresholds)
+            .map(|(v, t)| v > t)
+            .collect())
+    }
+}
+
+/// Thermometer booleanizer: each feature expands to `levels` bits where bit
+/// `l` is set iff the value exceeds the feature's `l`-th quantile cut.
+///
+/// Thermometer codes are monotone (`0011`, never `0101`), which the TM's
+/// conjunctive clauses exploit: a clause including thermometer bit `l`
+/// expresses `x ≥ cut_l` directly.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThermometerEncoder {
+    /// `cuts[feature][level]`, ascending per feature.
+    cuts: Vec<Vec<f64>>,
+}
+
+impl ThermometerEncoder {
+    /// Fits `levels` quantile cut points per feature from `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, rows are ragged, or `levels == 0`.
+    pub fn fit(data: &[Vec<f64>], levels: usize) -> Self {
+        assert!(!data.is_empty(), "cannot fit on empty data");
+        assert!(levels > 0, "levels must be ≥ 1");
+        let width = data[0].len();
+        let mut cuts = Vec::with_capacity(width);
+        for f in 0..width {
+            let mut column: Vec<f64> = data
+                .iter()
+                .map(|row| {
+                    assert_eq!(row.len(), width, "ragged data");
+                    row[f]
+                })
+                .collect();
+            column.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN data"));
+            let feature_cuts = (1..=levels)
+                .map(|l| {
+                    let q = l as f64 / (levels + 1) as f64;
+                    let idx = ((column.len() - 1) as f64 * q).round() as usize;
+                    column[idx]
+                })
+                .collect();
+            cuts.push(feature_cuts);
+        }
+        ThermometerEncoder { cuts }
+    }
+
+    /// Number of raw input features.
+    pub fn num_features(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Thermometer levels per feature.
+    pub fn levels(&self) -> usize {
+        self.cuts.first().map_or(0, Vec::len)
+    }
+
+    /// Output width in bits: `features × levels`.
+    pub fn output_bits(&self) -> usize {
+        self.num_features() * self.levels()
+    }
+
+    /// Encodes one raw sample; feature `f` occupies bits
+    /// `[f*levels, (f+1)*levels)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeWidthError`] on width mismatch.
+    pub fn encode(&self, raw: &[f64]) -> Result<BitVec, EncodeWidthError> {
+        if raw.len() != self.cuts.len() {
+            return Err(EncodeWidthError {
+                expected: self.cuts.len(),
+                got: raw.len(),
+            });
+        }
+        let levels = self.levels();
+        let mut out = BitVec::zeros(self.output_bits());
+        for (f, (v, cuts)) in raw.iter().zip(&self.cuts).enumerate() {
+            for (l, cut) in cuts.iter().enumerate() {
+                if v > cut {
+                    out.set(f * levels + l, true);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_encoder_mean_fit() {
+        let data = vec![vec![0.0, 0.0], vec![10.0, 100.0]];
+        let enc = ThresholdEncoder::fit_mean(&data);
+        let bits = enc.encode(&[6.0, 40.0]).expect("width ok");
+        assert!(bits.get(0));
+        assert!(!bits.get(1));
+    }
+
+    #[test]
+    fn threshold_encoder_rejects_bad_width() {
+        let enc = ThresholdEncoder::new(vec![0.5; 3]);
+        let err = enc.encode(&[1.0]).unwrap_err();
+        assert!(err.to_string().contains("3 features"));
+    }
+
+    #[test]
+    fn thermometer_is_monotone() {
+        let data: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let enc = ThermometerEncoder::fit(&data, 4);
+        for v in [0.0, 25.0, 55.0, 99.0] {
+            let bits = enc.encode(&[v]).expect("width ok");
+            // No 1 may follow a 0 within a feature's thermometer run.
+            let mut seen_zero = false;
+            for l in 0..4 {
+                // Thermometer order: bit l set means v > cut_l; cuts ascend,
+                // so set bits form a prefix.
+                if !bits.get(l) {
+                    seen_zero = true;
+                } else {
+                    assert!(!seen_zero, "non-monotone code for {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thermometer_levels_and_width() {
+        let data: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let enc = ThermometerEncoder::fit(&data, 3);
+        assert_eq!(enc.num_features(), 2);
+        assert_eq!(enc.levels(), 3);
+        assert_eq!(enc.output_bits(), 6);
+    }
+
+    #[test]
+    fn thermometer_extremes_saturate() {
+        let data: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let enc = ThermometerEncoder::fit(&data, 5);
+        assert_eq!(enc.encode(&[-1.0]).expect("ok").count_ones(), 0);
+        assert_eq!(enc.encode(&[1e9]).expect("ok").count_ones(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn fit_rejects_empty() {
+        ThresholdEncoder::fit_mean(&[]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Text serialization of trained models.
+//!
+//! This is the interchange format of the toolflow's *yellow path* (Fig 6):
+//! models trained outside MATADOR can be written in this format and imported
+//! straight into design generation. The format is line-oriented and
+//! diff-friendly:
+//!
+//! ```text
+//! MATADOR-TM v1
+//! features 784
+//! classes 10
+//! clauses_per_class 200
+//! c 0 0 pos 3,17,42 neg 100,205
+//! c 0 1 pos - neg 7
+//! ...
+//! end
+//! ```
+//!
+//! Clause lines may be omitted for empty clauses; `pos -` / `neg -` denote
+//! empty literal lists.
+
+use crate::bits::BitVec;
+use crate::model::{IncludeMask, TrainedModel};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Error produced when parsing a model file fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError {
+    line: usize,
+    message: String,
+}
+
+impl ParseModelError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseModelError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number where parsing failed (0 for stream-level errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseModelError {}
+
+/// Writes `model` in the MATADOR-TM v1 text format.
+///
+/// Empty clauses are skipped (they are reconstructed on read), which keeps
+/// files roughly proportional to the include count — i.e. tiny, thanks to
+/// the sparsity the paper leans on.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`. A `&mut Vec<u8>` or `&mut` of any other
+/// writer can be passed (writers are taken by value per `C-RW-VALUE`).
+pub fn write_model<W: Write>(model: &TrainedModel, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "MATADOR-TM v1")?;
+    writeln!(w, "features {}", model.num_features())?;
+    writeln!(w, "classes {}", model.num_classes())?;
+    writeln!(w, "clauses_per_class {}", model.clauses_per_class())?;
+    for (class, j, mask) in model.iter_clauses() {
+        if mask.num_includes() == 0 {
+            continue;
+        }
+        write!(w, "c {class} {j} pos ")?;
+        write_indices(&mut w, &mask.pos)?;
+        write!(w, " neg ")?;
+        write_indices(&mut w, &mask.neg)?;
+        writeln!(w)?;
+    }
+    writeln!(w, "end")?;
+    Ok(())
+}
+
+fn write_indices<W: Write>(w: &mut W, bits: &BitVec) -> std::io::Result<()> {
+    if bits.count_ones() == 0 {
+        return write!(w, "-");
+    }
+    let mut first = true;
+    for i in bits.iter_ones() {
+        if !first {
+            write!(w, ",")?;
+        }
+        write!(w, "{i}")?;
+        first = false;
+    }
+    Ok(())
+}
+
+/// Reads a model written by [`write_model`] (or produced by an external
+/// trainer following the same format).
+///
+/// # Errors
+///
+/// Returns [`ParseModelError`] on malformed headers, out-of-range indices,
+/// duplicate clause lines or a missing `end` marker.
+pub fn read_model<R: BufRead>(r: R) -> Result<TrainedModel, ParseModelError> {
+    let mut lines = r.lines().enumerate();
+    let mut next_line = |expect: &str| -> Result<(usize, String), ParseModelError> {
+        match lines.next() {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(ParseModelError::new(i + 1, format!("io error: {e}"))),
+            None => Err(ParseModelError::new(0, format!("unexpected eof, wanted {expect}"))),
+        }
+    };
+
+    let (ln, magic) = next_line("magic header")?;
+    if magic.trim() != "MATADOR-TM v1" {
+        return Err(ParseModelError::new(ln, "missing MATADOR-TM v1 header"));
+    }
+    let features = parse_header_line(next_line("features")?, "features")?;
+    let classes = parse_header_line(next_line("classes")?, "classes")?;
+    let clauses_per_class =
+        parse_header_line(next_line("clauses_per_class")?, "clauses_per_class")?;
+    if features == 0 || classes == 0 || clauses_per_class == 0 {
+        return Err(ParseModelError::new(0, "zero-sized model dimensions"));
+    }
+
+    let mut masks = vec![IncludeMask::empty(features); classes * clauses_per_class];
+    let mut seen = vec![false; masks.len()];
+    let mut ended = false;
+    for (i, line) in lines {
+        let ln = i + 1;
+        let line = line.map_err(|e| ParseModelError::new(ln, format!("io error: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "end" {
+            ended = true;
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("c") {
+            return Err(ParseModelError::new(ln, "expected clause line starting with 'c'"));
+        }
+        let class: usize = parse_tok(&mut parts, ln, "class index")?;
+        let j: usize = parse_tok(&mut parts, ln, "clause index")?;
+        if class >= classes || j >= clauses_per_class {
+            return Err(ParseModelError::new(ln, "clause coordinates out of range"));
+        }
+        let idx = class * clauses_per_class + j;
+        if seen[idx] {
+            return Err(ParseModelError::new(ln, "duplicate clause line"));
+        }
+        seen[idx] = true;
+        expect_tok(&mut parts, ln, "pos")?;
+        let pos = parse_index_list(&mut parts, ln, features)?;
+        expect_tok(&mut parts, ln, "neg")?;
+        let neg = parse_index_list(&mut parts, ln, features)?;
+        masks[idx] = IncludeMask { pos, neg };
+    }
+    if !ended {
+        return Err(ParseModelError::new(0, "missing end marker"));
+    }
+    Ok(TrainedModel::from_masks(
+        features,
+        classes,
+        clauses_per_class,
+        masks,
+    ))
+}
+
+fn parse_header_line(
+    (ln, line): (usize, String),
+    key: &str,
+) -> Result<usize, ParseModelError> {
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some(key) {
+        return Err(ParseModelError::new(ln, format!("expected '{key} <n>'")));
+    }
+    parse_tok(&mut parts, ln, key)
+}
+
+fn parse_tok<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    ln: usize,
+    what: &str,
+) -> Result<T, ParseModelError> {
+    parts
+        .next()
+        .ok_or_else(|| ParseModelError::new(ln, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ParseModelError::new(ln, format!("unparseable {what}")))
+}
+
+fn expect_tok<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    ln: usize,
+    tok: &str,
+) -> Result<(), ParseModelError> {
+    if parts.next() == Some(tok) {
+        Ok(())
+    } else {
+        Err(ParseModelError::new(ln, format!("expected '{tok}'")))
+    }
+}
+
+fn parse_index_list<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    ln: usize,
+    features: usize,
+) -> Result<BitVec, ParseModelError> {
+    let tok = parts
+        .next()
+        .ok_or_else(|| ParseModelError::new(ln, "missing literal list"))?;
+    let mut bits = BitVec::zeros(features);
+    if tok == "-" {
+        return Ok(bits);
+    }
+    for piece in tok.split(',') {
+        let i: usize = piece
+            .parse()
+            .map_err(|_| ParseModelError::new(ln, format!("bad literal index '{piece}'")))?;
+        if i >= features {
+            return Err(ParseModelError::new(
+                ln,
+                format!("literal index {i} out of range (features {features})"),
+            ));
+        }
+        bits.set(i, true);
+    }
+    Ok(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TrainedModel;
+
+    fn sample_model() -> TrainedModel {
+        let f = 6;
+        let mk = |pos: &[usize], neg: &[usize]| IncludeMask {
+            pos: BitVec::from_indices(f, pos),
+            neg: BitVec::from_indices(f, neg),
+        };
+        TrainedModel::from_masks(
+            f,
+            2,
+            2,
+            vec![mk(&[0, 5], &[2]), mk(&[], &[]), mk(&[3], &[0, 1]), mk(&[2], &[])],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_model() {
+        let model = sample_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).expect("write");
+        let parsed = read_model(buf.as_slice()).expect("parse");
+        assert_eq!(parsed, model);
+    }
+
+    #[test]
+    fn empty_clauses_are_omitted_but_reconstructed() {
+        let model = sample_model();
+        let mut buf = Vec::new();
+        write_model(&model, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert_eq!(text.lines().filter(|l| l.starts_with("c ")).count(), 3);
+        let parsed = read_model(text.as_bytes()).expect("parse");
+        assert_eq!(parsed.clause(0, 1).num_includes(), 0);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_model("bogus\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        let text = "MATADOR-TM v1\nfeatures 4\nclasses 2\nclauses_per_class 2\nc 0 0 pos 9 neg -\nend\n";
+        let err = read_model(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line(), 5);
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_duplicate_clause() {
+        let text = "MATADOR-TM v1\nfeatures 4\nclasses 2\nclauses_per_class 2\nc 0 0 pos 1 neg -\nc 0 0 pos 2 neg -\nend\n";
+        let err = read_model(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_missing_end() {
+        let text = "MATADOR-TM v1\nfeatures 4\nclasses 2\nclauses_per_class 2\n";
+        let err = read_model(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("missing end"));
+    }
+
+    #[test]
+    fn tolerates_comments_and_blank_lines() {
+        let text = "MATADOR-TM v1\nfeatures 4\nclasses 2\nclauses_per_class 2\n\n# external trainer note\nc 1 1 pos 0 neg 3\nend\n";
+        let model = read_model(text.as_bytes()).expect("parse");
+        assert_eq!(model.clause(1, 1).num_includes(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_range_clause_coordinates() {
+        let text = "MATADOR-TM v1\nfeatures 4\nclasses 2\nclauses_per_class 2\nc 5 0 pos 1 neg -\nend\n";
+        assert!(read_model(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! The trained TM model: the frozen include/exclude boolean sequence that
+//! MATADOR translates into a combinational circuit.
+
+use crate::bits::BitVec;
+use crate::clause::Clause;
+use crate::params::TmParams;
+use crate::tm::{argmax, Polarity};
+use crate::Sample;
+
+/// The include decisions of one clause, packed per feature.
+///
+/// `pos` bit `k` set ⇒ literal `x_k` is ANDed into the clause;
+/// `neg` bit `k` set ⇒ literal `¬x_k` is ANDed in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct IncludeMask {
+    /// Included positive literals (one bit per feature).
+    pub pos: BitVec,
+    /// Included negated literals (one bit per feature).
+    pub neg: BitVec,
+}
+
+impl IncludeMask {
+    /// An empty mask over `features` inputs (constant-1 clause).
+    pub fn empty(features: usize) -> Self {
+        IncludeMask {
+            pos: BitVec::zeros(features),
+            neg: BitVec::zeros(features),
+        }
+    }
+
+    /// Number of included literals.
+    pub fn num_includes(&self) -> usize {
+        self.pos.count_ones() + self.neg.count_ones()
+    }
+
+    /// Evaluates the clause on input `x` / complement `x_neg`.
+    pub fn evaluate(&self, x: &BitVec, x_neg: &BitVec) -> bool {
+        self.pos.covered_by(x) && self.neg.covered_by(x_neg)
+    }
+
+    /// Restricts the mask to the feature window `[start, start+width)`,
+    /// re-indexed from zero — the partial clause owned by one HCB.
+    pub fn window(&self, start: usize, width: usize) -> IncludeMask {
+        IncludeMask {
+            pos: self.pos.slice(start, width),
+            neg: self.neg.slice(start, width),
+        }
+    }
+}
+
+/// A frozen multiclass TM model: per class, per clause, an [`IncludeMask`].
+///
+/// This is the exact artifact the MATADOR flow consumes — training detail
+/// (automaton states) is gone; only the boolean actions remain (Fig 2).
+///
+/// # Examples
+///
+/// ```
+/// use tsetlin::{MultiClassTm, TmParams};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = TmParams::builder(16, 2).clauses_per_class(4).build()?;
+/// let tm = MultiClassTm::new(params);
+/// let model = tm.to_model();
+/// assert_eq!(model.num_classes(), 2);
+/// assert_eq!(model.clauses_per_class(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainedModel {
+    features: usize,
+    classes: usize,
+    clauses_per_class: usize,
+    /// Row-major `[class][clause]`, flattened.
+    includes: Vec<IncludeMask>,
+}
+
+impl TrainedModel {
+    /// Builds a model directly from include masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `includes.len() != classes * clauses_per_class` or any
+    /// mask width differs from `features`.
+    pub fn from_masks(
+        features: usize,
+        classes: usize,
+        clauses_per_class: usize,
+        includes: Vec<IncludeMask>,
+    ) -> Self {
+        assert_eq!(
+            includes.len(),
+            classes * clauses_per_class,
+            "mask count mismatch"
+        );
+        for m in &includes {
+            assert_eq!(m.pos.len(), features, "mask width mismatch");
+            assert_eq!(m.neg.len(), features, "mask width mismatch");
+        }
+        TrainedModel {
+            features,
+            classes,
+            clauses_per_class,
+            includes,
+        }
+    }
+
+    pub(crate) fn from_clauses(params: &TmParams, clauses: &[Vec<Clause>]) -> Self {
+        let includes = clauses
+            .iter()
+            .flat_map(|class| {
+                class.iter().map(|c| IncludeMask {
+                    pos: c.include_pos().clone(),
+                    neg: c.include_neg().clone(),
+                })
+            })
+            .collect();
+        TrainedModel {
+            features: params.features(),
+            classes: params.classes(),
+            clauses_per_class: params.clauses_per_class(),
+            includes,
+        }
+    }
+
+    /// Number of boolean input features.
+    pub fn num_features(&self) -> usize {
+        self.features
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Clauses per class.
+    pub fn clauses_per_class(&self) -> usize {
+        self.clauses_per_class
+    }
+
+    /// Total clause count.
+    pub fn total_clauses(&self) -> usize {
+        self.includes.len()
+    }
+
+    /// The include mask of clause `j` of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn clause(&self, class: usize, j: usize) -> &IncludeMask {
+        assert!(class < self.classes, "class out of range");
+        assert!(j < self.clauses_per_class, "clause out of range");
+        &self.includes[class * self.clauses_per_class + j]
+    }
+
+    /// Iterates `(class, clause_index, mask)` in row-major order.
+    pub fn iter_clauses(&self) -> impl Iterator<Item = (usize, usize, &IncludeMask)> + '_ {
+        self.includes.iter().enumerate().map(move |(i, m)| {
+            (i / self.clauses_per_class, i % self.clauses_per_class, m)
+        })
+    }
+
+    /// Class sums on input `x` (empty clauses count as firing, matching the
+    /// hardware's `1'b1` partial-clause initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_features()`.
+    pub fn class_sums(&self, x: &BitVec) -> Vec<i32> {
+        assert_eq!(x.len(), self.features, "input width mismatch");
+        let x_neg = x.not();
+        (0..self.classes)
+            .map(|class| {
+                (0..self.clauses_per_class)
+                    .map(|j| {
+                        if self.clause(class, j).evaluate(x, &x_neg) {
+                            Polarity::of_index(j).vote()
+                        } else {
+                            0
+                        }
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Predicted class for `x` (lowest index wins ties).
+    pub fn predict(&self, x: &BitVec) -> usize {
+        argmax(&self.class_sums(x))
+    }
+
+    /// Fraction of `samples` classified correctly.
+    pub fn accuracy(&self, samples: &[Sample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|s| self.predict(&s.input) == s.label)
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    /// Total include count across all clauses.
+    pub fn total_includes(&self) -> usize {
+        self.includes.iter().map(IncludeMask::num_includes).sum()
+    }
+
+    /// Fraction of literal slots that are includes — the sparsity the paper
+    /// reports as "extremely high" (Section II).
+    pub fn include_density(&self) -> f64 {
+        let slots = self.total_clauses() * 2 * self.features;
+        if slots == 0 {
+            return 0.0;
+        }
+        self.total_includes() as f64 / slots as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_clause_model() -> TrainedModel {
+        // class 0: clause0 (+) = x0 & ¬x2 ; clause1 (−) = x3
+        // class 1: clause0 (+) = x2       ; clause1 (−) = empty
+        let f = 4;
+        let mk = |pos: &[usize], neg: &[usize]| IncludeMask {
+            pos: BitVec::from_indices(f, pos),
+            neg: BitVec::from_indices(f, neg),
+        };
+        TrainedModel::from_masks(
+            f,
+            2,
+            2,
+            vec![mk(&[0], &[2]), mk(&[3], &[]), mk(&[2], &[]), mk(&[], &[])],
+        )
+    }
+
+    #[test]
+    fn class_sums_respect_polarity_and_empty_clause() {
+        let m = two_clause_model();
+        let x = BitVec::from_indices(4, &[0]);
+        // class 0: clause0 fires (+1); clause1 silent. → +1
+        // class 1: clause0 silent; empty clause1 fires (−1). → −1
+        assert_eq!(m.class_sums(&x), vec![1, -1]);
+        assert_eq!(m.predict(&x), 0);
+    }
+
+    #[test]
+    fn window_restriction_reindexes() {
+        let m = two_clause_model();
+        let w = m.clause(0, 0).window(2, 2);
+        assert_eq!(w.pos.count_ones(), 0);
+        assert!(w.neg.get(0)); // ¬x2 → window bit 0
+    }
+
+    #[test]
+    fn include_statistics() {
+        let m = two_clause_model();
+        assert_eq!(m.total_includes(), 4);
+        let density = m.include_density();
+        assert!((density - 4.0 / (4.0 * 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_clauses_row_major() {
+        let m = two_clause_model();
+        let order: Vec<(usize, usize)> =
+            m.iter_clauses().map(|(c, j, _)| (c, j)).collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask count mismatch")]
+    fn from_masks_validates_count() {
+        TrainedModel::from_masks(4, 2, 2, vec![IncludeMask::empty(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn class_sums_validates_width() {
+        two_clause_model().class_sums(&BitVec::zeros(5));
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let m = two_clause_model();
+        let samples = vec![
+            Sample::new(BitVec::from_indices(4, &[0]), 0),
+            Sample::new(BitVec::from_indices(4, &[2]), 1),
+            Sample::new(BitVec::from_indices(4, &[2]), 0), // wrong on purpose
+        ];
+        let acc = m.accuracy(&samples);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Clause-budget design-space sweep.
+//!
+//! MATADOR's GUI walks the user through a small design-space exploration:
+//! the dominant knob is clauses-per-class, which trades accuracy against
+//! logic footprint (the paper cites MILEAGE [17] for automated clause
+//! search). This module provides the programmatic sweep behind that step.
+
+use crate::params::{InvalidParamsError, TmParams};
+use crate::sparsity::sparsity_report;
+use crate::tm::MultiClassTm;
+use crate::Sample;
+use rand::Rng;
+
+/// One point of a clause sweep.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepPoint {
+    /// Clauses per class used at this point.
+    pub clauses_per_class: usize,
+    /// Training-set accuracy after `epochs`.
+    pub train_accuracy: f64,
+    /// Held-out accuracy after `epochs`.
+    pub test_accuracy: f64,
+    /// Total includes of the trained model (proxy for logic cost).
+    pub includes: usize,
+    /// Include density of the trained model.
+    pub density: f64,
+}
+
+/// Trains one machine per clause budget and reports accuracy/footprint.
+///
+/// The same `base` hyperparameters (threshold, specificity, …) are reused
+/// at every point; only `clauses_per_class` varies.
+///
+/// # Errors
+///
+/// Returns [`InvalidParamsError`] if a budget in `budgets` is invalid
+/// (odd or < 2).
+pub fn sweep_clause_budgets<R: Rng + ?Sized>(
+    base: &TmParams,
+    budgets: &[usize],
+    train: &[Sample],
+    test: &[Sample],
+    epochs: usize,
+    rng: &mut R,
+) -> Result<Vec<SweepPoint>, InvalidParamsError> {
+    let mut out = Vec::with_capacity(budgets.len());
+    for &budget in budgets {
+        let params = TmParams::builder(base.features(), base.classes())
+            .clauses_per_class(budget)
+            .threshold(base.threshold())
+            .specificity(base.specificity())
+            .states_per_action(base.states_per_action())
+            .boost_true_positive(base.boost_true_positive())
+            .build()?;
+        let mut tm = MultiClassTm::new(params);
+        tm.fit(train, epochs, rng);
+        let model = tm.to_model();
+        let sparsity = sparsity_report(&model);
+        out.push(SweepPoint {
+            clauses_per_class: budget,
+            train_accuracy: tm.accuracy(train),
+            test_accuracy: tm.accuracy(test),
+            includes: sparsity.includes,
+            density: sparsity.density,
+        });
+    }
+    Ok(out)
+}
+
+/// Picks the sweep point with the best test accuracy, breaking ties toward
+/// the smaller clause budget (the resource-frugal choice).
+pub fn best_point(points: &[SweepPoint]) -> Option<&SweepPoint> {
+    points.iter().min_by(|a, b| {
+        b.test_accuracy
+            .partial_cmp(&a.test_accuracy)
+            .expect("accuracies are finite")
+            .then(a.clauses_per_class.cmp(&b.clauses_per_class))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitVec;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny_task() -> (Vec<Sample>, Vec<Sample>) {
+        let mut data = Vec::new();
+        for i in 0..24 {
+            let class = i % 2;
+            let bits = if class == 0 { [0usize, 1] } else { [4, 5] };
+            data.push(Sample::new(BitVec::from_indices(8, &bits), class));
+        }
+        let test = data.split_off(16);
+        (data, test)
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_budget() {
+        let (train, test) = tiny_task();
+        let base = TmParams::builder(8, 2)
+            .threshold(4)
+            .specificity(4.0)
+            .states_per_action(16)
+            .build()
+            .expect("valid");
+        let mut rng = SmallRng::seed_from_u64(2);
+        let points =
+            sweep_clause_budgets(&base, &[4, 8], &train, &test, 15, &mut rng).expect("sweep");
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].clauses_per_class, 4);
+        assert!(points.iter().all(|p| p.test_accuracy >= 0.5));
+    }
+
+    #[test]
+    fn sweep_rejects_odd_budget() {
+        let (train, test) = tiny_task();
+        let base = TmParams::builder(8, 2).build().expect("valid");
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(sweep_clause_budgets(&base, &[3], &train, &test, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn best_point_prefers_accuracy_then_small_budget() {
+        let mk = |c, acc| SweepPoint {
+            clauses_per_class: c,
+            train_accuracy: acc,
+            test_accuracy: acc,
+            includes: 0,
+            density: 0.0,
+        };
+        let pts = vec![mk(8, 0.9), mk(4, 0.9), mk(16, 0.8)];
+        let best = best_point(&pts).expect("non-empty");
+        assert_eq!(best.clauses_per_class, 4);
+        assert!(best_point(&[]).is_none());
+    }
+}

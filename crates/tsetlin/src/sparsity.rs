@@ -1,0 +1,234 @@
+//! Sparsity and logic-overlap analytics of trained models.
+//!
+//! Section II of the paper reports that trained TM models exhibit
+//! "extremely high sparsity in the occurrence of includes, and significant
+//! sharing of boolean expressions among the clauses within the class as
+//! well as among the classes" — the observation that makes the compact
+//! MATADOR designs possible (Fig 3). This module quantifies both effects
+//! for a given model and bandwidth partitioning.
+
+use crate::model::TrainedModel;
+use std::collections::HashMap;
+
+/// Whole-model sparsity summary.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SparsityReport {
+    /// Total literal slots (`clauses × 2 × features`).
+    pub literal_slots: usize,
+    /// Total include decisions.
+    pub includes: usize,
+    /// `includes / literal_slots`.
+    pub density: f64,
+    /// Clauses with no includes at all (constant-1 clauses).
+    pub empty_clauses: usize,
+    /// Minimum / mean / maximum includes over non-empty clauses.
+    pub includes_min: usize,
+    /// Mean includes over non-empty clauses.
+    pub includes_mean: f64,
+    /// Maximum includes over any clause.
+    pub includes_max: usize,
+}
+
+/// Per-window (per-HCB) expression-sharing statistics.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WindowSharing {
+    /// Window index (HCB position in the chain).
+    pub window: usize,
+    /// Feature range start.
+    pub start: usize,
+    /// Feature range width.
+    pub width: usize,
+    /// Partial clauses whose window restriction is non-trivial (≥1 include).
+    pub nontrivial: usize,
+    /// Distinct non-trivial partial-clause expressions.
+    pub distinct: usize,
+    /// Non-trivial partial clauses shared with at least one other clause.
+    pub shared: usize,
+    /// Distinct expressions that occur in more than one *class*.
+    pub cross_class: usize,
+}
+
+impl WindowSharing {
+    /// Sharing ratio: fraction of non-trivial partial clauses that reuse an
+    /// expression already instantiated by another clause.
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.nontrivial == 0 {
+            0.0
+        } else {
+            1.0 - self.distinct as f64 / self.nontrivial as f64
+        }
+    }
+}
+
+/// Computes the whole-model [`SparsityReport`].
+pub fn sparsity_report(model: &TrainedModel) -> SparsityReport {
+    let mut includes = 0usize;
+    let mut empty = 0usize;
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut nonempty = 0usize;
+    let mut nonempty_sum = 0usize;
+    for (_, _, mask) in model.iter_clauses() {
+        let k = mask.num_includes();
+        includes += k;
+        max = max.max(k);
+        if k == 0 {
+            empty += 1;
+        } else {
+            nonempty += 1;
+            nonempty_sum += k;
+            min = min.min(k);
+        }
+    }
+    let literal_slots = model.total_clauses() * 2 * model.num_features();
+    SparsityReport {
+        literal_slots,
+        includes,
+        density: if literal_slots == 0 {
+            0.0
+        } else {
+            includes as f64 / literal_slots as f64
+        },
+        empty_clauses: empty,
+        includes_min: if nonempty == 0 { 0 } else { min },
+        includes_mean: if nonempty == 0 {
+            0.0
+        } else {
+            nonempty_sum as f64 / nonempty as f64
+        },
+        includes_max: max,
+    }
+}
+
+/// Computes expression-sharing statistics per bandwidth window.
+///
+/// `window_bits` is the channel bandwidth `W`; windows tile the feature
+/// space exactly like the HCB partitioning (`ceil(features / W)` windows,
+/// last one zero-padded).
+///
+/// # Panics
+///
+/// Panics if `window_bits == 0`.
+pub fn window_sharing(model: &TrainedModel, window_bits: usize) -> Vec<WindowSharing> {
+    assert!(window_bits > 0, "window width must be positive");
+    let n = model.num_features();
+    let windows = n.div_ceil(window_bits);
+    let mut out = Vec::with_capacity(windows);
+    for w in 0..windows {
+        let start = w * window_bits;
+        // Key: (pos-window-words, neg-window-words); value: classes seen + count.
+        let mut table: HashMap<(Vec<u64>, Vec<u64>), (usize, Vec<usize>)> = HashMap::new();
+        let mut nontrivial = 0usize;
+        for (class, _, mask) in model.iter_clauses() {
+            let win = mask.window(start, window_bits);
+            if win.num_includes() == 0 {
+                continue;
+            }
+            nontrivial += 1;
+            let key = (win.pos.words().to_vec(), win.neg.words().to_vec());
+            let entry = table.entry(key).or_insert((0, Vec::new()));
+            entry.0 += 1;
+            if !entry.1.contains(&class) {
+                entry.1.push(class);
+            }
+        }
+        let distinct = table.len();
+        let shared = table
+            .values()
+            .filter(|(count, _)| *count > 1)
+            .map(|(count, _)| *count)
+            .sum::<usize>();
+        let cross_class = table.values().filter(|(_, cls)| cls.len() > 1).count();
+        out.push(WindowSharing {
+            window: w,
+            start,
+            width: window_bits.min(n - start),
+            nontrivial,
+            distinct,
+            shared,
+            cross_class,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitVec;
+    use crate::model::{IncludeMask, TrainedModel};
+
+    fn model_with_sharing() -> TrainedModel {
+        let f = 8;
+        let mk = |pos: &[usize], neg: &[usize]| IncludeMask {
+            pos: BitVec::from_indices(f, pos),
+            neg: BitVec::from_indices(f, neg),
+        };
+        // Window width 4 → windows [0..4) and [4..8).
+        // class0/clause0 and class1/clause0 share the same window-0 cube.
+        TrainedModel::from_masks(
+            f,
+            2,
+            2,
+            vec![
+                mk(&[0, 1], &[]),      // cube A in window 0
+                mk(&[], &[]),          // empty clause
+                mk(&[0, 1], &[6]),     // cube A in window 0 + cube in window 1
+                mk(&[5], &[]),         // window 1 only
+            ],
+        )
+    }
+
+    #[test]
+    fn sparsity_counts() {
+        let m = model_with_sharing();
+        let r = sparsity_report(&m);
+        assert_eq!(r.includes, 6);
+        assert_eq!(r.empty_clauses, 1);
+        assert_eq!(r.literal_slots, 4 * 16);
+        assert_eq!(r.includes_min, 1);
+        assert_eq!(r.includes_max, 3);
+        assert!((r.includes_mean - 2.0).abs() < 1e-12);
+        assert!((r.density - 6.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_sharing_detects_shared_cube() {
+        let m = model_with_sharing();
+        let ws = window_sharing(&m, 4);
+        assert_eq!(ws.len(), 2);
+        // Window 0: cubes from clause(0,0) and clause(1,0) are identical.
+        assert_eq!(ws[0].nontrivial, 2);
+        assert_eq!(ws[0].distinct, 1);
+        assert_eq!(ws[0].shared, 2);
+        assert_eq!(ws[0].cross_class, 1);
+        assert!((ws[0].sharing_ratio() - 0.5).abs() < 1e-12);
+        // Window 1: two different cubes.
+        assert_eq!(ws[1].nontrivial, 2);
+        assert_eq!(ws[1].distinct, 2);
+        assert_eq!(ws[1].shared, 0);
+    }
+
+    #[test]
+    fn window_partitioning_handles_padding() {
+        let m = model_with_sharing();
+        let ws = window_sharing(&m, 5); // 8 features → windows of 5 and 3
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[1].width, 3);
+    }
+
+    #[test]
+    fn empty_model_reports_zero_density() {
+        let m = TrainedModel::from_masks(4, 2, 2, vec![IncludeMask::empty(4); 4]);
+        let r = sparsity_report(&m);
+        assert_eq!(r.includes, 0);
+        assert_eq!(r.density, 0.0);
+        assert_eq!(r.empty_clauses, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width")]
+    fn window_sharing_rejects_zero_width() {
+        window_sharing(&model_with_sharing(), 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The multiclass Tsetlin Machine: clause voting, class sums and the
+//! Type I / Type II feedback schedule (Fig 1(a) of the paper).
+
+use crate::bits::BitVec;
+use crate::clause::Clause;
+use crate::model::TrainedModel;
+use crate::params::TmParams;
+use crate::Sample;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Polarity of a clause's vote. Clauses alternate polarity by index:
+/// even → positive, odd → negative (the paper's `[+1, -1]` alternation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Polarity {
+    /// Votes `+1` when the clause fires.
+    Positive,
+    /// Votes `-1` when the clause fires.
+    Negative,
+}
+
+impl Polarity {
+    /// Polarity assigned to clause index `j` within its class.
+    pub fn of_index(j: usize) -> Polarity {
+        if j % 2 == 0 {
+            Polarity::Positive
+        } else {
+            Polarity::Negative
+        }
+    }
+
+    /// The vote contribution when the clause fires.
+    pub fn vote(self) -> i32 {
+        match self {
+            Polarity::Positive => 1,
+            Polarity::Negative => -1,
+        }
+    }
+}
+
+/// A trainable multiclass Tsetlin Machine.
+///
+/// # Examples
+///
+/// ```
+/// use tsetlin::{MultiClassTm, Sample, TmParams};
+/// use tsetlin::bits::BitVec;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = TmParams::builder(4, 2).clauses_per_class(4).build()?;
+/// let mut tm = MultiClassTm::new(params);
+/// let data = vec![
+///     Sample::new(BitVec::from_indices(4, &[0, 1]), 0),
+///     Sample::new(BitVec::from_indices(4, &[2, 3]), 1),
+/// ];
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// tm.fit(&data, 20, &mut rng);
+/// assert_eq!(tm.predict(&data[0].input), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiClassTm {
+    params: TmParams,
+    /// `clauses[class][j]`.
+    clauses: Vec<Vec<Clause>>,
+}
+
+impl MultiClassTm {
+    /// Creates an untrained machine (all automata at the boundary exclude
+    /// state; every clause is the constant-1 empty clause).
+    pub fn new(params: TmParams) -> Self {
+        let clauses = (0..params.classes())
+            .map(|_| {
+                (0..params.clauses_per_class())
+                    .map(|_| Clause::new(params.features(), params.states_per_action()))
+                    .collect()
+            })
+            .collect();
+        MultiClassTm { params, clauses }
+    }
+
+    /// The hyperparameters this machine was built with.
+    pub fn params(&self) -> &TmParams {
+        &self.params
+    }
+
+    /// Borrow of the clauses of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class_clauses(&self, class: usize) -> &[Clause] {
+        &self.clauses[class]
+    }
+
+    /// Polarity-weighted vote total of `class` on input `x` (with
+    /// precomputed complement `x_neg`). Unclamped.
+    pub fn class_sum(&self, class: usize, x: &BitVec, x_neg: &BitVec) -> i32 {
+        self.clauses[class]
+            .iter()
+            .enumerate()
+            .map(|(j, c)| {
+                if c.evaluate(x, x_neg) {
+                    Polarity::of_index(j).vote()
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// All class sums for input `x`.
+    pub fn class_sums(&self, x: &BitVec) -> Vec<i32> {
+        let x_neg = x.not();
+        (0..self.params.classes())
+            .map(|c| self.class_sum(c, x, &x_neg))
+            .collect()
+    }
+
+    /// Predicted class (argmax of class sums; ties break to the lowest
+    /// index, matching the hardware comparison tree).
+    pub fn predict(&self, x: &BitVec) -> usize {
+        argmax(&self.class_sums(x))
+    }
+
+    /// One stochastic update on a single labelled sample: Type I feedback
+    /// toward the target class, Type II against one random other class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= classes` or the input width mismatches.
+    pub fn update<R: Rng + ?Sized>(&mut self, sample: &Sample, rng: &mut R) {
+        let classes = self.params.classes();
+        assert!(sample.label < classes, "label out of range");
+        assert_eq!(
+            sample.input.len(),
+            self.params.features(),
+            "input width mismatch"
+        );
+        let x = &sample.input;
+        let x_neg = x.not();
+        let t = self.params.threshold() as i32;
+
+        // Target class: raise its margin.
+        let sum = self.class_sum(sample.label, x, &x_neg).clamp(-t, t);
+        let p_update = (t - sum) as f64 / (2 * t) as f64;
+        self.feedback_class(sample.label, x, &x_neg, p_update, true, rng);
+
+        // One random negative class: suppress its margin.
+        if classes > 1 {
+            let mut negative = rng.gen_range(0..classes - 1);
+            if negative >= sample.label {
+                negative += 1;
+            }
+            let sum = self.class_sum(negative, x, &x_neg).clamp(-t, t);
+            let p_update = (t + sum) as f64 / (2 * t) as f64;
+            self.feedback_class(negative, x, &x_neg, p_update, false, rng);
+        }
+    }
+
+    /// Runs `epochs` passes over `samples` (shuffled each epoch).
+    pub fn fit<R: Rng + ?Sized>(&mut self, samples: &[Sample], epochs: usize, rng: &mut R) {
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            for &i in &order {
+                self.update(&samples[i], rng);
+            }
+        }
+    }
+
+    /// Fraction of `samples` classified correctly.
+    pub fn accuracy(&self, samples: &[Sample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|s| self.predict(&s.input) == s.label)
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    /// Snapshots the learned include/exclude decisions as a
+    /// [`TrainedModel`] — the boolean sequence MATADOR lowers to RTL.
+    pub fn to_model(&self) -> TrainedModel {
+        TrainedModel::from_clauses(&self.params, &self.clauses)
+    }
+
+    fn feedback_class<R: Rng + ?Sized>(
+        &mut self,
+        class: usize,
+        x: &BitVec,
+        x_neg: &BitVec,
+        p_update: f64,
+        is_target: bool,
+        rng: &mut R,
+    ) {
+        let s = self.params.specificity();
+        let boost = self.params.boost_true_positive();
+        for (j, clause) in self.clauses[class].iter_mut().enumerate() {
+            if rng.gen::<f64>() >= p_update {
+                continue;
+            }
+            let output = clause.evaluate(x, x_neg);
+            let type_i = match (is_target, Polarity::of_index(j)) {
+                (true, Polarity::Positive) | (false, Polarity::Negative) => true,
+                (true, Polarity::Negative) | (false, Polarity::Positive) => false,
+            };
+            if type_i {
+                clause.type_i_feedback(x, output, s, boost, rng);
+            } else {
+                clause.type_ii_feedback(x, output);
+            }
+        }
+    }
+}
+
+/// Index of the maximum element, lowest index on ties — the same
+/// tie-breaking rule as the generated argmax comparison tree.
+pub fn argmax(sums: &[i32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in sums.iter().enumerate().skip(1) {
+        if v > sums[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy_params() -> TmParams {
+        TmParams::builder(8, 2)
+            .clauses_per_class(20)
+            .threshold(8)
+            .specificity(3.0)
+            .states_per_action(32)
+            .build()
+            .expect("valid params")
+    }
+
+    fn toy_data() -> Vec<Sample> {
+        // Class 0: low half set; class 1: high half set.
+        let mut data = Vec::new();
+        for v in 0..16u32 {
+            let mut low = vec![false; 8];
+            let mut high = vec![false; 8];
+            for b in 0..4 {
+                low[b] = (v >> b) & 1 == 1 || b == 0;
+                high[4 + b] = (v >> b) & 1 == 1 || b == 0;
+            }
+            data.push(Sample::new(BitVec::from_bools(low), 0));
+            data.push(Sample::new(BitVec::from_bools(high), 1));
+        }
+        data
+    }
+
+    #[test]
+    fn untrained_machine_votes_cancel() {
+        let tm = MultiClassTm::new(toy_params());
+        let x = BitVec::from_indices(8, &[0, 1]);
+        // Every clause is empty → outputs 1; polarity alternation cancels.
+        assert_eq!(tm.class_sums(&x), vec![0, 0]);
+    }
+
+    #[test]
+    fn learns_linearly_separable_toy_task() {
+        let mut tm = MultiClassTm::new(toy_params());
+        let data = toy_data();
+        let mut rng = SmallRng::seed_from_u64(99);
+        tm.fit(&data, 80, &mut rng);
+        let acc = tm.accuracy(&data);
+        assert!(acc >= 0.95, "accuracy {acc} below 0.95");
+    }
+
+    #[test]
+    fn polarity_alternates_by_index() {
+        assert_eq!(Polarity::of_index(0), Polarity::Positive);
+        assert_eq!(Polarity::of_index(1), Polarity::Negative);
+        assert_eq!(Polarity::of_index(7).vote(), -1);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[3, 5, 5, 1]), 1);
+        assert_eq!(argmax(&[0, 0]), 0);
+        assert_eq!(argmax(&[-4]), 0);
+    }
+
+    #[test]
+    fn model_snapshot_agrees_with_machine() {
+        let mut tm = MultiClassTm::new(toy_params());
+        let data = toy_data();
+        let mut rng = SmallRng::seed_from_u64(5);
+        tm.fit(&data, 15, &mut rng);
+        let model = tm.to_model();
+        for s in &data {
+            assert_eq!(
+                model.class_sums(&s.input),
+                tm.class_sums(&s.input),
+                "model/machine divergence"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn update_rejects_bad_label() {
+        let mut tm = MultiClassTm::new(toy_params());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let s = Sample::new(BitVec::zeros(8), 9);
+        tm.update(&s, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn update_rejects_bad_width() {
+        let mut tm = MultiClassTm::new(toy_params());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let s = Sample::new(BitVec::zeros(4), 0);
+        tm.update(&s, &mut rng);
+    }
+
+    #[test]
+    fn accuracy_of_empty_set_is_zero() {
+        let tm = MultiClassTm::new(toy_params());
+        assert_eq!(tm.accuracy(&[]), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Image classification with design-space exploration: sweeps the clause
+//! budget on a synthetic MNIST workload (the paper's dominant tuning knob,
+//! cf. MILEAGE [17]), picks the budget the GUI would recommend, then shows
+//! the logic-sharing statistics behind the chosen design (Fig 3).
+//!
+//! ```text
+//! cargo run --example image_classification --release
+//! ```
+
+use matador::config::MatadorConfig;
+use matador::flow::{MatadorFlow, TrainSpec};
+use matador_datasets::{generate, DatasetKind, SplitSizes};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tsetlin::params::TmParams;
+use tsetlin::search::{best_point, sweep_clause_budgets};
+use tsetlin::sparsity::sparsity_report;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sizes = SplitSizes {
+        train: 300,
+        test: 150,
+    };
+    let data = generate(DatasetKind::Mnist, sizes, 21);
+
+    // 1. Design-space exploration: accuracy vs clause budget.
+    let base = TmParams::builder(data.features(), data.classes())
+        .threshold(15)
+        .specificity(5.0)
+        .build()?;
+    let mut rng = SmallRng::seed_from_u64(1);
+    let budgets = [20, 50, 100];
+    println!("clause-budget sweep (synthetic MNIST, {} train):", data.train.len());
+    let points = sweep_clause_budgets(&base, &budgets, &data.train, &data.test, 3, &mut rng)?;
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>9}",
+        "clauses", "train acc", "test acc", "includes", "density"
+    );
+    for p in &points {
+        println!(
+            "{:>8} {:>9.1}% {:>9.1}% {:>10} {:>8.3}%",
+            p.clauses_per_class,
+            p.train_accuracy * 100.0,
+            p.test_accuracy * 100.0,
+            p.includes,
+            p.density * 100.0
+        );
+    }
+    let chosen = best_point(&points).expect("non-empty sweep");
+    println!(
+        "\nchosen budget: {} clauses/class ({:.1}% test accuracy)",
+        chosen.clauses_per_class,
+        chosen.test_accuracy * 100.0
+    );
+
+    // 2. Generate the accelerator at the chosen budget.
+    let params = TmParams::builder(data.features(), data.classes())
+        .clauses_per_class(chosen.clauses_per_class)
+        .threshold(15)
+        .specificity(5.0)
+        .build()?;
+    let config = MatadorConfig::builder()
+        .design_name("mnist_accel")
+        .build()?;
+    let outcome = MatadorFlow::new(config).verify_limit(Some(32)).run(
+        TrainSpec {
+            params,
+            epochs: 4,
+            seed: 9,
+        },
+        &data.train,
+        &data.test,
+    );
+
+    // 3. The sparsity that makes the design compact (Fig 3 / Section II).
+    let sparsity = sparsity_report(&outcome.model);
+    println!(
+        "\nmodel sparsity: {} includes in {} slots ({:.2}%), {} empty clauses",
+        sparsity.includes,
+        sparsity.literal_slots,
+        sparsity.density * 100.0,
+        sparsity.empty_clauses
+    );
+    println!("\n{}", outcome.implementation);
+    println!(
+        "verified: {} | {:.0} inf/s | {:.1}% accuracy",
+        if outcome.verification.passed() { "PASS" } else { "FAIL" },
+        outcome.throughput_inf_s(),
+        outcome.test_accuracy * 100.0
+    );
+    assert!(outcome.verification.passed());
+    Ok(())
+}

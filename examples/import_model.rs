@@ -1,0 +1,62 @@
+//! The external-model import path (Fig 6, yellow flow): a model trained
+//! *outside* MATADOR is written in the portable `MATADOR-TM v1` text
+//! format, imported, and pushed through the hardware half of the flow —
+//! plus a scripted run of the design wizard (the GUI stand-in).
+//!
+//! ```text
+//! cargo run --example import_model --release
+//! ```
+
+use matador::flow::MatadorFlow;
+use matador::wizard::Wizard;
+use matador_datasets::{generate, DatasetKind, SplitSizes};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tsetlin::io::{read_model, write_model};
+use tsetlin::MultiClassTm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = generate(DatasetKind::Iris, SplitSizes::QUICK, 5);
+
+    // --- "External" trainer: any tool that can emit the text format. ---
+    let wizard = Wizard::new(data.features(), data.classes());
+    println!("wizard questions (the GUI's design-flow dialog):");
+    for q in wizard.questions() {
+        println!("  {} [{}]", q.prompt, q.default);
+    }
+    // Scripted answers — an interactive driver would read stdin here.
+    let answers = ["iris_accel", "40", "5", "4.0", "30", "8", "13"]
+        .map(String::from)
+        .to_vec();
+    let outcome_cfg = wizard.complete(answers)?;
+
+    let mut tm = MultiClassTm::new(outcome_cfg.train.params.clone());
+    let mut rng = SmallRng::seed_from_u64(outcome_cfg.train.seed);
+    tm.fit(&data.train, outcome_cfg.train.epochs, &mut rng);
+
+    // Serialize to the interchange format…
+    let mut text = Vec::new();
+    write_model(&tm.to_model(), &mut text)?;
+    println!(
+        "\nexported model: {} bytes, {} clause lines",
+        text.len(),
+        String::from_utf8_lossy(&text)
+            .lines()
+            .filter(|l| l.starts_with("c "))
+            .count()
+    );
+
+    // --- MATADOR side: import and run the hardware flow. ---
+    let model = read_model(text.as_slice())?;
+    let outcome = MatadorFlow::new(outcome_cfg.config).run_with_model(model, &data.test);
+
+    println!("\n{}", outcome.implementation);
+    println!(
+        "imported-model accuracy {:.1}% | verified: {} | {:.0} inf/s",
+        outcome.test_accuracy * 100.0,
+        if outcome.verification.passed() { "PASS" } else { "FAIL" },
+        outcome.throughput_inf_s()
+    );
+    assert!(outcome.verification.passed());
+    Ok(())
+}

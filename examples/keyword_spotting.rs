@@ -1,0 +1,60 @@
+//! Keyword spotting at the edge: the paper's KWS-6 application (six
+//! keywords: yes/no/up/down/left/right) end-to-end — train, generate the
+//! 6-packet accelerator, verify, and deploy the artifact set to disk.
+//!
+//! ```text
+//! cargo run --example keyword_spotting --release [-- <output-dir>]
+//! ```
+
+use matador::config::MatadorConfig;
+use matador::deploy::deploy;
+use matador::flow::{MatadorFlow, TrainSpec};
+use matador_datasets::{generate, DatasetKind, SplitSizes};
+use tsetlin::params::TmParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/kws6_deploy".into());
+
+    let data = generate(DatasetKind::Kws6, SplitSizes::QUICK, 11);
+    println!(
+        "KWS-6: {} booleanized MFCC-style features → {} AXI packets at W=64",
+        data.features(),
+        data.features().div_ceil(64)
+    );
+
+    let params = TmParams::builder(data.features(), data.classes())
+        .clauses_per_class(100) // smaller than Table II's 300 to keep the
+        .threshold(15) // example fast; bump for accuracy parity
+        .specificity(5.0)
+        .build()?;
+    let config = MatadorConfig::builder().design_name("kws6_accel").build()?;
+    let outcome = MatadorFlow::new(config).run(
+        TrainSpec {
+            params,
+            epochs: 6,
+            seed: 3,
+        },
+        &data.train,
+        &data.test,
+    );
+
+    println!("\n{}", outcome.implementation);
+    println!(
+        "accuracy {:.1}%  |  {:.0} inf/s  |  {:.2} µs latency  |  verified: {}",
+        outcome.test_accuracy * 100.0,
+        outcome.throughput_inf_s(),
+        outcome.latency_us(),
+        if outcome.verification.passed() { "PASS" } else { "FAIL" }
+    );
+
+    // Ship it: Verilog + testbench + model + host runner + manifest.
+    let manifest = deploy(&outcome, &data.test, &out_dir)?;
+    println!("\ndeployed {} files to {}:", manifest.files.len(), manifest.dir.display());
+    for f in &manifest.files {
+        println!("  {f}");
+    }
+    assert!(outcome.verification.passed());
+    Ok(())
+}

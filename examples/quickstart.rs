@@ -1,0 +1,76 @@
+//! Quickstart: train a Tsetlin Machine on a small synthetic task, generate
+//! the SoC accelerator, "implement" it and print the reports — the whole
+//! MATADOR flow in ~40 lines.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use matador::config::MatadorConfig;
+use matador::flow::{MatadorFlow, TrainSpec};
+use matador_datasets::{generate, DatasetKind, SplitSizes};
+use tsetlin::params::TmParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A workload: the 2-D Noisy XOR task of the early TM-FPGA papers
+    //    (12 boolean features, 40% training-label noise, clean test set).
+    let data = generate(DatasetKind::NoisyXor, SplitSizes::QUICK, 42);
+    println!(
+        "dataset: {} — {} train / {} test, {} features",
+        DatasetKind::NoisyXor,
+        data.train.len(),
+        data.test.len(),
+        data.features()
+    );
+
+    // 2. Hyperparameters (the only knobs a MATADOR user tunes).
+    let params = TmParams::builder(data.features(), data.classes())
+        .clauses_per_class(20)
+        .threshold(5)
+        .specificity(4.0)
+        .build()?;
+
+    // 3. Run the flow: train → partition into HCBs → implement → verify.
+    let config = MatadorConfig::builder()
+        .design_name("xor_accel")
+        .bus_width(8) // 12 features → 2 packets on an 8-bit bus
+        .build()?;
+    let outcome = MatadorFlow::new(config).run(
+        TrainSpec {
+            params,
+            epochs: 60,
+            seed: 7,
+        },
+        &data.train,
+        &data.test,
+    );
+
+    // 4. What you get back.
+    println!("\n{}", outcome.implementation);
+    println!(
+        "verification : {} ({} gate vectors, {} streamed datapoints)",
+        if outcome.verification.passed() { "PASS" } else { "FAIL" },
+        outcome.verification.gate_vectors,
+        outcome.verification.system_vectors
+    );
+    println!(
+        "test accuracy: {:.1}% (despite 40% training-label noise)",
+        outcome.test_accuracy * 100.0
+    );
+    println!(
+        "latency      : {} cycles = {:.3} µs @ {:.0} MHz",
+        outcome.latency.initial_latency_cycles,
+        outcome.latency_us(),
+        outcome.implementation.clock_mhz
+    );
+    println!("throughput   : {:.0} inferences/s", outcome.throughput_inf_s());
+
+    // 5. The generated RTL is right there.
+    let files = outcome.design.emit_verilog();
+    println!("\ngenerated {} Verilog files:", files.len());
+    for f in &files {
+        println!("  {} ({} lines)", f.name, f.contents.lines().count());
+    }
+    assert!(outcome.verification.passed());
+    Ok(())
+}

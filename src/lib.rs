@@ -1,0 +1,16 @@
+//! # matador-repro — workspace facade
+//!
+//! Re-exports every crate of the MATADOR reproduction so the repository's
+//! `examples/` and cross-crate `tests/` can reach the full stack through a
+//! single dependency. Library users should depend on the individual crates
+//! (`matador`, `tsetlin`, …) directly.
+
+pub use matador;
+pub use matador_axi as axi;
+pub use matador_baselines as baselines;
+pub use matador_datasets as datasets;
+pub use matador_logic as logic;
+pub use matador_rtl as rtl;
+pub use matador_sim as sim;
+pub use matador_synth as synth;
+pub use tsetlin;

@@ -1,0 +1,120 @@
+//! The paper's headline *shapes*, asserted as tests: bandwidth-driven
+//! latency/throughput, MATADOR-vs-FINN resource ordering, and the
+//! DON'T TOUCH sharing effect — each on reduced-size workloads.
+
+use matador::config::MatadorConfig;
+use matador::design::AcceleratorDesign;
+use matador::flow::{MatadorFlow, TrainSpec};
+use matador_baselines::presets::BaselineKind;
+use matador_datasets::{generate, DatasetKind, SplitSizes};
+use matador_logic::dag::Sharing;
+use tsetlin::params::TmParams;
+
+const SIZES: SplitSizes = SplitSizes {
+    train: 150,
+    test: 50,
+};
+
+fn trained_model(kind: DatasetKind, clauses: usize) -> tsetlin::TrainedModel {
+    use rand::SeedableRng;
+    let data = generate(kind, SIZES, 5);
+    let params = TmParams::builder(kind.features(), kind.classes())
+        .clauses_per_class(clauses)
+        .threshold(10)
+        .specificity(5.0)
+        .build()
+        .expect("valid");
+    let mut tm = tsetlin::MultiClassTm::new(params);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    tm.fit(&data.train, 3, &mut rng);
+    tm.to_model()
+}
+
+#[test]
+fn packet_counts_match_table_rows() {
+    // 784→13, 377→6, 1024→16 at W=64 (Fig 4 / Table I latencies).
+    for (kind, packets) in [
+        (DatasetKind::Mnist, 13),
+        (DatasetKind::Kws6, 6),
+        (DatasetKind::Cifar2, 16),
+    ] {
+        let model = trained_model(kind, 10);
+        let config = MatadorConfig::builder().build().expect("valid");
+        let design = AcceleratorDesign::generate(model, config);
+        assert_eq!(design.num_hcbs(), packets, "{kind}");
+    }
+}
+
+#[test]
+fn throughput_is_bandwidth_bound() {
+    // The defining MATADOR property: II = packets, so throughput at
+    // 50 MHz is 50e6 / packets — Table I's exact values.
+    let model = trained_model(DatasetKind::Mnist, 10);
+    let config = MatadorConfig::builder().build().expect("valid");
+    let flow = MatadorFlow::new(config);
+    let data = generate(DatasetKind::Mnist, SIZES, 5);
+    let outcome = flow.run_with_model(model, &data.test);
+    assert!(outcome.verification.passed());
+    assert!((outcome.throughput_inf_s() - 50.0e6 / 13.0).abs() < 1.0);
+    assert!((outcome.latency_us() - 16.0 / 50.0).abs() < 1e-9);
+}
+
+#[test]
+fn dont_touch_inflates_both_luts_and_registers() {
+    // Fig 8's claim, as an inequality on a real trained model.
+    let model = trained_model(DatasetKind::Kws6, 20);
+    let opt = AcceleratorDesign::generate(
+        model.clone(),
+        MatadorConfig::builder().build().expect("valid"),
+    );
+    let dt = AcceleratorDesign::generate(
+        model,
+        MatadorConfig::builder()
+            .sharing(Sharing::DontTouch)
+            .build()
+            .expect("valid"),
+    );
+    let opt_luts: usize = opt.hcb_logic().iter().map(|h| h.luts).sum();
+    let dt_luts: usize = dt.hcb_logic().iter().map(|h| h.luts).sum();
+    let opt_regs: usize = opt.hcb_logic().iter().map(|h| h.registers).sum();
+    let dt_regs: usize = dt.hcb_logic().iter().map(|h| h.registers).sum();
+    assert!(dt_luts > opt_luts, "LUTs: dt {dt_luts} !> opt {opt_luts}");
+    assert!(dt_regs >= opt_regs, "regs: dt {dt_regs} !>= opt {opt_regs}");
+}
+
+#[test]
+fn matador_beats_finn_on_bram_and_throughput() {
+    // Resource/throughput ordering vs the FINN dataflow model (the
+    // abstract's claims), checked at reduced scale.
+    let model = trained_model(DatasetKind::Kws6, 20);
+    let data = generate(DatasetKind::Kws6, SIZES, 5);
+    let outcome = MatadorFlow::new(MatadorConfig::builder().build().expect("valid"))
+        .run_with_model(model, &data.test);
+    let finn = BaselineKind::FinnKws6.design();
+    // BRAM: constant 3 vs weight-bound FINN.
+    assert!(outcome.implementation.resources.bram < finn.resources().bram / 10.0);
+    // Throughput: bandwidth-bound 8.3M inf/s vs layer-fold-bound FINN.
+    assert!(outcome.throughput_inf_s() > 5.0 * finn.throughput_inf_s());
+    // Power: below FINN at its 100 MHz clock.
+    let finn_power = matador_synth::PowerModel::default().estimate(
+        &matador_synth::Device::xc7z020(),
+        &finn.resources(),
+        finn.clock_mhz,
+    );
+    assert!(outcome.implementation.power.total_w() < finn_power.total_w());
+}
+
+#[test]
+fn bnn_reference_designs_bracket_matador_throughput() {
+    // Table I: MATADOR sits between BNN-r-ref (slower) and BNN-f-ref
+    // (faster, at 7.8× the LUTs).
+    let model = trained_model(DatasetKind::Mnist, 10);
+    let data = generate(DatasetKind::Mnist, SIZES, 5);
+    let outcome = MatadorFlow::new(MatadorConfig::builder().build().expect("valid"))
+        .run_with_model(model, &data.test);
+    let slow = BaselineKind::BnnRRef.design().throughput_inf_s();
+    let fast = BaselineKind::BnnFRef.design().throughput_inf_s();
+    let ours = outcome.throughput_inf_s();
+    assert!(ours > slow * 10.0, "must be far faster than BNN-r-ref");
+    assert!(ours < fast, "must be slower than the fully unfolded BNN-f-ref");
+}
