@@ -221,9 +221,27 @@ mod tests {
     #[test]
     fn monitor_counts_datapoints_and_span() {
         let mut mon = StreamMonitor::new();
-        mon.capture(10, Beat { tdata: 1, tlast: false });
-        mon.capture(11, Beat { tdata: 2, tlast: true });
-        mon.capture(12, Beat { tdata: 3, tlast: true });
+        mon.capture(
+            10,
+            Beat {
+                tdata: 1,
+                tlast: false,
+            },
+        );
+        mon.capture(
+            11,
+            Beat {
+                tdata: 2,
+                tlast: true,
+            },
+        );
+        mon.capture(
+            12,
+            Beat {
+                tdata: 3,
+                tlast: true,
+            },
+        );
         assert_eq!(mon.datapoints(), 2);
         assert_eq!(mon.span_cycles(), 3);
         assert_eq!(mon.records().len(), 3);

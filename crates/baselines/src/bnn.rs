@@ -120,11 +120,7 @@ impl QuantMlp {
     }
 
     fn forward_impl(&self, input: &BitVec, quantized: bool) -> Vec<f32> {
-        assert_eq!(
-            input.len(),
-            self.topology.layers[0],
-            "input width mismatch"
-        );
+        assert_eq!(input.len(), self.topology.layers[0], "input width mismatch");
         let wb = self.topology.quant.weight_bits;
         let ab = self.topology.quant.activation_bits;
         let mut act: Vec<f32> = input.iter().map(|b| if b { 1.0 } else { -1.0 }).collect();
@@ -149,8 +145,7 @@ impl QuantMlp {
             }
             if l != last {
                 for (o, v) in next.iter_mut().enumerate() {
-                    let u = (*v - self.bn_mean[l][o])
-                        / (self.bn_var[l][o] + BN_EPS).sqrt();
+                    let u = (*v - self.bn_mean[l][o]) / (self.bn_var[l][o] + BN_EPS).sqrt();
                     *v = if quantized { quantize(u, ab) } else { u.tanh() };
                 }
             }
@@ -191,7 +186,7 @@ impl QuantMlp {
             ((config.epochs as f32) * config.float_fraction.clamp(0.0, 1.0)).round() as usize;
         let float_epochs = float_epochs.min(config.epochs);
         let ft_epochs = config.epochs - float_epochs;
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5354_45);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x0053_5445);
         let mut order: Vec<usize> = (0..data.len()).collect();
         for _ in 0..float_epochs {
             shuffle(&mut order, &mut rng);
@@ -218,7 +213,13 @@ impl QuantMlp {
 
         // Forward, keeping (activations, pre-activations) per layer.
         let mut acts: Vec<Vec<f32>> = Vec::with_capacity(last + 2);
-        acts.push(sample.input.iter().map(|b| if b { 1.0 } else { -1.0 }).collect());
+        acts.push(
+            sample
+                .input
+                .iter()
+                .map(|b| if b { 1.0 } else { -1.0 })
+                .collect(),
+        );
         let mut pres: Vec<Vec<f32>> = Vec::with_capacity(last + 1);
         for l in 0..=last {
             let (m, n) = self.topology.layer_shape(l);
@@ -248,7 +249,11 @@ impl QuantMlp {
                         let var = &mut self.bn_var[l][o];
                         *var = BN_MOMENTUM * *var + (1.0 - BN_MOMENTUM) * dev * dev;
                         let u = dev / (*var + BN_EPS).sqrt();
-                        if quantized { quantize(u, ab) } else { u.tanh() }
+                        if quantized {
+                            quantize(u, ab)
+                        } else {
+                            u.tanh()
+                        }
                     })
                     .collect()
             } else {
@@ -278,8 +283,8 @@ impl QuantMlp {
         for l in (0..=last).rev() {
             let (m, n) = self.topology.layer_shape(l);
             let mut prev_delta = vec![0.0f32; n];
-            for o in 0..m {
-                let d = delta[o].clamp(-2.0, 2.0);
+            for (o, dv) in delta.iter().enumerate().take(m) {
+                let d = dv.clamp(-2.0, 2.0);
                 if d == 0.0 {
                     continue;
                 }

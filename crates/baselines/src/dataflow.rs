@@ -66,7 +66,11 @@ impl DataflowDesign {
         for (l, fold) in folds.iter().enumerate() {
             let (m, n) = topology.layer_shape(l);
             assert!(m % fold.pe == 0, "layer {l}: PE {} ∤ rows {m}", fold.pe);
-            assert!(n % fold.simd == 0, "layer {l}: SIMD {} ∤ cols {n}", fold.simd);
+            assert!(
+                n % fold.simd == 0,
+                "layer {l}: SIMD {} ∤ cols {n}",
+                fold.simd
+            );
         }
         DataflowDesign {
             topology,
@@ -180,7 +184,7 @@ impl DataflowDesign {
 }
 
 fn divisors(v: usize) -> Vec<usize> {
-    (1..=v).filter(|d| v % d == 0).collect()
+    (1..=v).filter(|d| v.is_multiple_of(*d)).collect()
 }
 
 #[cfg(test)]
@@ -223,11 +227,7 @@ mod tests {
         let r = d.resources();
         // Paper: 11,622 LUTs / 17,990 registers. Model must land within
         // ~35% — it feeds Table I where only relative magnitude matters.
-        assert!(
-            (7_500..16_000).contains(&r.luts()),
-            "luts {}",
-            r.luts()
-        );
+        assert!((7_500..16_000).contains(&r.luts()), "luts {}", r.luts());
         assert!(
             (11_000..25_000).contains(&r.registers),
             "regs {}",

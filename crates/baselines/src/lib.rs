@@ -26,4 +26,4 @@ pub mod topology;
 pub use bnn::{QuantMlp, TrainConfig};
 pub use dataflow::{DataflowDesign, DataflowTiming, Fold};
 pub use presets::BaselineKind;
-pub use topology::{Quantization, Topology};
+pub use topology::{Quantization, Topology, TopologyError};

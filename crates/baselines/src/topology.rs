@@ -1,6 +1,39 @@
 //! Baseline network topologies and quantization configurations (Table II).
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when a [`Topology`]'s layer list is malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// Fewer than two layer widths (need at least input and output).
+    TooFewLayers {
+        /// The rejected layer count.
+        got: usize,
+    },
+    /// A layer width of zero.
+    ZeroWidthLayer {
+        /// Index of the zero-width layer.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopologyError::TooFewLayers { got } => write!(
+                f,
+                "topology needs at least input and output widths (got {got} layers)"
+            ),
+            TopologyError::ZeroWidthLayer { index } => {
+                write!(f, "topology layer {index} has zero width")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// Quantization of one network (weights / activations, in bits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -23,18 +56,40 @@ pub struct Topology {
 }
 
 impl Topology {
-    /// Builds a topology.
+    /// Builds a topology, validating the layer list.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if fewer than two layer widths are given or any is zero.
-    pub fn new(name: impl Into<String>, layers: Vec<usize>, quant: Quantization) -> Self {
-        assert!(layers.len() >= 2, "need at least input and output widths");
-        assert!(layers.iter().all(|&w| w > 0), "zero-width layer");
-        Topology {
+    /// Returns [`TopologyError`] if fewer than two layer widths are given
+    /// or any width is zero.
+    pub fn try_new(
+        name: impl Into<String>,
+        layers: Vec<usize>,
+        quant: Quantization,
+    ) -> Result<Self, TopologyError> {
+        if layers.len() < 2 {
+            return Err(TopologyError::TooFewLayers { got: layers.len() });
+        }
+        if let Some(index) = layers.iter().position(|&w| w == 0) {
+            return Err(TopologyError::ZeroWidthLayer { index });
+        }
+        Ok(Topology {
             name: name.into(),
             layers,
             quant,
+        })
+    }
+
+    /// Builds a topology from a layer list known to be well-formed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two layer widths are given or any is zero;
+    /// use [`Topology::try_new`] for untrusted input.
+    pub fn new(name: impl Into<String>, layers: Vec<usize>, quant: Quantization) -> Self {
+        match Topology::try_new(name, layers, quant) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -175,5 +230,22 @@ mod tests {
                 activation_bits: 1,
             },
         );
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        let q = Quantization {
+            weight_bits: 1,
+            activation_bits: 1,
+        };
+        assert_eq!(
+            Topology::try_new("x", vec![4], q).unwrap_err(),
+            TopologyError::TooFewLayers { got: 1 }
+        );
+        assert_eq!(
+            Topology::try_new("x", vec![4, 0, 2], q).unwrap_err(),
+            TopologyError::ZeroWidthLayer { index: 1 }
+        );
+        assert!(Topology::try_new("x", vec![4, 2], q).is_ok());
     }
 }

@@ -47,7 +47,12 @@ fn bench_tm(c: &mut Criterion) {
 
     c.bench_function("tm_train_epoch_kws6_100c", |b| {
         b.iter_batched(
-            || (MultiClassTm::new(params.clone()), SmallRng::seed_from_u64(1)),
+            || {
+                (
+                    MultiClassTm::new(params.clone()),
+                    SmallRng::seed_from_u64(1),
+                )
+            },
             |(mut tm, mut rng)| {
                 tm.fit(&data.train, 1, &mut rng);
                 black_box(tm.accuracy(&data.test))

@@ -25,7 +25,10 @@ fn float_acc(net: &QuantMlp, data: &[Sample]) -> f64 {
 }
 
 fn main() {
-    let sizes = SplitSizes { train: 400, test: 200 };
+    let sizes = SplitSizes {
+        train: 400,
+        test: 200,
+    };
     for (kind, bk) in [
         (DatasetKind::Mnist, BaselineKind::FinnMnist),
         (DatasetKind::Kws6, BaselineKind::FinnKws6),
@@ -36,7 +39,15 @@ fn main() {
         for ff in [0.0f32, 0.25, 0.5] {
             for (lr, epochs) in [(0.03f32, 16usize), (0.05, 24)] {
                 let mut net = QuantMlp::new(bk.topology(), 2024 ^ 0xF1);
-                net.train(&data.train, TrainConfig { learning_rate: lr, epochs, float_fraction: ff }, 2024 ^ 0xF2);
+                net.train(
+                    &data.train,
+                    TrainConfig {
+                        learning_rate: lr,
+                        epochs,
+                        float_fraction: ff,
+                    },
+                    2024 ^ 0xF2,
+                );
                 println!(
                     "{kind:<8} ff={ff:<5} lr={lr:<5} ep={epochs:<3} float_test={:.3} quant_test={:.3}",
                     float_acc(&net, &data.test),

@@ -12,7 +12,14 @@ use tsetlin::sparsity::{sparsity_report, window_sharing};
 use tsetlin::MultiClassTm;
 
 fn main() {
-    let opts = EvalOptions::from_args(std::env::args().skip(1));
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), matador::Error> {
+    let opts = EvalOptions::from_args(std::env::args().skip(1))?;
     let kind = DatasetKind::Mnist;
     eprintln!("[fig3] training MNIST model…");
     let data = generate(kind, opts.sizes, opts.seed);
@@ -25,7 +32,11 @@ fn main() {
     let s = sparsity_report(&model);
     println!("literal slots        : {}", s.literal_slots);
     println!("includes             : {}", s.includes);
-    println!("include density      : {:.4} ({:.2}% of slots)", s.density, s.density * 100.0);
+    println!(
+        "include density      : {:.4} ({:.2}% of slots)",
+        s.density,
+        s.density * 100.0
+    );
     println!("empty clauses        : {}", s.empty_clauses);
     println!(
         "includes per clause  : min {} / mean {:.1} / max {}",
@@ -69,4 +80,5 @@ fn main() {
         "\nshape check: logic sharing eliminates {:.1}% of clause AND gates",
         100.0 * (1.0 - extracted as f64 / naive.max(1) as f64)
     );
+    Ok(())
 }

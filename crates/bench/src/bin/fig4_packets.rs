@@ -11,7 +11,14 @@ use rand::SeedableRng;
 use tsetlin::MultiClassTm;
 
 fn main() {
-    let mut opts = EvalOptions::from_args(std::env::args().skip(1));
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), matador::Error> {
+    let mut opts = EvalOptions::from_args(std::env::args().skip(1))?;
     opts.tm_epochs = opts.tm_epochs.min(3);
     let data = generate(DatasetKind::Mnist, opts.sizes, opts.seed);
     let x = &data.test[0].input;
@@ -20,7 +27,10 @@ fn main() {
     let p = Packetizer::new(784, 64);
     let packets = p.packetize(x);
     println!("packets needed : {}", p.num_packets());
-    println!("padding bits   : {} (packet 13 is zero-padded past bit 784)\n", p.padding_bits());
+    println!(
+        "padding bits   : {} (packet 13 is zero-padded past bit 784)\n",
+        p.padding_bits()
+    );
     for (i, packet) in packets.iter().enumerate() {
         println!("packet {:>2} : {:#018x}", i + 1, packet);
     }
@@ -45,4 +55,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

@@ -11,7 +11,14 @@ use matador_datasets::DatasetKind;
 use matador_sim::{LatencyReport, SimEngine};
 
 fn main() {
-    let opts = EvalOptions::from_args(std::env::args().skip(1));
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), matador::Error> {
+    let opts = EvalOptions::from_args(std::env::args().skip(1))?;
     let kind = DatasetKind::Mnist;
     eprintln!("[fig7] building MNIST accelerator…");
     let row = run_matador(kind, &opts);
@@ -26,7 +33,10 @@ fn main() {
     let results = sim.run_datapoints(&inputs);
 
     println!("Fig 7 reproduction — cycle-level pipeline activity (MNIST, 3 datapoints)\n");
-    println!("{:<7} {:>8} {:>8} {:>10} {:>13}", "cycle", "hcb_en", "sum_en", "argmax_en", "result_valid");
+    println!(
+        "{:<7} {:>8} {:>8} {:>10} {:>13}",
+        "cycle", "hcb_en", "sum_en", "argmax_en", "result_valid"
+    );
     for t in sim.trace().iter().take(35) {
         println!(
             "{:<7} {:>8} {:>8} {:>10} {:>13}",
@@ -40,7 +50,10 @@ fn main() {
 
     let report = LatencyReport::from_results(&results, 0);
     let packets = accel.shape().num_packets();
-    println!("\ninitiation interval : {:.1} cycles (= {packets} packets)", report.steady_ii_cycles);
+    println!(
+        "\ninitiation interval : {:.1} cycles (= {packets} packets)",
+        report.steady_ii_cycles
+    );
     println!(
         "initial latency     : {} cycles = {:.3} us at {clock:.0} MHz",
         report.initial_latency_cycles,
@@ -50,7 +63,6 @@ fn main() {
         "throughput          : {:.0} inf/s at {clock:.0} MHz",
         report.throughput_inf_s(clock)
     );
-    println!(
-        "\npaper reference (MNIST @50 MHz): 0.32 us latency, 3,846,153 inf/s (II = 13)"
-    );
+    println!("\npaper reference (MNIST @50 MHz): 0.32 us latency, 3,846,153 inf/s (II = 13)");
+    Ok(())
 }

@@ -14,7 +14,14 @@ use matador_datasets::{generate, DatasetKind};
 use matador_logic::dag::Sharing;
 
 fn main() {
-    let opts = EvalOptions::from_args(std::env::args().skip(1));
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), matador::Error> {
+    let opts = EvalOptions::from_args(std::env::args().skip(1))?;
     let kind = DatasetKind::Mnist;
     eprintln!("[fig8] training MNIST model…");
     let data = generate(kind, opts.sizes, opts.seed);
@@ -78,4 +85,5 @@ fn main() {
         tot_dt as f64 / tot_opt.max(1) as f64,
         tot_sr_dt as f64 / tot_sr_opt.max(1) as f64
     );
+    Ok(())
 }

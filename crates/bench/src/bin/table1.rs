@@ -6,13 +6,20 @@
 //! cargo run -p matador-bench --bin table1 --release [-- --quick --seed N]
 //! ```
 
+use matador_baselines::presets::BaselineKind;
 use matador_bench::eval::{baseline_for, run_baseline, run_matador, EvalOptions};
 use matador_bench::table::{format_table1, Table1Row};
-use matador_baselines::presets::BaselineKind;
 use matador_datasets::{generate, DatasetKind};
 
 fn main() {
-    let opts = EvalOptions::from_args(std::env::args().skip(1));
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), matador::Error> {
+    let opts = EvalOptions::from_args(std::env::args().skip(1))?;
     println!(
         "Table I reproduction — sizes {}x{}, tm epochs {}, bnn epochs {}, seed {}",
         opts.sizes.train, opts.sizes.test, opts.tm_epochs, opts.bnn_epochs, opts.seed
@@ -58,4 +65,5 @@ fn main() {
             finn.total_pwr_w / matador.total_pwr_w,
         );
     }
+    Ok(())
 }

@@ -9,7 +9,62 @@ use matador_datasets::{generate, Dataset, DatasetKind, SplitSizes};
 use matador_synth::device::Device;
 use matador_synth::power::{PowerModel, PowerReport};
 use matador_synth::resources::ResourceReport;
+use std::fmt;
 use tsetlin::params::TmParams;
+
+/// Error produced when harness command-line arguments are malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EvalError {
+    /// `--seed` appeared without a following value.
+    MissingSeedValue,
+    /// The `--seed` value was not an unsigned integer.
+    InvalidSeed {
+        /// The offending token.
+        token: String,
+    },
+    /// An unrecognized flag was passed.
+    UnknownFlag {
+        /// The offending flag.
+        flag: String,
+    },
+    /// A stray positional argument was passed.
+    UnexpectedArgument {
+        /// The offending token.
+        arg: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MissingSeedValue => write!(f, "--seed requires a value"),
+            EvalError::InvalidSeed { token } => {
+                write!(f, "--seed value '{token}' is not an unsigned integer")
+            }
+            EvalError::UnknownFlag { flag } => {
+                write!(f, "unknown flag '{flag}' (expected --quick or --seed <n>)")
+            }
+            EvalError::UnexpectedArgument { arg } => {
+                write!(
+                    f,
+                    "unexpected argument '{arg}' (expected --quick or --seed <n>)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+// `EvalError` is local here, so this impl is coherent even though
+// `matador::Error` is foreign: downstream harness code can `?` straight
+// into the toolflow's unified error type.
+impl From<EvalError> for matador::Error {
+    fn from(e: EvalError) -> Self {
+        matador::Error::other(e)
+    }
+}
 
 /// Run sizing shared by all harness binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,19 +101,43 @@ impl EvalOptions {
     }
 
     /// Parses `--quick` / `--seed <n>` from command-line arguments.
-    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] on an unknown flag or a missing/unparseable
+    /// `--seed` value (previously these were silently ignored).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, EvalError> {
         let args: Vec<String> = args.into_iter().collect();
         let mut opts = if args.iter().any(|a| a == "--quick") {
             EvalOptions::quick()
         } else {
             EvalOptions::full()
         };
-        if let Some(pos) = args.iter().position(|a| a == "--seed") {
-            if let Some(seed) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
-                opts.seed = seed;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {}
+                "--seed" => {
+                    let token = args.get(i + 1).ok_or(EvalError::MissingSeedValue)?;
+                    opts.seed = token.parse().map_err(|_| EvalError::InvalidSeed {
+                        token: token.clone(),
+                    })?;
+                    i += 1;
+                }
+                flag if flag.starts_with('-') => {
+                    return Err(EvalError::UnknownFlag {
+                        flag: flag.to_string(),
+                    });
+                }
+                arg => {
+                    return Err(EvalError::UnexpectedArgument {
+                        arg: arg.to_string(),
+                    });
+                }
             }
+            i += 1;
         }
-        opts
+        Ok(opts)
     }
 }
 
@@ -173,12 +252,44 @@ mod tests {
 
     #[test]
     fn options_from_args() {
-        let quick = EvalOptions::from_args(["--quick".to_string()]);
+        let quick = EvalOptions::from_args(["--quick".to_string()]).expect("valid");
         assert_eq!(quick.sizes, SplitSizes::QUICK);
         let seeded =
-            EvalOptions::from_args(["--seed".to_string(), "7".to_string()]);
+            EvalOptions::from_args(["--seed".to_string(), "7".to_string()]).expect("valid");
         assert_eq!(seeded.seed, 7);
         assert_eq!(seeded.sizes, SplitSizes::FULL);
+    }
+
+    #[test]
+    fn bad_args_yield_typed_errors() {
+        assert_eq!(
+            EvalOptions::from_args(["--seed".to_string()]).unwrap_err(),
+            EvalError::MissingSeedValue
+        );
+        assert_eq!(
+            EvalOptions::from_args(["--seed".to_string(), "abc".to_string()]).unwrap_err(),
+            EvalError::InvalidSeed {
+                token: "abc".to_string()
+            }
+        );
+        assert_eq!(
+            EvalOptions::from_args(["--bogus".to_string()]).unwrap_err(),
+            EvalError::UnknownFlag {
+                flag: "--bogus".to_string()
+            }
+        );
+        // A typo'd positional (e.g. `quick` for `--quick`) is rejected too.
+        assert_eq!(
+            EvalOptions::from_args(["quick".to_string()]).unwrap_err(),
+            EvalError::UnexpectedArgument {
+                arg: "quick".to_string()
+            }
+        );
+        // The typed error converges into the unified flow error.
+        let err: matador::Error = EvalOptions::from_args(["--bogus".to_string()])
+            .unwrap_err()
+            .into();
+        assert!(matches!(err, matador::Error::Other(_)));
     }
 
     #[test]

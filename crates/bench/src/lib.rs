@@ -12,5 +12,5 @@
 pub mod eval;
 pub mod table;
 
-pub use eval::{run_baseline, run_matador, BaselineRow, EvalOptions, MatadorRow};
+pub use eval::{run_baseline, run_matador, BaselineRow, EvalError, EvalOptions, MatadorRow};
 pub use table::{format_table1, Table1Row};

@@ -14,13 +14,37 @@ pub enum ClockChoice {
     FixedMhz(f64),
 }
 
-/// Error returned when a [`MatadorConfig`] is invalid.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct InvalidConfigError(String);
+/// Error returned when a [`MatadorConfig`] is invalid, carrying the
+/// rejected value so GUI/wizard layers can point at the offending knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum InvalidConfigError {
+    /// The design name was empty (or whitespace only).
+    EmptyDesignName,
+    /// The AXI bus width was outside `1..=64`.
+    BusWidthOutOfRange {
+        /// The rejected width in bits.
+        width: usize,
+    },
+    /// A fixed clock was zero or negative.
+    NonPositiveClock {
+        /// The rejected frequency in MHz.
+        mhz: f64,
+    },
+}
 
 impl fmt::Display for InvalidConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid matador configuration: {}", self.0)
+        write!(f, "invalid matador configuration: ")?;
+        match *self {
+            InvalidConfigError::EmptyDesignName => write!(f, "design name must not be empty"),
+            InvalidConfigError::BusWidthOutOfRange { width } => {
+                write!(f, "bus width must be between 1 and 64 bits (got {width})")
+            }
+            InvalidConfigError::NonPositiveClock { mhz } => {
+                write!(f, "fixed clock must be positive (got {mhz} MHz)")
+            }
+        }
     }
 }
 
@@ -162,16 +186,16 @@ impl MatadorConfigBuilder {
     /// width outside `1..=64`, or a non-positive fixed clock.
     pub fn build(self) -> Result<MatadorConfig, InvalidConfigError> {
         if self.design_name.trim().is_empty() {
-            return Err(InvalidConfigError("design name must not be empty".into()));
+            return Err(InvalidConfigError::EmptyDesignName);
         }
         if self.bus_width == 0 || self.bus_width > 64 {
-            return Err(InvalidConfigError(
-                "bus width must be between 1 and 64 bits".into(),
-            ));
+            return Err(InvalidConfigError::BusWidthOutOfRange {
+                width: self.bus_width,
+            });
         }
         if let ClockChoice::FixedMhz(f) = self.clock {
-            if !(f > 0.0) {
-                return Err(InvalidConfigError("fixed clock must be positive".into()));
+            if f <= 0.0 || f.is_nan() {
+                return Err(InvalidConfigError::NonPositiveClock { mhz: f });
             }
         }
         Ok(MatadorConfig {
@@ -224,8 +248,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_bus_width() {
-        assert!(MatadorConfig::builder().bus_width(0).build().is_err());
-        assert!(MatadorConfig::builder().bus_width(65).build().is_err());
+        assert_eq!(
+            MatadorConfig::builder().bus_width(0).build().unwrap_err(),
+            InvalidConfigError::BusWidthOutOfRange { width: 0 }
+        );
+        assert_eq!(
+            MatadorConfig::builder().bus_width(65).build().unwrap_err(),
+            InvalidConfigError::BusWidthOutOfRange { width: 65 }
+        );
     }
 
     #[test]

@@ -4,8 +4,9 @@
 
 use crate::design::AcceleratorDesign;
 use crate::flow::FlowOutcome;
+use std::fmt;
+use std::fmt::Write as _;
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use tsetlin::Sample;
 
@@ -18,6 +19,45 @@ pub struct DeployManifest {
     pub files: Vec<String>,
 }
 
+/// Error produced while writing deployment artifacts, carrying the path
+/// of the file that failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DeployError {
+    /// A filesystem operation on `path` failed.
+    Io {
+        /// The file or directory being written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl DeployError {
+    fn io(path: impl Into<PathBuf>) -> impl FnOnce(std::io::Error) -> DeployError {
+        let path = path.into();
+        move |source| DeployError::Io { path, source }
+    }
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Io { path, source } => {
+                write!(f, "deploy: failed writing {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeployError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
 /// Writes the complete artifact set for a finished flow into `dir`
 /// (created if missing).
 ///
@@ -28,55 +68,91 @@ pub struct DeployManifest {
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
+/// Returns [`crate::Error::Deploy`] (with the offending path) on
+/// filesystem failures, or [`crate::Error::Rtl`] if RTL emission rejects
+/// the design's shapes.
 pub fn deploy(
     outcome: &FlowOutcome,
     test: &[Sample],
     dir: impl AsRef<Path>,
-) -> std::io::Result<DeployManifest> {
+) -> Result<DeployManifest, crate::Error> {
     let dir = dir.as_ref();
-    fs::create_dir_all(dir)?;
+    fs::create_dir_all(dir).map_err(DeployError::io(dir))?;
     let mut files = Vec::new();
 
-    for file in outcome.design.emit_verilog() {
-        fs::write(dir.join(&file.name), &file.contents)?;
+    for file in outcome.design.emit_verilog()? {
+        let path = dir.join(&file.name);
+        fs::write(&path, &file.contents).map_err(DeployError::io(path))?;
         files.push(file.name);
     }
     let tb_samples: Vec<Sample> = test.iter().take(8).cloned().collect();
-    let tb = outcome.design.emit_testbench(&tb_samples);
-    fs::write(dir.join(&tb.name), &tb.contents)?;
+    let tb = outcome.design.emit_testbench(&tb_samples)?;
+    let tb_path = dir.join(&tb.name);
+    fs::write(&tb_path, &tb.contents).map_err(DeployError::io(tb_path))?;
     files.push(tb.name);
 
+    let model_path = dir.join("model.tm");
     let mut model_text = Vec::new();
-    tsetlin::io::write_model(&outcome.model, &mut model_text)?;
-    fs::write(dir.join("model.tm"), &model_text)?;
+    tsetlin::io::write_model(&outcome.model, &mut model_text)
+        .expect("writing the model into a Vec<u8> cannot fail");
+    fs::write(&model_path, &model_text).map_err(DeployError::io(model_path))?;
     files.push("model.tm".into());
 
-    fs::write(dir.join("host_runner.py"), host_runner(&outcome.design))?;
+    let runner_path = dir.join("host_runner.py");
+    fs::write(&runner_path, host_runner(&outcome.design)).map_err(DeployError::io(runner_path))?;
     files.push("host_runner.py".into());
 
-    let mut manifest = Vec::new();
-    writeln!(manifest, "design    : {}", outcome.design.config().design_name())?;
-    writeln!(manifest, "device    : {}", outcome.implementation.device)?;
-    writeln!(manifest, "clock MHz : {:.1}", outcome.implementation.clock_mhz)?;
-    writeln!(manifest, "LUTs      : {}", outcome.implementation.resources.luts())?;
-    writeln!(manifest, "registers : {}", outcome.implementation.resources.registers)?;
-    writeln!(manifest, "BRAM      : {}", outcome.implementation.resources.bram)?;
-    writeln!(manifest, "latency us: {:.3}", outcome.latency_us())?;
-    writeln!(manifest, "inf/s     : {:.0}", outcome.throughput_inf_s())?;
-    writeln!(manifest, "accuracy  : {:.4}", outcome.test_accuracy)?;
-    writeln!(
-        manifest,
-        "verified  : {}",
-        if outcome.verification.passed() { "PASS" } else { "FAIL" }
-    )?;
-    fs::write(dir.join("manifest.txt"), &manifest)?;
+    let manifest_path = dir.join("manifest.txt");
+    fs::write(&manifest_path, render_manifest(outcome)).map_err(DeployError::io(manifest_path))?;
     files.push("manifest.txt".into());
 
     Ok(DeployManifest {
         dir: dir.to_path_buf(),
         files,
     })
+}
+
+fn render_manifest(outcome: &FlowOutcome) -> String {
+    let mut manifest = String::new();
+    let _ = writeln!(
+        manifest,
+        "design    : {}",
+        outcome.design.config().design_name()
+    );
+    let _ = writeln!(manifest, "device    : {}", outcome.implementation.device);
+    let _ = writeln!(
+        manifest,
+        "clock MHz : {:.1}",
+        outcome.implementation.clock_mhz
+    );
+    let _ = writeln!(
+        manifest,
+        "LUTs      : {}",
+        outcome.implementation.resources.luts()
+    );
+    let _ = writeln!(
+        manifest,
+        "registers : {}",
+        outcome.implementation.resources.registers
+    );
+    let _ = writeln!(
+        manifest,
+        "BRAM      : {}",
+        outcome.implementation.resources.bram
+    );
+    let _ = writeln!(manifest, "latency us: {:.3}", outcome.latency_us());
+    let _ = writeln!(manifest, "inf/s     : {:.0}", outcome.throughput_inf_s());
+    let _ = writeln!(manifest, "accuracy  : {:.4}", outcome.test_accuracy);
+    let _ = writeln!(
+        manifest,
+        "verified  : {}",
+        if outcome.verification.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    manifest
 }
 
 /// The host-side runner script (the sample Jupyter notebook of Section IV

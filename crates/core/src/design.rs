@@ -187,8 +187,8 @@ impl AcceleratorDesign {
             // register-to-register paths; halve the class-sum path.
             for p in &mut paths {
                 if p.name == "class sum" {
-                    p.delay_ns = timing_model.overhead_ns
-                        + (p.delay_ns - timing_model.overhead_ns) / 2.0;
+                    p.delay_ns =
+                        timing_model.overhead_ns + (p.delay_ns - timing_model.overhead_ns) / 2.0;
                 }
             }
         }
@@ -219,18 +219,27 @@ impl AcceleratorDesign {
 
     /// Emits the complete Verilog file set: one HCB per window, class sum,
     /// argmax, controller and top level.
-    pub fn emit_verilog(&self) -> Vec<VerilogFile> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`matador_rtl::GenError`] if a window DAG's shape does not
+    /// match the design parameters (impossible for designs produced by
+    /// [`AcceleratorDesign::generate`], but surfaced as a typed error for
+    /// hand-assembled designs).
+    pub fn emit_verilog(&self) -> Result<Vec<VerilogFile>, matador_rtl::GenError> {
         let params = self.design_params();
         let dont_touch = self.config.sharing() == Sharing::DontTouch;
         let mut files: Vec<VerilogFile> = self
             .dags
             .iter()
             .enumerate()
-            .map(|(k, dag)| VerilogFile {
-                name: format!("hcb_{k}.v"),
-                contents: gen::hcb_module(k, &params, dag, dont_touch),
+            .map(|(k, dag)| {
+                Ok(VerilogFile {
+                    name: format!("hcb_{k}.v"),
+                    contents: gen::hcb_module(k, &params, dag, dont_touch)?,
+                })
             })
-            .collect();
+            .collect::<Result<_, matador_rtl::GenError>>()?;
         files.push(VerilogFile {
             name: "class_sum.v".into(),
             contents: gen::class_sum_module(&params),
@@ -247,12 +256,17 @@ impl AcceleratorDesign {
             name: format!("{}.v", params.name),
             contents: gen::top_module(&params),
         });
-        files
+        Ok(files)
     }
 
     /// Emits the auto-debug testbench for `samples` (expected outputs come
     /// from software inference — Fig 6's dark-pink verification path).
-    pub fn emit_testbench(&self, samples: &[Sample]) -> VerilogFile {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`matador_rtl::GenError`] if packetization produces a
+    /// packet count that disagrees with the design parameters.
+    pub fn emit_testbench(&self, samples: &[Sample]) -> Result<VerilogFile, matador_rtl::GenError> {
         let params = self.design_params();
         let packetizer =
             matador_axi::Packetizer::new(self.model.num_features(), self.config.bus_width());
@@ -263,10 +277,10 @@ impl AcceleratorDesign {
                 expected: self.model.predict(&s.input),
             })
             .collect();
-        VerilogFile {
+        Ok(VerilogFile {
             name: format!("tb_{}.v", params.name),
-            contents: gen::testbench_module(&params, &vectors),
-        }
+            contents: gen::testbench_module(&params, &vectors)?,
+        })
     }
 
     /// Gate-level netlist of one window's clause logic (for standalone
@@ -381,8 +395,7 @@ mod tests {
             .pipeline_class_sum(true)
             .build()
             .expect("valid");
-        let pipelined =
-            AcceleratorDesign::generate(small_model(), pipelined_config).implement();
+        let pipelined = AcceleratorDesign::generate(small_model(), pipelined_config).implement();
         assert!(pipelined.resources.registers > plain.resources.registers);
         assert!(pipelined.fmax_mhz >= plain.fmax_mhz);
     }
@@ -390,7 +403,9 @@ mod tests {
     #[test]
     fn emitted_fileset_is_complete() {
         let d = AcceleratorDesign::generate(small_model(), config(4));
-        let files = d.emit_verilog();
+        let files = d
+            .emit_verilog()
+            .expect("generated designs have valid shapes");
         let names: Vec<&str> = files.iter().map(|f| f.name.as_str()).collect();
         assert_eq!(
             names,
@@ -429,7 +444,9 @@ mod tests {
         let model = small_model();
         let d = AcceleratorDesign::generate(model.clone(), config(4));
         let sample = Sample::new(BitVec::from_indices(12, &[0, 1]), 0);
-        let tb = d.emit_testbench(&[sample]);
+        let tb = d
+            .emit_testbench(&[sample])
+            .expect("generated designs have valid shapes");
         assert!(tb.name.starts_with("tb_"));
         assert!(tb.contents.contains("send_packet"));
     }

@@ -38,13 +38,15 @@
 pub mod config;
 pub mod deploy;
 pub mod design;
+pub mod error;
 pub mod flow;
 pub mod verify;
 pub mod wizard;
 
-pub use config::{ClockChoice, MatadorConfig};
-pub use deploy::{deploy, DeployManifest};
+pub use config::{ClockChoice, InvalidConfigError, MatadorConfig};
+pub use deploy::{deploy, DeployError, DeployManifest};
 pub use design::{AcceleratorDesign, VerilogFile};
+pub use error::Error;
 pub use flow::{FlowOutcome, MatadorFlow, TrainSpec};
 pub use verify::{verify_design, VerificationReport};
-pub use wizard::{Wizard, WizardOutcome};
+pub use wizard::{Wizard, WizardError, WizardOutcome};

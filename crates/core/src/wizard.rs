@@ -21,20 +21,55 @@ pub struct Question {
     pub default: String,
 }
 
-/// Error produced when an answer cannot be parsed/validated.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WizardError {
-    question: String,
-    message: String,
+/// Error produced when an answer cannot be parsed/validated, preserving
+/// the downstream validation error as a typed source.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WizardError {
+    /// An answer could not be parsed as the expected type.
+    Unparseable {
+        /// The prompt of the question being answered.
+        question: String,
+        /// The raw answer text.
+        answer: String,
+    },
+    /// The answered hyperparameters failed [`TmParams`] validation.
+    InvalidParams {
+        /// The underlying validation failure.
+        source: tsetlin::InvalidParamsError,
+    },
+    /// The answered configuration failed [`MatadorConfig`] validation.
+    InvalidConfig {
+        /// The underlying validation failure.
+        source: crate::config::InvalidConfigError,
+    },
 }
 
 impl fmt::Display for WizardError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "wizard: {} — {}", self.question, self.message)
+        match self {
+            WizardError::Unparseable { question, answer } => {
+                write!(f, "wizard: {question} — could not parse '{answer}'")
+            }
+            WizardError::InvalidParams { source } => {
+                write!(f, "wizard: hyperparameters — {source}")
+            }
+            WizardError::InvalidConfig { source } => {
+                write!(f, "wizard: configuration — {source}")
+            }
+        }
     }
 }
 
-impl std::error::Error for WizardError {}
+impl std::error::Error for WizardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WizardError::Unparseable { .. } => None,
+            WizardError::InvalidParams { source } => Some(source),
+            WizardError::InvalidConfig { source } => Some(source),
+        }
+    }
+}
 
 /// The answers a completed wizard session yields.
 #[derive(Debug, Clone)]
@@ -126,18 +161,12 @@ impl Wizard {
             .threshold(threshold)
             .specificity(specificity)
             .build()
-            .map_err(|e| WizardError {
-                question: "hyperparameters".into(),
-                message: e.to_string(),
-            })?;
+            .map_err(|source| WizardError::InvalidParams { source })?;
         let config = MatadorConfig::builder()
             .design_name(name)
             .bus_width(bus)
             .build()
-            .map_err(|e| WizardError {
-                question: "configuration".into(),
-                message: e.to_string(),
-            })?;
+            .map_err(|source| WizardError::InvalidConfig { source })?;
         Ok(WizardOutcome {
             config,
             train: TrainSpec {
@@ -150,9 +179,9 @@ impl Wizard {
 }
 
 fn parse<T: std::str::FromStr>(q: &Question, answer: &str) -> Result<T, WizardError> {
-    answer.parse().map_err(|_| WizardError {
+    answer.parse().map_err(|_| WizardError::Unparseable {
         question: q.prompt.clone(),
-        message: format!("could not parse '{answer}'"),
+        answer: answer.to_string(),
     })
 }
 
@@ -192,6 +221,10 @@ mod tests {
             .to_vec();
         let err = w.complete(answers).unwrap_err();
         assert!(err.to_string().contains("clauses per class"));
+        assert!(matches!(
+            err,
+            WizardError::Unparseable { ref answer, .. } if answer == "ten"
+        ));
     }
 
     #[test]
@@ -203,6 +236,14 @@ mod tests {
             .to_vec();
         let err = w.complete(answers).unwrap_err();
         assert!(err.to_string().contains("hyperparameters"));
+        assert!(matches!(
+            err,
+            WizardError::InvalidParams {
+                source: tsetlin::InvalidParamsError::InvalidClauseCount {
+                    clauses_per_class: 5
+                },
+            }
+        ));
     }
 
     #[test]

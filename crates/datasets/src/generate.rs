@@ -1,6 +1,6 @@
 //! Prototype-based synthetic dataset generation.
 
-use crate::spec::{DatasetKind, SyntheticSpec};
+use crate::spec::{DatasetKind, SpecError, SyntheticSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tsetlin::bits::BitVec;
@@ -69,29 +69,32 @@ impl SplitSizes {
 /// ```
 pub fn generate(kind: DatasetKind, sizes: SplitSizes, seed: u64) -> Dataset {
     generate_with_spec(&kind.default_spec(), sizes, seed)
+        .expect("default specs are valid by construction")
 }
 
 /// Generates a dataset from explicit [`SyntheticSpec`] parameters.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the spec's `distinct_bits`/`mode_spread_bits` exceed the
-/// feature width.
-pub fn generate_with_spec(spec: &SyntheticSpec, sizes: SplitSizes, seed: u64) -> Dataset {
-    match spec.kind {
+/// Returns [`SpecError`] (via [`SyntheticSpec::validate`]) if the spec's
+/// parameters are inconsistent — e.g. signature bits exceeding the
+/// feature width or probabilities outside `[0, 1]`.
+pub fn generate_with_spec(
+    spec: &SyntheticSpec,
+    sizes: SplitSizes,
+    seed: u64,
+) -> Result<Dataset, SpecError> {
+    spec.validate()?;
+    Ok(match spec.kind {
         DatasetKind::NoisyXor => generate_noisy_xor(sizes, seed),
         DatasetKind::Iris => generate_iris(sizes, seed),
         _ => generate_prototype(spec, sizes, seed),
-    }
+    })
 }
 
 fn generate_prototype(spec: &SyntheticSpec, sizes: SplitSizes, seed: u64) -> Dataset {
     let n = spec.kind.features();
     let classes = spec.kind.classes();
-    assert!(
-        spec.distinct_bits + spec.mode_spread_bits <= n,
-        "signature bits exceed feature width"
-    );
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x4d41_5441_444f_5231); // "MATADOR1"
 
     // Shared background pattern.
@@ -104,13 +107,21 @@ fn generate_prototype(spec: &SyntheticSpec, sizes: SplitSizes, seed: u64) -> Dat
 
     // Per-class, per-mode prototypes. Signature flips are confined to a
     // centred band of the feature range (see `SyntheticSpec::central_band`).
-    let band = spec.central_band.clamp(0.0, 1.0);
+    // validate() has already confined central_band to (0, 1].
+    let band = spec.central_band;
     let band_lo = ((n as f64) * (1.0 - band) / 2.0) as usize;
-    let band_hi = (band_lo + ((n as f64) * band) as usize).min(n).max(band_lo + 1);
+    let band_hi = (band_lo + ((n as f64) * band) as usize)
+        .min(n)
+        .max(band_lo + 1);
     let mut prototypes: Vec<Vec<BitVec>> = Vec::with_capacity(classes);
     for _class in 0..classes {
         let mut class_sig = base.clone();
-        flip_random_bits_in(&mut class_sig, spec.distinct_bits, band_lo..band_hi, &mut rng);
+        flip_random_bits_in(
+            &mut class_sig,
+            spec.distinct_bits,
+            band_lo..band_hi,
+            &mut rng,
+        );
         let modes = (0..spec.modes_per_class.max(1))
             .map(|_| {
                 let mut proto = class_sig.clone();
@@ -178,7 +189,7 @@ fn flip_random_bits_in(
 /// `x₀ ⊕ x₁`, ten distractor bits are uniform noise, and 40 % of *training*
 /// labels are flipped (the test split is clean).
 fn generate_noisy_xor(sizes: SplitSizes, seed: u64) -> Dataset {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x584f_52);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0058_4f52);
     let n = DatasetKind::NoisyXor.features();
     let draw = |rng: &mut SmallRng, count: usize, label_noise: f64| -> Vec<Sample> {
         (0..count)
@@ -260,6 +271,39 @@ fn gaussian(rng: &mut SmallRng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn invalid_specs_are_rejected_with_typed_errors() {
+        let mut spec = DatasetKind::Kws6.default_spec();
+        spec.distinct_bits = 300;
+        spec.mode_spread_bits = 300;
+        assert_eq!(
+            generate_with_spec(&spec, SplitSizes::QUICK, 1).unwrap_err(),
+            SpecError::SignatureExceedsWidth {
+                distinct_bits: 300,
+                mode_spread_bits: 300,
+                features: 377,
+            }
+        );
+        let mut spec = DatasetKind::Mnist.default_spec();
+        spec.noise = 1.5;
+        assert!(matches!(
+            generate_with_spec(&spec, SplitSizes::QUICK, 1).unwrap_err(),
+            SpecError::ProbabilityOutOfRange { field: "noise", .. }
+        ));
+        let mut spec = DatasetKind::Mnist.default_spec();
+        spec.central_band = 0.0;
+        assert!(matches!(
+            generate_with_spec(&spec, SplitSizes::QUICK, 1).unwrap_err(),
+            SpecError::CentralBandOutOfRange { .. }
+        ));
+        // Closed-form generators ignore the prototype fields, so their
+        // kinds validate regardless of those values.
+        let mut spec = DatasetKind::NoisyXor.default_spec();
+        spec.distinct_bits = 9999;
+        spec.central_band = 0.0;
+        assert!(generate_with_spec(&spec, SplitSizes::QUICK, 1).is_ok());
+    }
 
     #[test]
     fn deterministic_for_same_seed() {
@@ -347,9 +391,7 @@ mod tests {
         let protos: Vec<BitVec> = centroids
             .iter()
             .zip(&counts)
-            .map(|(c, &n_c)| {
-                BitVec::from_bools(c.iter().map(|&v| 2 * v > n_c))
-            })
+            .map(|(c, &n_c)| BitVec::from_bools(c.iter().map(|&v| 2 * v > n_c)))
             .collect();
         let mut correct = 0usize;
         for s in &d.test {

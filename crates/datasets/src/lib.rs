@@ -19,4 +19,4 @@ pub mod generate;
 pub mod spec;
 
 pub use generate::{generate, generate_with_spec, Dataset, SplitSizes};
-pub use spec::{DatasetKind, SyntheticSpec};
+pub use spec::{DatasetKind, SpecError, SyntheticSpec};

@@ -2,6 +2,59 @@
 
 use std::fmt;
 
+/// Error returned when a [`SyntheticSpec`]'s parameters are inconsistent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// `distinct_bits + mode_spread_bits` exceeds the feature width, so
+    /// class/mode signatures cannot be placed.
+    SignatureExceedsWidth {
+        /// Class-signature flip count.
+        distinct_bits: usize,
+        /// Mode-signature flip count.
+        mode_spread_bits: usize,
+        /// Booleanized feature width of the dataset kind.
+        features: usize,
+    },
+    /// A probability-valued field is outside `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which field (`"base_density"` or `"noise"`).
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `central_band` is outside `(0, 1]` — the signature band would be
+    /// empty or exceed the feature range.
+    CentralBandOutOfRange {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid synthetic dataset spec: ")?;
+        match *self {
+            SpecError::SignatureExceedsWidth {
+                distinct_bits,
+                mode_spread_bits,
+                features,
+            } => write!(
+                f,
+                "signature bits {distinct_bits}+{mode_spread_bits} exceed {features} features"
+            ),
+            SpecError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "{field} = {value} is outside [0, 1]")
+            }
+            SpecError::CentralBandOutOfRange { value } => {
+                write!(f, "central_band = {value} is outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// The five evaluation datasets of the paper (Table I / Table II) plus the
 /// two small datasets the prior FPGA-TM literature used ([22], [23]).
 ///
@@ -185,6 +238,41 @@ pub struct SyntheticSpec {
     /// the real image datasets, which is what gives Fig 8 its mid-chain
     /// per-HCB resource bump; 1.0 = uniform.
     pub central_band: f64,
+}
+
+impl SyntheticSpec {
+    /// Checks the parameters are generatable for this spec's kind.
+    ///
+    /// The NoisyXor and Iris generators are closed-form and ignore the
+    /// prototype fields entirely, so specs of those kinds always validate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] naming the first inconsistent field.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if matches!(self.kind, DatasetKind::NoisyXor | DatasetKind::Iris) {
+            return Ok(());
+        }
+        let features = self.kind.features();
+        if self.distinct_bits + self.mode_spread_bits > features {
+            return Err(SpecError::SignatureExceedsWidth {
+                distinct_bits: self.distinct_bits,
+                mode_spread_bits: self.mode_spread_bits,
+                features,
+            });
+        }
+        for (field, value) in [("base_density", self.base_density), ("noise", self.noise)] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(SpecError::ProbabilityOutOfRange { field, value });
+            }
+        }
+        if !(self.central_band > 0.0 && self.central_band <= 1.0) {
+            return Err(SpecError::CentralBandOutOfRange {
+                value: self.central_band,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

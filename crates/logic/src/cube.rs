@@ -14,7 +14,9 @@ use tsetlin::model::IncludeMask;
 ///
 /// Encoded as `2*bit + phase` (`phase` 1 = negated), which keeps sets of
 /// literals sortable and hashable as plain integers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Lit(u32);
 
 impl Lit {

@@ -14,7 +14,9 @@ use std::collections::HashMap;
 use tsetlin::bits::BitVec;
 
 /// Reference to a node inside a [`LogicDag`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeRef(u32);
 
 impl NodeRef {
@@ -219,8 +221,7 @@ impl LogicDag {
             return a;
         }
         // x & ¬x = 0 for direct literal pairs.
-        if let (Node::Input(i), Node::NotInput(j)) =
-            (self.nodes[a.index()], self.nodes[b.index()])
+        if let (Node::Input(i), Node::NotInput(j)) = (self.nodes[a.index()], self.nodes[b.index()])
         {
             if i == j {
                 return self.const0();
@@ -377,7 +378,10 @@ mod tests {
     use crate::cube::Lit;
 
     fn c(lits: &[(u32, bool)]) -> Cube {
-        Cube::from_lits(lits.iter().map(|&(b, n)| if n { Lit::neg(b) } else { Lit::pos(b) }))
+        Cube::from_lits(
+            lits.iter()
+                .map(|&(b, n)| if n { Lit::neg(b) } else { Lit::pos(b) }),
+        )
     }
 
     #[test]

@@ -19,7 +19,9 @@ use std::collections::{BinaryHeap, HashMap};
 
 /// An element of a factored cube: either an original literal or a reference
 /// to an extracted divisor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Item {
     /// An input literal.
     Lit(Lit),
@@ -234,12 +236,18 @@ mod tests {
     use tsetlin::bits::BitVec;
 
     fn cube(lits: &[(u32, bool)]) -> Cube {
-        Cube::from_lits(lits.iter().map(|&(b, n)| if n { Lit::neg(b) } else { Lit::pos(b) }))
+        Cube::from_lits(
+            lits.iter()
+                .map(|&(b, n)| if n { Lit::neg(b) } else { Lit::pos(b) }),
+        )
     }
 
     #[test]
     fn no_sharing_no_divisors() {
-        let cubes = vec![cube(&[(0, false), (1, false)]), cube(&[(2, false), (3, false)])];
+        let cubes = vec![
+            cube(&[(0, false), (1, false)]),
+            cube(&[(2, false), (3, false)]),
+        ];
         let ex = extract_divisors(&cubes, ExtractOptions::default());
         assert!(ex.divisors.is_empty());
         assert_eq!(ex.and2_cost(), 2);

@@ -67,10 +67,7 @@ pub fn optimize_window(width: usize, cubes: &[Cube], sharing: Sharing) -> LogicD
 
 /// Runs extraction for one window and returns both the factored form and
 /// the resulting DAG (the factored form drives Verilog emission).
-pub fn optimize_window_with_extraction(
-    width: usize,
-    cubes: &[Cube],
-) -> (Extraction, LogicDag) {
+pub fn optimize_window_with_extraction(width: usize, cubes: &[Cube]) -> (Extraction, LogicDag) {
     let ex = extract_divisors(cubes, ExtractOptions::default());
     let dag = LogicDag::from_extraction(width, &ex, Sharing::Enabled);
     (ex, dag)
@@ -84,8 +81,7 @@ pub fn gate_stats(model: &TrainedModel, window_bits: usize) -> Vec<WindowGateSta
         .map(|(w, cubes)| {
             let width = window_bits.min(model.num_features() - w * window_bits);
             let naive: usize = cubes.iter().map(Cube::and2_cost).sum();
-            let hashed = LogicDag::from_cubes(width.max(1), &cubes, Sharing::Enabled)
-                .and2_count();
+            let hashed = LogicDag::from_cubes(width.max(1), &cubes, Sharing::Enabled).and2_count();
             let ex = extract_divisors(&cubes, ExtractOptions::default());
             let extracted =
                 LogicDag::from_extraction(width.max(1), &ex, Sharing::Enabled).and2_count();
@@ -117,10 +113,7 @@ pub fn prefix_register_counts(model: &TrainedModel, window_bits: usize) -> Vec<u
         let mut distinct: HashSet<(Vec<u64>, Vec<u64>)> = HashSet::new();
         for (_, _, mask) in model.iter_clauses() {
             let prefix = mask.window(0, prefix_bits);
-            distinct.insert((
-                prefix.pos.words().to_vec(),
-                prefix.neg.words().to_vec(),
-            ));
+            distinct.insert((prefix.pos.words().to_vec(), prefix.neg.words().to_vec()));
         }
         counts.push(distinct.len());
     }

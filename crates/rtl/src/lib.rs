@@ -33,6 +33,47 @@ pub mod gen;
 pub mod netlist;
 pub mod verilog;
 
-pub use gen::{DesignParams, TestVector};
+pub use gen::{DesignParams, GenError, TestVector};
 pub use netlist::{Gate, NetId, Netlist, NetlistError};
 pub use verilog::{emit_netlist, emit_netlist_body, EmitOptions};
+
+/// Any error produced by the `matador-rtl` crate; the per-module typed
+/// errors converge here (and onward into `matador::Error`) via `From`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Netlist structural validation failed.
+    Netlist(NetlistError),
+    /// An RTL generator was driven with mismatched shapes.
+    Gen(GenError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Netlist(e) => e.fmt(f),
+            Error::Gen(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Netlist(e) => Some(e),
+            Error::Gen(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetlistError> for Error {
+    fn from(e: NetlistError) -> Self {
+        Error::Netlist(e)
+    }
+}
+
+impl From<GenError> for Error {
+    fn from(e: GenError) -> Self {
+        Error::Gen(e)
+    }
+}

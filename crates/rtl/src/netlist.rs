@@ -12,7 +12,9 @@ use std::fmt;
 use tsetlin::bits::BitVec;
 
 /// Reference to a single-bit net.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct NetId(u32);
 
 impl NetId {
@@ -59,13 +61,42 @@ impl Gate {
     }
 }
 
-/// Error returned when netlist validation fails.
+/// Error returned when netlist validation fails, carrying the offending
+/// gate/net so tooling can point at the structural violation directly.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct NetlistError(String);
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate reads a net that no input or earlier gate drives.
+    UndrivenOperand {
+        /// Index of the offending gate in topological order.
+        gate: usize,
+        /// Name of the undriven net.
+        net: String,
+    },
+    /// Two drivers target the same net.
+    MultipleDrivers {
+        /// Name of the multiply-driven net.
+        net: String,
+    },
+    /// An output port has no driver.
+    UndrivenOutput {
+        /// Name of the undriven output.
+        net: String,
+    },
+}
 
 impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid netlist: {}", self.0)
+        write!(f, "invalid netlist: ")?;
+        match self {
+            NetlistError::UndrivenOperand { gate, net } => {
+                write!(f, "gate {gate} reads undriven net '{net}'")
+            }
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net '{net}' has multiple drivers")
+            }
+            NetlistError::UndrivenOutput { net } => write!(f, "output '{net}' is undriven"),
+        }
     }
 }
 
@@ -202,27 +233,25 @@ impl Netlist {
             };
             for op in operands {
                 if !driven[op.index()] {
-                    return Err(NetlistError(format!(
-                        "gate {gi} reads undriven net '{}'",
-                        self.net_name(op)
-                    )));
+                    return Err(NetlistError::UndrivenOperand {
+                        gate: gi,
+                        net: self.net_name(op).to_string(),
+                    });
                 }
             }
             let y = gate.output();
             if driven[y.index()] {
-                return Err(NetlistError(format!(
-                    "net '{}' has multiple drivers",
-                    self.net_name(y)
-                )));
+                return Err(NetlistError::MultipleDrivers {
+                    net: self.net_name(y).to_string(),
+                });
             }
             driven[y.index()] = true;
         }
         for &o in &self.outputs {
             if !driven[o.index()] {
-                return Err(NetlistError(format!(
-                    "output '{}' is undriven",
-                    self.net_name(o)
-                )));
+                return Err(NetlistError::UndrivenOutput {
+                    net: self.net_name(o).to_string(),
+                });
             }
         }
         Ok(())
@@ -358,6 +387,10 @@ mod tests {
         nl.add_output(y);
         let err = nl.validate().unwrap_err();
         assert!(err.to_string().contains("undriven"));
+        assert!(matches!(
+            err,
+            NetlistError::UndrivenOperand { gate: 0, ref net } if net == "ghost"
+        ));
     }
 
     #[test]
@@ -368,6 +401,7 @@ mod tests {
         nl.gates.push(Gate::Not { a, y });
         let err = nl.validate().unwrap_err();
         assert!(err.to_string().contains("multiple drivers"));
+        assert!(matches!(err, NetlistError::MultipleDrivers { ref net } if net == "y"));
     }
 
     #[test]
@@ -392,14 +426,8 @@ mod tests {
     #[test]
     fn from_dag_gate_counts_track_sharing() {
         let cubes = vec![Cube::from_lits([Lit::pos(0), Lit::pos(1)]); 6];
-        let shared = Netlist::from_dag(
-            "s",
-            &LogicDag::from_cubes(4, &cubes, Sharing::Enabled),
-        );
-        let dt = Netlist::from_dag(
-            "d",
-            &LogicDag::from_cubes(4, &cubes, Sharing::DontTouch),
-        );
+        let shared = Netlist::from_dag("s", &LogicDag::from_cubes(4, &cubes, Sharing::Enabled));
+        let dt = Netlist::from_dag("d", &LogicDag::from_cubes(4, &cubes, Sharing::DontTouch));
         // +1 AND per output for the port buffer in both cases.
         assert!(shared.and2_count() < dt.and2_count());
     }

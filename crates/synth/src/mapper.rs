@@ -76,7 +76,7 @@ impl LutMapping {
 ///
 /// Panics if `k` is 0 or exceeds [`LUT_K`].
 pub fn map_dag(dag: &LogicDag, k: usize) -> LutMapping {
-    assert!(k >= 1 && k <= LUT_K, "k must be in 1..=6");
+    assert!((1..=LUT_K).contains(&k), "k must be in 1..=6");
     let nodes = dag.nodes();
     let reachable = dag.reachable();
 
@@ -115,11 +115,7 @@ pub fn map_dag(dag: &LogicDag, k: usize) -> LutMapping {
                         if leaves.len() > k {
                             continue;
                         }
-                        let depth = 1 + leaves
-                            .iter()
-                            .map(|l| label[l.index()])
-                            .max()
-                            .unwrap_or(0);
+                        let depth = 1 + leaves.iter().map(|l| label[l.index()]).max().unwrap_or(0);
                         merged.push(Cut { leaves, depth });
                     }
                 }
@@ -164,8 +160,8 @@ pub fn map_dag(dag: &LogicDag, k: usize) -> LutMapping {
             }
             Node::NotInput(_) => {
                 // Output-level inverter needs its own LUT1.
-                if !lut_of.contains_key(&oi) {
-                    lut_of.insert(oi, luts.len());
+                if let std::collections::hash_map::Entry::Vacant(e) = lut_of.entry(oi) {
+                    e.insert(luts.len());
                     luts.push(MappedLut {
                         root: out,
                         leaves: vec![out],

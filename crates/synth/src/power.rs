@@ -116,25 +116,26 @@ mod tests {
 
     #[test]
     fn matador_mnist_row_reproduced() {
-        let p = PowerModel::default().estimate(
-            &Device::xc7z020(),
-            &matador_mnist_resources(),
-            50.0,
-        );
+        let p =
+            PowerModel::default().estimate(&Device::xc7z020(), &matador_mnist_resources(), 50.0);
         // Paper: dyn 1.292 W, total 1.427 W.
-        assert!((p.dynamic_w() - 1.292).abs() < 0.05, "dyn = {}", p.dynamic_w());
+        assert!(
+            (p.dynamic_w() - 1.292).abs() < 0.05,
+            "dyn = {}",
+            p.dynamic_w()
+        );
         assert!((p.total_w() - 1.427).abs() < 0.06, "tot = {}", p.total_w());
     }
 
     #[test]
     fn finn_mnist_row_reproduced() {
-        let p = PowerModel::default().estimate(
-            &Device::xc7z020(),
-            &finn_mnist_resources(),
-            100.0,
-        );
+        let p = PowerModel::default().estimate(&Device::xc7z020(), &finn_mnist_resources(), 100.0);
         // Paper: dyn 1.458 W, total 1.599 W.
-        assert!((p.dynamic_w() - 1.458).abs() < 0.08, "dyn = {}", p.dynamic_w());
+        assert!(
+            (p.dynamic_w() - 1.458).abs() < 0.08,
+            "dyn = {}",
+            p.dynamic_w()
+        );
         assert!((p.total_w() - 1.599).abs() < 0.09, "tot = {}", p.total_w());
     }
 
@@ -164,10 +165,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "clock must be positive")]
     fn rejects_zero_clock() {
-        PowerModel::default().estimate(
-            &Device::xc7z020(),
-            &matador_mnist_resources(),
-            0.0,
-        );
+        PowerModel::default().estimate(&Device::xc7z020(), &matador_mnist_resources(), 0.0);
     }
 }

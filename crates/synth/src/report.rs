@@ -41,7 +41,11 @@ impl ImplementationReport {
 
 impl fmt::Display for ImplementationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "implementation report: {} on {}", self.design, self.device)?;
+        writeln!(
+            f,
+            "implementation report: {} on {}",
+            self.design, self.device
+        )?;
         writeln!(f, "  LUTs          : {:>8}", self.resources.luts())?;
         writeln!(f, "    as logic    : {:>8}", self.resources.lut_logic)?;
         writeln!(f, "    as memory   : {:>8}", self.resources.lut_mem)?;
@@ -58,7 +62,11 @@ impl fmt::Display for ImplementationReport {
             "  fmax / clock  : {:>6.1} / {:.1} MHz ({})",
             self.fmax_mhz,
             self.clock_mhz,
-            if self.meets_timing() { "met" } else { "VIOLATED" }
+            if self.meets_timing() {
+                "met"
+            } else {
+                "VIOLATED"
+            }
         )?;
         writeln!(
             f,

@@ -143,8 +143,7 @@ pub fn estimate_design(arch: &ArchParams, hcbs: &[HcbLogic]) -> ResourceReport {
     let hcb_regs: usize = hcbs.iter().map(|h| h.registers).sum();
 
     // Class sum: per class, two popcounts of cpc/2 votes plus a subtractor.
-    let class_sum_luts =
-        arch.classes * (2 * popcount_luts(cpc / 2) + subtractor_luts(sw));
+    let class_sum_luts = arch.classes * (2 * popcount_luts(cpc / 2) + subtractor_luts(sw));
     let class_sum_regs = arch.classes * sw;
 
     let argmax = argmax_luts(arch.classes, sw);
@@ -155,7 +154,9 @@ pub fn estimate_design(arch: &ArchParams, hcbs: &[HcbLogic]) -> ResourceReport {
 
     // Slice packing: a 7-series slice holds 4 LUTs / 8 FFs; routed designs
     // pack imperfectly — the paper's rows show ≈1.9× the ideal bound.
-    let ideal = (lut_logic + infra.lut_mem).div_ceil(4).max(registers.div_ceil(8));
+    let ideal = (lut_logic + infra.lut_mem)
+        .div_ceil(4)
+        .max(registers.div_ceil(8));
     let slices = (ideal as f64 * 1.9).round() as usize;
 
     ResourceReport {
@@ -195,7 +196,7 @@ mod tests {
         assert_eq!(popcount_luts(1), 0);
         let p100 = popcount_luts(100);
         let p500 = popcount_luts(500);
-        assert!(p100 >= 94 && p100 <= 110, "p100 = {p100}");
+        assert!((94..=110).contains(&p100), "p100 = {p100}");
         assert!(p500 > 4 * p100 && p500 < 6 * p100);
     }
 

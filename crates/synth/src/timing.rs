@@ -58,10 +58,7 @@ impl TimingModel {
     ///
     /// Panics if `paths` is empty.
     pub fn fmax_mhz(&self, paths: &[PathTiming]) -> f64 {
-        let critical = paths
-            .iter()
-            .map(|p| p.delay_ns)
-            .fold(f64::MIN, f64::max);
+        let critical = paths.iter().map(|p| p.delay_ns).fold(f64::MIN, f64::max);
         assert!(critical > 0.0, "no timing paths supplied");
         1000.0 / critical
     }

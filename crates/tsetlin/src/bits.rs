@@ -96,7 +96,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -106,7 +110,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds (len {})",
+            self.len
+        );
         let w = &mut self.words[i / 64];
         if value {
             *w |= 1 << (i % 64);
@@ -386,18 +394,12 @@ mod tests {
     fn bitwise_ops() {
         let a = BitVec::from_indices(80, &[0, 10, 70]);
         let b = BitVec::from_indices(80, &[10, 70, 79]);
-        assert_eq!(
-            a.and(&b).iter_ones().collect::<Vec<_>>(),
-            vec![10, 70]
-        );
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![10, 70]);
         assert_eq!(
             a.or(&b).iter_ones().collect::<Vec<_>>(),
             vec![0, 10, 70, 79]
         );
-        assert_eq!(
-            a.xor(&b).iter_ones().collect::<Vec<_>>(),
-            vec![0, 79]
-        );
+        assert_eq!(a.xor(&b).iter_ones().collect::<Vec<_>>(), vec![0, 79]);
     }
 
     #[test]

@@ -165,7 +165,8 @@ impl Clause {
     pub fn rebuild_masks(&mut self) {
         let n = self.num_features;
         for k in 0..n {
-            self.include_pos.set(k, self.ta[k].action() == Action::Include);
+            self.include_pos
+                .set(k, self.ta[k].action() == Action::Include);
             self.include_neg
                 .set(k, self.ta[n + k].action() == Action::Include);
         }

@@ -25,33 +25,137 @@ use std::fmt;
 use std::io::{BufRead, Write};
 
 /// Error produced when parsing a model file fails.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct ParseModelError {
     line: usize,
-    message: String,
+    kind: ParseModelErrorKind,
+}
+
+/// What went wrong while parsing; each variant carries the offending
+/// values so import tooling can react without scraping message strings.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ParseModelErrorKind {
+    /// The first line was not `MATADOR-TM v1`.
+    MissingHeader,
+    /// The stream ended before the named element was seen.
+    UnexpectedEof {
+        /// What the parser was looking for.
+        wanted: String,
+    },
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A header line did not match `<key> <n>`.
+    MalformedHeader {
+        /// The expected key (`features`, `classes`, `clauses_per_class`).
+        key: String,
+    },
+    /// A required token was absent or unparseable.
+    BadToken {
+        /// What the token encodes.
+        what: String,
+    },
+    /// An expected literal keyword (`pos`, `neg`) was missing.
+    ExpectedKeyword {
+        /// The missing keyword.
+        keyword: String,
+    },
+    /// A header dimension was zero.
+    ZeroDimensions,
+    /// A non-header line did not start with `c`.
+    ExpectedClauseLine,
+    /// Clause coordinates exceeded the declared model shape.
+    ClauseOutOfRange {
+        /// Parsed class index.
+        class: usize,
+        /// Parsed clause index.
+        clause: usize,
+    },
+    /// The same `(class, clause)` appeared twice.
+    DuplicateClause {
+        /// Class index of the duplicate.
+        class: usize,
+        /// Clause index of the duplicate.
+        clause: usize,
+    },
+    /// A literal index was not a number.
+    BadLiteralIndex {
+        /// The offending token.
+        token: String,
+    },
+    /// A literal index exceeded the feature count.
+    LiteralOutOfRange {
+        /// The out-of-range index.
+        index: usize,
+        /// The declared feature count.
+        features: usize,
+    },
+    /// The `end` marker never appeared.
+    MissingEnd,
 }
 
 impl ParseModelError {
-    fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseModelError {
-            line,
-            message: message.into(),
-        }
+    fn new(line: usize, kind: ParseModelErrorKind) -> Self {
+        ParseModelError { line, kind }
     }
 
     /// 1-based line number where parsing failed (0 for stream-level errors).
     pub fn line(&self) -> usize {
         self.line
     }
+
+    /// The typed failure cause.
+    pub fn kind(&self) -> &ParseModelErrorKind {
+        &self.kind
+    }
 }
 
 impl fmt::Display for ParseModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "model parse error at line {}: {}", self.line, self.message)
+        write!(f, "model parse error at line {}: ", self.line)?;
+        match &self.kind {
+            ParseModelErrorKind::MissingHeader => write!(f, "missing MATADOR-TM v1 header"),
+            ParseModelErrorKind::UnexpectedEof { wanted } => {
+                write!(f, "unexpected eof, wanted {wanted}")
+            }
+            ParseModelErrorKind::Io(e) => write!(f, "io error: {e}"),
+            ParseModelErrorKind::MalformedHeader { key } => write!(f, "expected '{key} <n>'"),
+            ParseModelErrorKind::BadToken { what } => write!(f, "missing or unparseable {what}"),
+            ParseModelErrorKind::ExpectedKeyword { keyword } => {
+                write!(f, "expected '{keyword}'")
+            }
+            ParseModelErrorKind::ZeroDimensions => write!(f, "zero-sized model dimensions"),
+            ParseModelErrorKind::ExpectedClauseLine => {
+                write!(f, "expected clause line starting with 'c'")
+            }
+            ParseModelErrorKind::ClauseOutOfRange { class, clause } => {
+                write!(f, "clause coordinates ({class}, {clause}) out of range")
+            }
+            ParseModelErrorKind::DuplicateClause { class, clause } => {
+                write!(f, "duplicate clause line for ({class}, {clause})")
+            }
+            ParseModelErrorKind::BadLiteralIndex { token } => {
+                write!(f, "bad literal index '{token}'")
+            }
+            ParseModelErrorKind::LiteralOutOfRange { index, features } => {
+                write!(
+                    f,
+                    "literal index {index} out of range (features {features})"
+                )
+            }
+            ParseModelErrorKind::MissingEnd => write!(f, "missing end marker"),
+        }
     }
 }
 
-impl std::error::Error for ParseModelError {}
+impl std::error::Error for ParseModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            ParseModelErrorKind::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Writes `model` in the MATADOR-TM v1 text format.
 ///
@@ -109,21 +213,26 @@ pub fn read_model<R: BufRead>(r: R) -> Result<TrainedModel, ParseModelError> {
     let mut next_line = |expect: &str| -> Result<(usize, String), ParseModelError> {
         match lines.next() {
             Some((i, Ok(l))) => Ok((i + 1, l)),
-            Some((i, Err(e))) => Err(ParseModelError::new(i + 1, format!("io error: {e}"))),
-            None => Err(ParseModelError::new(0, format!("unexpected eof, wanted {expect}"))),
+            Some((i, Err(e))) => Err(ParseModelError::new(i + 1, ParseModelErrorKind::Io(e))),
+            None => Err(ParseModelError::new(
+                0,
+                ParseModelErrorKind::UnexpectedEof {
+                    wanted: expect.to_string(),
+                },
+            )),
         }
     };
 
     let (ln, magic) = next_line("magic header")?;
     if magic.trim() != "MATADOR-TM v1" {
-        return Err(ParseModelError::new(ln, "missing MATADOR-TM v1 header"));
+        return Err(ParseModelError::new(ln, ParseModelErrorKind::MissingHeader));
     }
     let features = parse_header_line(next_line("features")?, "features")?;
     let classes = parse_header_line(next_line("classes")?, "classes")?;
     let clauses_per_class =
         parse_header_line(next_line("clauses_per_class")?, "clauses_per_class")?;
     if features == 0 || classes == 0 || clauses_per_class == 0 {
-        return Err(ParseModelError::new(0, "zero-sized model dimensions"));
+        return Err(ParseModelError::new(0, ParseModelErrorKind::ZeroDimensions));
     }
 
     let mut masks = vec![IncludeMask::empty(features); classes * clauses_per_class];
@@ -131,7 +240,7 @@ pub fn read_model<R: BufRead>(r: R) -> Result<TrainedModel, ParseModelError> {
     let mut ended = false;
     for (i, line) in lines {
         let ln = i + 1;
-        let line = line.map_err(|e| ParseModelError::new(ln, format!("io error: {e}")))?;
+        let line = line.map_err(|e| ParseModelError::new(ln, ParseModelErrorKind::Io(e)))?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -142,16 +251,25 @@ pub fn read_model<R: BufRead>(r: R) -> Result<TrainedModel, ParseModelError> {
         }
         let mut parts = line.split_whitespace();
         if parts.next() != Some("c") {
-            return Err(ParseModelError::new(ln, "expected clause line starting with 'c'"));
+            return Err(ParseModelError::new(
+                ln,
+                ParseModelErrorKind::ExpectedClauseLine,
+            ));
         }
         let class: usize = parse_tok(&mut parts, ln, "class index")?;
         let j: usize = parse_tok(&mut parts, ln, "clause index")?;
         if class >= classes || j >= clauses_per_class {
-            return Err(ParseModelError::new(ln, "clause coordinates out of range"));
+            return Err(ParseModelError::new(
+                ln,
+                ParseModelErrorKind::ClauseOutOfRange { class, clause: j },
+            ));
         }
         let idx = class * clauses_per_class + j;
         if seen[idx] {
-            return Err(ParseModelError::new(ln, "duplicate clause line"));
+            return Err(ParseModelError::new(
+                ln,
+                ParseModelErrorKind::DuplicateClause { class, clause: j },
+            ));
         }
         seen[idx] = true;
         expect_tok(&mut parts, ln, "pos")?;
@@ -161,7 +279,7 @@ pub fn read_model<R: BufRead>(r: R) -> Result<TrainedModel, ParseModelError> {
         masks[idx] = IncludeMask { pos, neg };
     }
     if !ended {
-        return Err(ParseModelError::new(0, "missing end marker"));
+        return Err(ParseModelError::new(0, ParseModelErrorKind::MissingEnd));
     }
     Ok(TrainedModel::from_masks(
         features,
@@ -171,13 +289,15 @@ pub fn read_model<R: BufRead>(r: R) -> Result<TrainedModel, ParseModelError> {
     ))
 }
 
-fn parse_header_line(
-    (ln, line): (usize, String),
-    key: &str,
-) -> Result<usize, ParseModelError> {
+fn parse_header_line((ln, line): (usize, String), key: &str) -> Result<usize, ParseModelError> {
     let mut parts = line.split_whitespace();
     if parts.next() != Some(key) {
-        return Err(ParseModelError::new(ln, format!("expected '{key} <n>'")));
+        return Err(ParseModelError::new(
+            ln,
+            ParseModelErrorKind::MalformedHeader {
+                key: key.to_string(),
+            },
+        ));
     }
     parse_tok(&mut parts, ln, key)
 }
@@ -189,9 +309,23 @@ fn parse_tok<'a, T: std::str::FromStr>(
 ) -> Result<T, ParseModelError> {
     parts
         .next()
-        .ok_or_else(|| ParseModelError::new(ln, format!("missing {what}")))?
+        .ok_or_else(|| {
+            ParseModelError::new(
+                ln,
+                ParseModelErrorKind::BadToken {
+                    what: what.to_string(),
+                },
+            )
+        })?
         .parse()
-        .map_err(|_| ParseModelError::new(ln, format!("unparseable {what}")))
+        .map_err(|_| {
+            ParseModelError::new(
+                ln,
+                ParseModelErrorKind::BadToken {
+                    what: what.to_string(),
+                },
+            )
+        })
 }
 
 fn expect_tok<'a>(
@@ -202,7 +336,12 @@ fn expect_tok<'a>(
     if parts.next() == Some(tok) {
         Ok(())
     } else {
-        Err(ParseModelError::new(ln, format!("expected '{tok}'")))
+        Err(ParseModelError::new(
+            ln,
+            ParseModelErrorKind::ExpectedKeyword {
+                keyword: tok.to_string(),
+            },
+        ))
     }
 }
 
@@ -211,21 +350,31 @@ fn parse_index_list<'a>(
     ln: usize,
     features: usize,
 ) -> Result<BitVec, ParseModelError> {
-    let tok = parts
-        .next()
-        .ok_or_else(|| ParseModelError::new(ln, "missing literal list"))?;
+    let tok = parts.next().ok_or_else(|| {
+        ParseModelError::new(
+            ln,
+            ParseModelErrorKind::BadToken {
+                what: "literal list".to_string(),
+            },
+        )
+    })?;
     let mut bits = BitVec::zeros(features);
     if tok == "-" {
         return Ok(bits);
     }
     for piece in tok.split(',') {
-        let i: usize = piece
-            .parse()
-            .map_err(|_| ParseModelError::new(ln, format!("bad literal index '{piece}'")))?;
+        let i: usize = piece.parse().map_err(|_| {
+            ParseModelError::new(
+                ln,
+                ParseModelErrorKind::BadLiteralIndex {
+                    token: piece.to_string(),
+                },
+            )
+        })?;
         if i >= features {
             return Err(ParseModelError::new(
                 ln,
-                format!("literal index {i} out of range (features {features})"),
+                ParseModelErrorKind::LiteralOutOfRange { index: i, features },
             ));
         }
         bits.set(i, true);
@@ -248,7 +397,12 @@ mod tests {
             f,
             2,
             2,
-            vec![mk(&[0, 5], &[2]), mk(&[], &[]), mk(&[3], &[0, 1]), mk(&[2], &[])],
+            vec![
+                mk(&[0, 5], &[2]),
+                mk(&[], &[]),
+                mk(&[3], &[0, 1]),
+                mk(&[2], &[]),
+            ],
         )
     }
 
@@ -280,7 +434,8 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_literal() {
-        let text = "MATADOR-TM v1\nfeatures 4\nclasses 2\nclauses_per_class 2\nc 0 0 pos 9 neg -\nend\n";
+        let text =
+            "MATADOR-TM v1\nfeatures 4\nclasses 2\nclauses_per_class 2\nc 0 0 pos 9 neg -\nend\n";
         let err = read_model(text.as_bytes()).unwrap_err();
         assert_eq!(err.line(), 5);
         assert!(err.to_string().contains("out of range"));
@@ -309,7 +464,8 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_clause_coordinates() {
-        let text = "MATADOR-TM v1\nfeatures 4\nclasses 2\nclauses_per_class 2\nc 5 0 pos 1 neg -\nend\n";
+        let text =
+            "MATADOR-TM v1\nfeatures 4\nclasses 2\nclauses_per_class 2\nc 5 0 pos 1 neg -\nend\n";
         assert!(read_model(text.as_bytes()).is_err());
     }
 }

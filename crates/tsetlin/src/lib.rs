@@ -42,6 +42,7 @@ pub mod automaton;
 pub mod bits;
 pub mod booleanize;
 pub mod clause;
+pub mod error;
 pub mod io;
 pub mod model;
 pub mod params;
@@ -52,6 +53,7 @@ pub mod tm;
 pub use automaton::{Action, TsetlinAutomaton};
 pub use bits::BitVec;
 pub use clause::Clause;
+pub use error::Error;
 pub use model::{IncludeMask, TrainedModel};
 pub use params::{InvalidParamsError, TmParams};
 pub use tm::{argmax, MultiClassTm, Polarity};

@@ -157,9 +157,10 @@ impl TrainedModel {
 
     /// Iterates `(class, clause_index, mask)` in row-major order.
     pub fn iter_clauses(&self) -> impl Iterator<Item = (usize, usize, &IncludeMask)> + '_ {
-        self.includes.iter().enumerate().map(move |(i, m)| {
-            (i / self.clauses_per_class, i % self.clauses_per_class, m)
-        })
+        self.includes
+            .iter()
+            .enumerate()
+            .map(move |(i, m)| (i / self.clauses_per_class, i % self.clauses_per_class, m))
     }
 
     /// Class sums on input `x` (empty clauses count as firing, matching the
@@ -268,8 +269,7 @@ mod tests {
     #[test]
     fn iter_clauses_row_major() {
         let m = two_clause_model();
-        let order: Vec<(usize, usize)> =
-            m.iter_clauses().map(|(c, j, _)| (c, j)).collect();
+        let order: Vec<(usize, usize)> = m.iter_clauses().map(|(c, j, _)| (c, j)).collect();
         assert_eq!(order, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
     }
 

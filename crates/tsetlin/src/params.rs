@@ -3,12 +3,59 @@
 use std::fmt;
 
 /// Error returned when [`TmParams`] validation fails.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct InvalidParamsError(String);
+///
+/// Each variant names the violated constraint and carries the offending
+/// value, so callers (the wizard, parameter sweeps, config loaders) can
+/// match on the failure instead of scraping a message string.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum InvalidParamsError {
+    /// `features` was 0; at least one boolean input is required.
+    ZeroFeatures,
+    /// Fewer than two classes.
+    TooFewClasses {
+        /// The rejected class count.
+        classes: usize,
+    },
+    /// `clauses_per_class` was odd or below 2 (clauses come in ± pairs).
+    InvalidClauseCount {
+        /// The rejected clause budget.
+        clauses_per_class: usize,
+    },
+    /// The vote threshold `T` was 0.
+    ZeroThreshold,
+    /// Specificity `s` must be strictly greater than 1.0.
+    SpecificityTooLow {
+        /// The rejected specificity.
+        specificity: f64,
+    },
+    /// Fewer than two automaton states per action side.
+    TooFewStates {
+        /// The rejected per-side state count.
+        states_per_action: u16,
+    },
+}
 
 impl fmt::Display for InvalidParamsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid tsetlin machine parameters: {}", self.0)
+        write!(f, "invalid tsetlin machine parameters: ")?;
+        match *self {
+            InvalidParamsError::ZeroFeatures => write!(f, "features must be ≥ 1"),
+            InvalidParamsError::TooFewClasses { classes } => {
+                write!(f, "classes must be ≥ 2 (got {classes})")
+            }
+            InvalidParamsError::InvalidClauseCount { clauses_per_class } => write!(
+                f,
+                "clauses_per_class must be even and ≥ 2 (polarity pairs), got {clauses_per_class}"
+            ),
+            InvalidParamsError::ZeroThreshold => write!(f, "threshold must be ≥ 1"),
+            InvalidParamsError::SpecificityTooLow { specificity } => {
+                write!(f, "specificity must be > 1.0 (got {specificity})")
+            }
+            InvalidParamsError::TooFewStates { states_per_action } => {
+                write!(f, "states_per_action must be ≥ 2 (got {states_per_action})")
+            }
+        }
     }
 }
 
@@ -160,24 +207,30 @@ impl TmParamsBuilder {
     /// `threshold ≥ 1`, `specificity > 1.0`, `states_per_action ≥ 2`.
     pub fn build(self) -> Result<TmParams, InvalidParamsError> {
         if self.features == 0 {
-            return Err(InvalidParamsError("features must be ≥ 1".into()));
+            return Err(InvalidParamsError::ZeroFeatures);
         }
         if self.classes < 2 {
-            return Err(InvalidParamsError("classes must be ≥ 2".into()));
+            return Err(InvalidParamsError::TooFewClasses {
+                classes: self.classes,
+            });
         }
-        if self.clauses_per_class < 2 || self.clauses_per_class % 2 != 0 {
-            return Err(InvalidParamsError(
-                "clauses_per_class must be even and ≥ 2 (polarity pairs)".into(),
-            ));
+        if self.clauses_per_class < 2 || !self.clauses_per_class.is_multiple_of(2) {
+            return Err(InvalidParamsError::InvalidClauseCount {
+                clauses_per_class: self.clauses_per_class,
+            });
         }
         if self.threshold == 0 {
-            return Err(InvalidParamsError("threshold must be ≥ 1".into()));
+            return Err(InvalidParamsError::ZeroThreshold);
         }
-        if !(self.specificity > 1.0) {
-            return Err(InvalidParamsError("specificity must be > 1.0".into()));
+        if self.specificity <= 1.0 || self.specificity.is_nan() {
+            return Err(InvalidParamsError::SpecificityTooLow {
+                specificity: self.specificity,
+            });
         }
         if self.states_per_action < 2 {
-            return Err(InvalidParamsError("states_per_action must be ≥ 2".into()));
+            return Err(InvalidParamsError::TooFewStates {
+                states_per_action: self.states_per_action,
+            });
         }
         Ok(TmParams {
             features: self.features,
@@ -232,6 +285,30 @@ mod tests {
     #[test]
     fn rejects_zero_threshold() {
         assert!(TmParams::builder(4, 2).threshold(0).build().is_err());
+    }
+
+    #[test]
+    fn errors_are_matchable_variants() {
+        assert_eq!(
+            TmParams::builder(10, 2)
+                .clauses_per_class(5)
+                .build()
+                .unwrap_err(),
+            InvalidParamsError::InvalidClauseCount {
+                clauses_per_class: 5
+            }
+        );
+        assert_eq!(
+            TmParams::builder(0, 2).build().unwrap_err(),
+            InvalidParamsError::ZeroFeatures
+        );
+        assert_eq!(
+            TmParams::builder(4, 2)
+                .specificity(0.5)
+                .build()
+                .unwrap_err(),
+            InvalidParamsError::SpecificityTooLow { specificity: 0.5 }
+        );
     }
 
     #[test]

@@ -100,6 +100,12 @@ pub fn sparsity_report(model: &TrainedModel) -> SparsityReport {
     }
 }
 
+/// A window expression identity: (pos-window-words, neg-window-words).
+type WindowKey = (Vec<u64>, Vec<u64>);
+
+/// Usage of one window expression: occurrence count + classes seen in.
+type WindowUses = (usize, Vec<usize>);
+
 /// Computes expression-sharing statistics per bandwidth window.
 ///
 /// `window_bits` is the channel bandwidth `W`; windows tile the feature
@@ -116,8 +122,8 @@ pub fn window_sharing(model: &TrainedModel, window_bits: usize) -> Vec<WindowSha
     let mut out = Vec::with_capacity(windows);
     for w in 0..windows {
         let start = w * window_bits;
-        // Key: (pos-window-words, neg-window-words); value: classes seen + count.
-        let mut table: HashMap<(Vec<u64>, Vec<u64>), (usize, Vec<usize>)> = HashMap::new();
+        // Key: (pos-window-words, neg-window-words); value: count + classes seen.
+        let mut table: HashMap<WindowKey, WindowUses> = HashMap::new();
         let mut nontrivial = 0usize;
         for (class, _, mask) in model.iter_clauses() {
             let win = mask.window(start, window_bits);
@@ -171,10 +177,10 @@ mod tests {
             2,
             2,
             vec![
-                mk(&[0, 1], &[]),      // cube A in window 0
-                mk(&[], &[]),          // empty clause
-                mk(&[0, 1], &[6]),     // cube A in window 0 + cube in window 1
-                mk(&[5], &[]),         // window 1 only
+                mk(&[0, 1], &[]),  // cube A in window 0
+                mk(&[], &[]),      // empty clause
+                mk(&[0, 1], &[6]), // cube A in window 0 + cube in window 1
+                mk(&[5], &[]),     // window 1 only
             ],
         )
     }

@@ -22,7 +22,7 @@ pub enum Polarity {
 impl Polarity {
     /// Polarity assigned to clause index `j` within its class.
     pub fn of_index(j: usize) -> Polarity {
-        if j % 2 == 0 {
+        if j.is_multiple_of(2) {
             Polarity::Positive
         } else {
             Polarity::Negative

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let mut rng = SmallRng::seed_from_u64(1);
     let budgets = [20, 50, 100];
-    println!("clause-budget sweep (synthetic MNIST, {} train):", data.train.len());
+    println!(
+        "clause-budget sweep (synthetic MNIST, {} train):",
+        data.train.len()
+    );
     let points = sweep_clause_budgets(&base, &budgets, &data.train, &data.test, 3, &mut rng)?;
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>9}",
@@ -84,7 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", outcome.implementation);
     println!(
         "verified: {} | {:.0} inf/s | {:.1}% accuracy",
-        if outcome.verification.passed() { "PASS" } else { "FAIL" },
+        if outcome.verification.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         outcome.throughput_inf_s(),
         outcome.test_accuracy * 100.0
     );

@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "imported-model accuracy {:.1}% | verified: {} | {:.0} inf/s",
         outcome.test_accuracy * 100.0,
-        if outcome.verification.passed() { "PASS" } else { "FAIL" },
+        if outcome.verification.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         outcome.throughput_inf_s()
     );
     assert!(outcome.verification.passed());

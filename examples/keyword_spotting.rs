@@ -46,12 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.test_accuracy * 100.0,
         outcome.throughput_inf_s(),
         outcome.latency_us(),
-        if outcome.verification.passed() { "PASS" } else { "FAIL" }
+        if outcome.verification.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 
     // Ship it: Verilog + testbench + model + host runner + manifest.
     let manifest = deploy(&outcome, &data.test, &out_dir)?;
-    println!("\ndeployed {} files to {}:", manifest.files.len(), manifest.dir.display());
+    println!(
+        "\ndeployed {} files to {}:",
+        manifest.files.len(),
+        manifest.dir.display()
+    );
     for f in &manifest.files {
         println!("  {f}");
     }

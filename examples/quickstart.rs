@@ -49,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{}", outcome.implementation);
     println!(
         "verification : {} ({} gate vectors, {} streamed datapoints)",
-        if outcome.verification.passed() { "PASS" } else { "FAIL" },
+        if outcome.verification.passed() {
+            "PASS"
+        } else {
+            "FAIL"
+        },
         outcome.verification.gate_vectors,
         outcome.verification.system_vectors
     );
@@ -63,10 +67,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.latency_us(),
         outcome.implementation.clock_mhz
     );
-    println!("throughput   : {:.0} inferences/s", outcome.throughput_inf_s());
+    println!(
+        "throughput   : {:.0} inferences/s",
+        outcome.throughput_inf_s()
+    );
 
     // 5. The generated RTL is right there.
-    let files = outcome.design.emit_verilog();
+    let files = outcome.design.emit_verilog()?;
     println!("\ngenerated {} Verilog files:", files.len());
     for f in &files {
         println!("  {} ({} lines)", f.name, f.contents.lines().count());

@@ -6,6 +6,7 @@
 //! (`matador`, `tsetlin`, …) directly.
 
 pub use matador;
+pub use matador::Error;
 pub use matador_axi as axi;
 pub use matador_baselines as baselines;
 pub use matador_datasets as datasets;

@@ -82,7 +82,10 @@ fn resources_scale_with_clause_budget() {
 #[test]
 fn emitted_verilog_fileset_is_self_consistent() {
     let outcome = kws_outcome(20, 2);
-    let files = outcome.design.emit_verilog();
+    let files = outcome
+        .design
+        .emit_verilog()
+        .expect("generated designs emit without shape errors");
     // One HCB per packet + class_sum + argmax + controller + top.
     assert_eq!(files.len(), 6 + 4);
     let top = files.last().expect("top module");

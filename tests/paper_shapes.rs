@@ -4,7 +4,7 @@
 
 use matador::config::MatadorConfig;
 use matador::design::AcceleratorDesign;
-use matador::flow::{MatadorFlow, TrainSpec};
+use matador::flow::MatadorFlow;
 use matador_baselines::presets::BaselineKind;
 use matador_datasets::{generate, DatasetKind, SplitSizes};
 use matador_logic::dag::Sharing;
@@ -116,5 +116,8 @@ fn bnn_reference_designs_bracket_matador_throughput() {
     let fast = BaselineKind::BnnFRef.design().throughput_inf_s();
     let ours = outcome.throughput_inf_s();
     assert!(ours > slow * 10.0, "must be far faster than BNN-r-ref");
-    assert!(ours < fast, "must be slower than the fully unfolded BNN-f-ref");
+    assert!(
+        ours < fast,
+        "must be slower than the fully unfolded BNN-f-ref"
+    );
 }

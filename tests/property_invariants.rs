@@ -23,23 +23,21 @@ fn arb_model() -> impl Strategy<Value = TrainedModel> {
     (2usize..4, 1usize..4, 6usize..24).prop_flat_map(|(classes, half_clauses, features)| {
         let cpc = 2 * half_clauses;
         let total = classes * cpc;
-        proptest::collection::vec(
-            (arb_bitvec(features), arb_bitvec(features)),
-            total,
+        proptest::collection::vec((arb_bitvec(features), arb_bitvec(features)), total).prop_map(
+            move |masks| {
+                let includes = masks
+                    .into_iter()
+                    .map(|(pos, raw_neg)| {
+                        // Sparsify: keep negated includes only where the
+                        // positive literal is absent (contradictions are legal
+                        // but rare in trained models).
+                        let neg = raw_neg.and(&pos.not());
+                        IncludeMask { pos, neg }
+                    })
+                    .collect();
+                TrainedModel::from_masks(features, classes, cpc, includes)
+            },
         )
-        .prop_map(move |masks| {
-            let includes = masks
-                .into_iter()
-                .map(|(pos, raw_neg)| {
-                    // Sparsify: keep negated includes only where the
-                    // positive literal is absent (contradictions are legal
-                    // but rare in trained models).
-                    let neg = raw_neg.and(&pos.not());
-                    IncludeMask { pos, neg }
-                })
-                .collect();
-            TrainedModel::from_masks(features, classes, cpc, includes)
-        })
     })
 }
 

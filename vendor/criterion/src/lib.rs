@@ -1,0 +1,224 @@
+//! Vendored subset of the `criterion` benchmark harness.
+//!
+//! Implements the API surface `crates/bench/benches/kernels.rs` uses —
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`]/[`criterion_main!`] —
+//! with a simple measure-and-report loop: per benchmark it runs a warmup
+//! pass then `sample_size` timed samples and prints min/mean/max. It honors
+//! `--bench` (ignored) and substring filters on argv like the real crate,
+//! so `cargo bench -- <filter>` works.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// vendored harness re-runs setup per iteration regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, amortizing fast routines over many iterations per
+    /// sample (like real criterion) so sub-microsecond kernels measure the
+    /// kernel rather than `Instant::now()` overhead.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration pass: size each sample to roughly 1 ms of work.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once_ns = t0.elapsed().as_nanos().max(1);
+        let target_ns = 1_000_000u128;
+        let n = (target_ns / once_ns).clamp(1, 1_000_000) as u32;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / n);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    ///
+    /// Unlike [`Bencher::iter`] each sample is a single invocation —
+    /// batched routines in this workspace (training epochs) run for
+    /// milliseconds, so timer overhead is negligible and re-running setup
+    /// to amortize would dominate the run time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip flags (e.g. `--bench`, injected by cargo); keep positional
+        // substrings as benchmark name filters.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            sample_size: 10,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark, printing min/mean/max over the samples.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| id.contains(p.as_str())) {
+            return self;
+        }
+        // Warmup pass (1 sample) so first-touch effects stay out of the
+        // reported numbers, then the measured pass.
+        let mut warmup = Bencher {
+            samples: Vec::new(),
+            sample_size: 1,
+        };
+        f(&mut warmup);
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 5,
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        // One calibration call plus 5 samples of >= 1 iteration each; fast
+        // routines amortize over many iterations per sample.
+        assert!(count > 5);
+        assert_eq!(b.samples.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+        };
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| x * 2,
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

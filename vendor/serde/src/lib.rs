@@ -1,0 +1,22 @@
+//! Vendored subset of `serde`.
+//!
+//! The MATADOR workspace derives `Serialize`/`Deserialize` on its data
+//! types so they are ready for a real serialization backend, but no code
+//! path in the workspace serializes anything yet (there is no
+//! `serde_json`/`bincode` dependency). This stand-in therefore provides
+//! the two traits as markers plus the derive macros, which is exactly the
+//! API surface in use. Replacing it with the real crate is a one-line
+//! change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of `serde::Serialize` (no serializer backend is wired in).
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize` (no deserializer backend is wired in).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker form of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

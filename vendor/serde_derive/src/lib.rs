@@ -1,0 +1,60 @@
+//! Derive macros for the vendored `serde` marker traits.
+//!
+//! The workspace derives on plain (non-generic) structs and enums only, so
+//! the macros parse just far enough to find the type name and emit the
+//! marker impls. `#[serde(...)]` helper attributes are accepted and
+//! ignored, matching real serde's surface for the features in use.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier from a `struct`/`enum`/`union` item,
+/// skipping outer attributes and visibility qualifiers.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        match tok {
+            // Outer attribute: `#` followed by a bracketed group.
+            TokenTree::Punct(ref p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(ref id) => {
+                let id = id.to_string();
+                if id == "struct" || id == "enum" || id == "union" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<')
+                            {
+                                panic!(
+                                    "vendored serde_derive does not support generic type `{name}`"
+                                );
+                            }
+                            return name.to_string();
+                        }
+                        other => panic!("expected type name after `{id}`, found {other:?}"),
+                    }
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("vendored serde_derive: no struct/enum found in derive input");
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
