@@ -109,7 +109,7 @@ fn bench_sim(c: &mut Criterion) {
     c.bench_function("cycle_sim_kws6_16pts", |b| {
         b.iter(|| {
             let mut sim = SimEngine::new(&accel);
-            black_box(sim.run_datapoints(&inputs))
+            black_box(sim.run_datapoints(&inputs).expect("drains within bound"))
         })
     });
 

@@ -21,7 +21,7 @@ fn run() -> Result<(), matador::Error> {
     let opts = EvalOptions::from_args(std::env::args().skip(1))?;
     let kind = DatasetKind::Mnist;
     eprintln!("[fig7] building MNIST accelerator…");
-    let row = run_matador(kind, &opts);
+    let row = run_matador(kind, &opts)?;
     let accel = row.outcome.design.compile_for_sim();
     let clock = row.outcome.implementation.clock_mhz;
 
@@ -30,7 +30,7 @@ fn run() -> Result<(), matador::Error> {
     let mut sim = SimEngine::new(&accel);
     sim.enable_trace();
     let inputs: Vec<_> = data.test.iter().take(3).map(|s| s.input.clone()).collect();
-    let results = sim.run_datapoints(&inputs);
+    let results = sim.run_datapoints(&inputs)?;
 
     println!("Fig 7 reproduction — cycle-level pipeline activity (MNIST, 3 datapoints)\n");
     println!(

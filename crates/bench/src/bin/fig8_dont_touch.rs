@@ -34,7 +34,7 @@ fn run() -> Result<(), matador::Error> {
         },
         &data.train,
         &data.test,
-    );
+    )?;
     let model = outcome.model.clone();
 
     eprintln!("[fig8] implementing with DON'T TOUCH…");

@@ -2,14 +2,18 @@
 //! MNIST) across the five evaluation datasets — resources, accuracy,
 //! power, latency and throughput.
 //!
+//! Dataset rows run in parallel (one worker per row); set
+//! `MATADOR_THREADS=1` to force the sequential path. The produced rows
+//! are bit-identical either way — only the printed wall-clock changes.
+//!
 //! ```text
 //! cargo run -p matador-bench --bin table1 --release [-- --quick --seed N]
 //! ```
 
-use matador_baselines::presets::BaselineKind;
-use matador_bench::eval::{baseline_for, run_baseline, run_matador, EvalOptions};
-use matador_bench::table::{format_table1, Table1Row};
-use matador_datasets::{generate, DatasetKind};
+use matador_bench::eval::{run_table1, EvalOptions};
+use matador_bench::table::format_table1;
+use matador_datasets::DatasetKind;
+use std::time::Instant;
 
 fn main() {
     if let Err(e) = run() {
@@ -20,35 +24,16 @@ fn main() {
 
 fn run() -> Result<(), matador::Error> {
     let opts = EvalOptions::from_args(std::env::args().skip(1))?;
+    let threads = matador_par::configured_threads();
     println!(
-        "Table I reproduction — sizes {}x{}, tm epochs {}, bnn epochs {}, seed {}",
-        opts.sizes.train, opts.sizes.test, opts.tm_epochs, opts.bnn_epochs, opts.seed
+        "Table I reproduction — sizes {}x{}, tm epochs {}, bnn epochs {}, seed {}, threads {}",
+        opts.sizes.train, opts.sizes.test, opts.tm_epochs, opts.bnn_epochs, opts.seed, threads
     );
     println!("(synthetic datasets; see DESIGN.md §1 for the substitution argument)\n");
 
-    let mut groups = Vec::new();
-    for kind in DatasetKind::TABLE_I {
-        eprintln!("[table1] {kind}: training TM + generating accelerator…");
-        let matador = run_matador(kind, &opts);
-        assert!(
-            matador.outcome.verification.passed(),
-            "{kind}: generated design failed verification"
-        );
-        let data = generate(kind, opts.sizes, opts.seed);
-        eprintln!("[table1] {kind}: training baseline + folding FINN dataflow…");
-        let finn = run_baseline(baseline_for(kind), &data, &opts);
-
-        let mut rows = Vec::new();
-        if kind == DatasetKind::Mnist {
-            // The paper also quotes the ZC706 BNN references on MNIST.
-            for bnn in [BaselineKind::BnnRRef, BaselineKind::BnnFRef] {
-                rows.push(Table1Row::from_baseline(&run_baseline(bnn, &data, &opts)));
-            }
-        }
-        rows.push(Table1Row::from_baseline(&finn));
-        rows.push(Table1Row::from_matador(&matador));
-        groups.push((kind.to_string(), rows));
-    }
+    let started = Instant::now();
+    let groups = run_table1(&DatasetKind::TABLE_I, &opts)?;
+    let elapsed = started.elapsed();
 
     println!("{}", format_table1(&groups));
 
@@ -65,5 +50,12 @@ fn run() -> Result<(), matador::Error> {
             finn.total_pwr_w / matador.total_pwr_w,
         );
     }
+    println!(
+        "\nwall-clock: {:.2} s for {} dataset rows at {} thread(s) \
+         (rows are bit-identical at any MATADOR_THREADS)",
+        elapsed.as_secs_f64(),
+        groups.len(),
+        threads
+    );
     Ok(())
 }

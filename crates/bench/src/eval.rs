@@ -1,5 +1,6 @@
 //! Per-dataset evaluation drivers for both sides of Table I.
 
+use crate::table::Table1Row;
 use matador::config::MatadorConfig;
 use matador::flow::{FlowOutcome, MatadorFlow, TrainSpec};
 use matador_baselines::bnn::{QuantMlp, TrainConfig};
@@ -170,22 +171,46 @@ pub struct MatadorRow {
 }
 
 /// Runs the full MATADOR flow for `kind`.
-pub fn run_matador(kind: DatasetKind, opts: &EvalOptions) -> MatadorRow {
+///
+/// # Errors
+///
+/// Propagates [`matador::Error`] from the flow (degenerate split sizes,
+/// simulator drain failures).
+pub fn run_matador(kind: DatasetKind, opts: &EvalOptions) -> Result<MatadorRow, matador::Error> {
+    run_matador_with_threads(kind, opts, matador_par::configured_threads())
+}
+
+/// [`run_matador`] with an explicit worker-thread count for the flow's
+/// training/generation stages — used by drivers that already parallelize
+/// across dataset rows and want to split the thread budget rather than
+/// oversubscribe cores. The produced row never depends on `threads`.
+///
+/// # Errors
+///
+/// Propagates [`matador::Error`] from the flow.
+pub fn run_matador_with_threads(
+    kind: DatasetKind,
+    opts: &EvalOptions,
+    threads: usize,
+) -> Result<MatadorRow, matador::Error> {
     let data = generate(kind, opts.sizes, opts.seed);
     let config = MatadorConfig::builder()
         .design_name(format!("matador_{}", kind.to_string().to_lowercase()))
         .build()
         .expect("default configuration is valid");
-    let outcome = MatadorFlow::new(config).verify_limit(Some(64)).run(
-        TrainSpec {
-            params: tm_params_for(kind),
-            epochs: opts.tm_epochs,
-            seed: opts.seed,
-        },
-        &data.train,
-        &data.test,
-    );
-    MatadorRow { kind, outcome }
+    let outcome = MatadorFlow::new(config)
+        .verify_limit(Some(64))
+        .threads(threads)
+        .run(
+            TrainSpec {
+                params: tm_params_for(kind),
+                epochs: opts.tm_epochs,
+                seed: opts.seed,
+            },
+            &data.train,
+            &data.test,
+        )?;
+    Ok(MatadorRow { kind, outcome })
 }
 
 /// One baseline Table I row.
@@ -232,6 +257,59 @@ pub fn run_baseline(kind: BaselineKind, data: &Dataset, opts: &EvalOptions) -> B
         power,
         test_accuracy,
     }
+}
+
+/// Builds every Table I group for `kinds`: the MATADOR flow, the paired
+/// FINN baseline, and (on MNIST) the BNN-r/f references.
+///
+/// Dataset rows are independent, so they run on
+/// [`matador_par::configured_threads`] worker threads (one row — train,
+/// generate, implement, verify — per work item), while the output keeps
+/// the order of `kinds`. The thread budget is split between the row
+/// fan-out and each row's inner training/generation parallelism, so
+/// nesting never oversubscribes the machine. With per-row seeding fixed
+/// by `opts.seed`, the produced rows are bit-identical at every thread
+/// count; the `parallel_equivalence` suite asserts this.
+///
+/// # Errors
+///
+/// Propagates the first [`matador::Error`] any row produces.
+///
+/// # Panics
+///
+/// Panics if a generated design fails verification — hardware that is not
+/// bit-equivalent to its model is a toolflow bug, not an input error.
+pub fn run_table1(
+    kinds: &[DatasetKind],
+    opts: &EvalOptions,
+) -> Result<Vec<(String, Vec<Table1Row>)>, matador::Error> {
+    let budget = matador_par::configured_threads();
+    let row_workers = budget.min(kinds.len().max(1));
+    let inner_threads = (budget / row_workers).max(1);
+    let groups: Vec<Result<(String, Vec<Table1Row>), matador::Error>> =
+        matador_par::par_map_with(row_workers, kinds, |&kind| {
+            eprintln!("[table1] {kind}: training TM + generating accelerator…");
+            let matador_row = run_matador_with_threads(kind, opts, inner_threads)?;
+            assert!(
+                matador_row.outcome.verification.passed(),
+                "{kind}: generated design failed verification"
+            );
+            let data = generate(kind, opts.sizes, opts.seed);
+            eprintln!("[table1] {kind}: training baseline + folding FINN dataflow…");
+            let finn = run_baseline(baseline_for(kind), &data, opts);
+
+            let mut rows = Vec::new();
+            if kind == DatasetKind::Mnist {
+                // The paper also quotes the ZC706 BNN references on MNIST.
+                for bnn in [BaselineKind::BnnRRef, BaselineKind::BnnFRef] {
+                    rows.push(Table1Row::from_baseline(&run_baseline(bnn, &data, opts)));
+                }
+            }
+            rows.push(Table1Row::from_baseline(&finn));
+            rows.push(Table1Row::from_matador(&matador_row));
+            Ok((kind.to_string(), rows))
+        });
+    groups.into_iter().collect()
 }
 
 /// The baseline configuration paired with each dataset row of Table I.
@@ -313,7 +391,7 @@ mod tests {
             test: 60,
         };
         opts.tm_epochs = 2;
-        let row = run_matador(DatasetKind::Kws6, &opts);
+        let row = run_matador(DatasetKind::Kws6, &opts).expect("flow succeeds");
         assert!(row.outcome.verification.passed());
         assert_eq!(row.outcome.design.num_hcbs(), 6);
         assert_eq!(row.outcome.latency.initial_latency_cycles, 9); // 6 + 3

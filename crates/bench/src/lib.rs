@@ -12,5 +12,8 @@
 pub mod eval;
 pub mod table;
 
-pub use eval::{run_baseline, run_matador, BaselineRow, EvalError, EvalOptions, MatadorRow};
+pub use eval::{
+    run_baseline, run_matador, run_matador_with_threads, run_table1, BaselineRow, EvalError,
+    EvalOptions, MatadorRow,
+};
 pub use table::{format_table1, Table1Row};

@@ -231,15 +231,17 @@ mod tests {
             .design_name("deploy_test")
             .build()
             .expect("valid");
-        let outcome = MatadorFlow::new(config).run(
-            TrainSpec {
-                params,
-                epochs: 20,
-                seed: 2,
-            },
-            &train,
-            &test,
-        );
+        let outcome = MatadorFlow::new(config)
+            .run(
+                TrainSpec {
+                    params,
+                    epochs: 20,
+                    seed: 2,
+                },
+                &train,
+                &test,
+            )
+            .expect("flow succeeds");
         (outcome, test)
     }
 

@@ -50,60 +50,85 @@ pub struct AcceleratorDesign {
 impl AcceleratorDesign {
     /// Partitions `model` per `config` and technology-maps every window.
     ///
+    /// Window optimization and LUT mapping are independent per window, so
+    /// they run on [`matador_par::configured_threads`] worker threads;
+    /// results are collected in window order, making the generated design
+    /// identical at every thread count.
+    ///
     /// # Panics
     ///
     /// Panics if the model has no clauses (never produced by training).
     pub fn generate(model: TrainedModel, config: MatadorConfig) -> Self {
+        Self::generate_with_threads(model, config, matador_par::configured_threads())
+    }
+
+    /// [`AcceleratorDesign::generate`] with an explicit worker-thread
+    /// count (`1` forces the sequential in-caller path). The generated
+    /// design never depends on `threads`.
+    pub fn generate_with_threads(
+        model: TrainedModel,
+        config: MatadorConfig,
+        threads: usize,
+    ) -> Self {
         let windows = window_cubes(&model, config.bus_width());
         let sharing = config.sharing();
-        let dags: Vec<LogicDag> = windows
-            .iter()
-            .map(|cubes| matador_logic::share::optimize_window(config.bus_width(), cubes, sharing))
-            .collect();
 
         let prefix_regs = match sharing {
             Sharing::Enabled => prefix_register_counts(&model, config.bus_width()),
             Sharing::DontTouch => vec![model.total_clauses(); windows.len()],
         };
 
-        let mut hcb_logic = Vec::with_capacity(dags.len());
+        // Per-window logic optimization + LUT mapping, the generation hot
+        // path: each window is independent, so fan out across workers.
+        let per_window: Vec<(LogicDag, HcbLogic, u32)> =
+            matador_par::par_map_indexed_with(threads, &windows, |k, cubes| {
+                let dag = matador_logic::share::optimize_window(config.bus_width(), cubes, sharing);
+                let mapping = map_dag(&dag, LUT_K);
+                let depth = mapping.depth;
+                let regs = prefix_regs[k];
+                let logic = match sharing {
+                    Sharing::Enabled => {
+                        // The AND with the incoming partial-clause bit is
+                        // absorbed into the root LUT when the root cut
+                        // leaves a spare input.
+                        let chain_and_luts = mapping
+                            .output_cut_widths
+                            .iter()
+                            .filter(|&&w| w >= LUT_K)
+                            .count();
+                        HcbLogic {
+                            luts: mapping.lut_count(),
+                            registers: regs,
+                            chain_and_luts,
+                        }
+                    }
+                    Sharing::DontTouch => {
+                        // DON'T TOUCH pins every emitted net, so technology
+                        // mapping cannot pack cones: every AND2 and inverter
+                        // becomes its own LUT, and each non-trivial clause
+                        // keeps a dedicated clause-chain AND (Fig 8's
+                        // measured behaviour).
+                        let nontrivial = cubes
+                            .iter()
+                            .filter(|c| !c.is_empty() && !c.is_contradictory())
+                            .count();
+                        HcbLogic {
+                            luts: dag.and2_count() + dag.inverter_count(),
+                            registers: regs,
+                            chain_and_luts: nontrivial,
+                        }
+                    }
+                };
+                (dag, logic, depth)
+            });
+
+        let mut dags = Vec::with_capacity(per_window.len());
+        let mut hcb_logic = Vec::with_capacity(per_window.len());
         let mut hcb_depth = 0u32;
-        for ((dag, cubes), &regs) in dags.iter().zip(&windows).zip(&prefix_regs) {
-            let mapping = map_dag(dag, LUT_K);
-            hcb_depth = hcb_depth.max(mapping.depth);
-            match sharing {
-                Sharing::Enabled => {
-                    // The AND with the incoming partial-clause bit is
-                    // absorbed into the root LUT when the root cut leaves a
-                    // spare input.
-                    let chain_and_luts = mapping
-                        .output_cut_widths
-                        .iter()
-                        .filter(|&&w| w >= LUT_K)
-                        .count();
-                    hcb_logic.push(HcbLogic {
-                        luts: mapping.lut_count(),
-                        registers: regs,
-                        chain_and_luts,
-                    });
-                }
-                Sharing::DontTouch => {
-                    // DON'T TOUCH pins every emitted net, so technology
-                    // mapping cannot pack cones: every AND2 and inverter
-                    // becomes its own LUT, and each non-trivial clause
-                    // keeps a dedicated clause-chain AND (Fig 8's measured
-                    // behaviour).
-                    let nontrivial = cubes
-                        .iter()
-                        .filter(|c| !c.is_empty() && !c.is_contradictory())
-                        .count();
-                    hcb_logic.push(HcbLogic {
-                        luts: dag.and2_count() + dag.inverter_count(),
-                        registers: regs,
-                        chain_and_luts: nontrivial,
-                    });
-                }
-            }
+        for (dag, logic, depth) in per_window {
+            hcb_depth = hcb_depth.max(depth);
+            dags.push(dag);
+            hcb_logic.push(logic);
         }
 
         AcceleratorDesign {

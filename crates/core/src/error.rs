@@ -19,6 +19,7 @@
 
 use crate::config::InvalidConfigError;
 use crate::deploy::DeployError;
+use crate::flow::FlowError;
 use crate::wizard::WizardError;
 use std::fmt;
 
@@ -28,10 +29,16 @@ use std::fmt;
 pub enum Error {
     /// Flow configuration validation failed.
     Config(InvalidConfigError),
+    /// A flow entry point was given degenerate inputs (empty training or
+    /// test set).
+    Flow(FlowError),
     /// A wizard answer could not be parsed or validated.
     Wizard(WizardError),
     /// Writing deployment artifacts failed.
     Deploy(DeployError),
+    /// The cycle-accurate simulator failed to drain during verification
+    /// or latency characterization.
+    Sim(matador_sim::SimError),
     /// The learning substrate reported an error (hyperparameters, model
     /// text I/O, booleanization).
     Tsetlin(tsetlin::Error),
@@ -62,8 +69,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Config(e) => e.fmt(f),
+            Error::Flow(e) => e.fmt(f),
             Error::Wizard(e) => e.fmt(f),
             Error::Deploy(e) => e.fmt(f),
+            Error::Sim(e) => e.fmt(f),
             Error::Tsetlin(e) => e.fmt(f),
             Error::Rtl(e) => e.fmt(f),
             Error::Dataset(e) => e.fmt(f),
@@ -77,8 +86,10 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Config(e) => Some(e),
+            Error::Flow(e) => Some(e),
             Error::Wizard(e) => Some(e),
             Error::Deploy(e) => Some(e),
+            Error::Sim(e) => Some(e),
             Error::Tsetlin(e) => Some(e),
             Error::Rtl(e) => Some(e),
             Error::Dataset(e) => Some(e),
@@ -91,6 +102,18 @@ impl std::error::Error for Error {
 impl From<InvalidConfigError> for Error {
     fn from(e: InvalidConfigError) -> Self {
         Error::Config(e)
+    }
+}
+
+impl From<FlowError> for Error {
+    fn from(e: FlowError) -> Self {
+        Error::Flow(e)
+    }
+}
+
+impl From<matador_sim::SimError> for Error {
+    fn from(e: matador_sim::SimError) -> Self {
+        Error::Sim(e)
     }
 }
 

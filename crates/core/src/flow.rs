@@ -9,10 +9,35 @@ use matador_sim::{LatencyReport, SimEngine};
 use matador_synth::report::ImplementationReport;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::fmt;
 use tsetlin::model::TrainedModel;
 use tsetlin::params::TmParams;
 use tsetlin::tm::MultiClassTm;
 use tsetlin::Sample;
+
+/// Degenerate flow inputs rejected before any training or generation
+/// happens (previously these panicked deep inside `MultiClassTm::fit` or
+/// the cycle simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// [`MatadorFlow::run`] was given an empty training set.
+    EmptyTrainingSet,
+    /// [`MatadorFlow::run_with_model`] was given an empty test set, so
+    /// there is nothing to verify or characterize against.
+    EmptyTestSet,
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::EmptyTrainingSet => write!(f, "flow requires a non-empty training set"),
+            FlowError::EmptyTestSet => write!(f, "flow requires a non-empty test set"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
 
 /// Training inputs for the flow.
 #[derive(Debug, Clone)]
@@ -70,7 +95,7 @@ impl FlowOutcome {
 /// let params = TmParams::builder(377, 6).clauses_per_class(60).build()?;
 /// let config = MatadorConfig::builder().build()?;
 /// let outcome = MatadorFlow::new(config)
-///     .run(TrainSpec { params, epochs: 5, seed: 1 }, &data.train, &data.test);
+///     .run(TrainSpec { params, epochs: 5, seed: 1 }, &data.train, &data.test)?;
 /// assert!(outcome.verification.passed());
 /// # Ok(())
 /// # }
@@ -83,6 +108,9 @@ pub struct MatadorFlow {
     /// Datapoints streamed during verification/measurement (caps cost on
     /// large test sets; `None` = all).
     verify_limit: Option<usize>,
+    /// Worker threads for training/generation (`None` = the
+    /// `MATADOR_THREADS`/available-parallelism default).
+    threads: Option<usize>,
 }
 
 impl MatadorFlow {
@@ -93,6 +121,7 @@ impl MatadorFlow {
             config,
             gate_vectors: 32,
             verify_limit: Some(256),
+            threads: None,
         }
     }
 
@@ -108,25 +137,73 @@ impl MatadorFlow {
         self
     }
 
+    /// Overrides the worker-thread count used for training and design
+    /// generation (default: [`matador_par::configured_threads`]).
+    ///
+    /// Results never depend on this — drivers that already parallelize
+    /// *across* flows (e.g. the `table1` harness) set it to split the
+    /// thread budget instead of oversubscribing cores with nested
+    /// fan-out.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(matador_par::configured_threads)
+    }
+
     /// Trains a fresh model then continues with [`MatadorFlow::run_with_model`].
-    pub fn run(&self, spec: TrainSpec, train: &[Sample], test: &[Sample]) -> FlowOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::EmptyTrainingSet`] (as [`crate::Error::Flow`])
+    /// when `train` is empty, plus every error
+    /// [`MatadorFlow::run_with_model`] can produce.
+    pub fn run(
+        &self,
+        spec: TrainSpec,
+        train: &[Sample],
+        test: &[Sample],
+    ) -> Result<FlowOutcome, crate::Error> {
+        if train.is_empty() {
+            return Err(FlowError::EmptyTrainingSet.into());
+        }
         let mut tm = MultiClassTm::new(spec.params);
         let mut rng = SmallRng::seed_from_u64(spec.seed);
-        tm.fit(train, spec.epochs, &mut rng);
+        tm.fit_with_threads(train, spec.epochs, &mut rng, self.effective_threads());
         self.run_with_model(tm.to_model(), test)
     }
 
     /// Runs the hardware half of the flow on an existing model — the
     /// import path (Fig 6, yellow) for models trained outside MATADOR.
-    pub fn run_with_model(&self, model: TrainedModel, test: &[Sample]) -> FlowOutcome {
-        let design = AcceleratorDesign::generate(model.clone(), self.config.clone());
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::EmptyTestSet`] when `test` is empty, and
+    /// propagates [`matador_sim::SimError`] (as [`crate::Error::Sim`])
+    /// should the cycle simulator fail to drain during verification or
+    /// latency characterization.
+    pub fn run_with_model(
+        &self,
+        model: TrainedModel,
+        test: &[Sample],
+    ) -> Result<FlowOutcome, crate::Error> {
+        if test.is_empty() {
+            return Err(FlowError::EmptyTestSet.into());
+        }
+        let design = AcceleratorDesign::generate_with_threads(
+            model.clone(),
+            self.config.clone(),
+            self.effective_threads(),
+        );
         let implementation = design.implement();
 
         let verify_set: Vec<Sample> = match self.verify_limit {
             Some(limit) => test.iter().take(limit).cloned().collect(),
             None => test.to_vec(),
         };
-        let verification = verify_design(&design, &verify_set, self.gate_vectors, 0xD0_D0);
+        let verification = verify_design(&design, &verify_set, self.gate_vectors, 0xD0_D0)?;
 
         // Latency characterization: stream a back-to-back batch.
         let accel = design.compile_for_sim();
@@ -143,19 +220,19 @@ impl MatadorFlow {
                 steady_ii_cycles: design.num_hcbs() as f64,
             }
         } else {
-            let results = sim.run_datapoints(&batch);
+            let results = sim.run_datapoints(&batch)?;
             LatencyReport::from_results(&results, 0)
         };
 
         let test_accuracy = model.accuracy(test);
-        FlowOutcome {
+        Ok(FlowOutcome {
             model,
             design,
             implementation,
             verification,
             latency,
             test_accuracy,
-        }
+        })
     }
 }
 
@@ -201,7 +278,9 @@ mod tests {
             .design_name("flow_test")
             .build()
             .expect("valid");
-        let outcome = MatadorFlow::new(config).run(spec(), &train, &test);
+        let outcome = MatadorFlow::new(config)
+            .run(spec(), &train, &test)
+            .expect("flow succeeds");
         assert!(outcome.verification.passed(), "{:?}", outcome.verification);
         assert!(outcome.test_accuracy > 0.9, "acc {}", outcome.test_accuracy);
         assert_eq!(outcome.design.num_hcbs(), 3);
@@ -220,7 +299,9 @@ mod tests {
             .pipeline_class_sum(true)
             .build()
             .expect("valid");
-        let outcome = MatadorFlow::new(config).run(spec(), &train, &test);
+        let outcome = MatadorFlow::new(config)
+            .run(spec(), &train, &test)
+            .expect("flow succeeds");
         assert!(outcome.verification.passed(), "{:?}", outcome.verification);
         // Latency = packets + 4 with the split class sum; II unchanged.
         assert_eq!(outcome.latency.initial_latency_cycles, 7);
@@ -236,7 +317,9 @@ mod tests {
             .bus_width(4)
             .build()
             .expect("valid");
-        let outcome = MatadorFlow::new(config).run_with_model(model, &test);
+        let outcome = MatadorFlow::new(config)
+            .run_with_model(model, &test)
+            .expect("flow succeeds");
         // Untrained model: accuracy is chance-level but the hardware is
         // still bit-equivalent to it.
         assert!(outcome.verification.passed());
@@ -252,7 +335,38 @@ mod tests {
         let outcome = MatadorFlow::new(config)
             .verify_limit(Some(4))
             .gate_vectors(2)
-            .run(spec(), &train, &test);
+            .run(spec(), &train, &test)
+            .expect("flow succeeds");
         assert_eq!(outcome.verification.system_vectors, 4);
+    }
+
+    #[test]
+    fn empty_training_set_is_a_typed_error() {
+        let (_, test) = tiny_task();
+        let config = MatadorConfig::builder()
+            .bus_width(4)
+            .build()
+            .expect("valid");
+        let err = MatadorFlow::new(config)
+            .run(spec(), &[], &test)
+            .expect_err("empty training set must be rejected");
+        assert!(matches!(
+            err,
+            crate::Error::Flow(FlowError::EmptyTrainingSet)
+        ));
+        assert!(err.to_string().contains("training set"));
+    }
+
+    #[test]
+    fn empty_test_set_is_a_typed_error() {
+        let (train, _) = tiny_task();
+        let config = MatadorConfig::builder()
+            .bus_width(4)
+            .build()
+            .expect("valid");
+        let err = MatadorFlow::new(config)
+            .run(spec(), &train, &[])
+            .expect_err("empty test set must be rejected");
+        assert!(matches!(err, crate::Error::Flow(FlowError::EmptyTestSet)));
     }
 }

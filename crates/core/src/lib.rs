@@ -47,6 +47,6 @@ pub use config::{ClockChoice, InvalidConfigError, MatadorConfig};
 pub use deploy::{deploy, DeployError, DeployManifest};
 pub use design::{AcceleratorDesign, VerilogFile};
 pub use error::Error;
-pub use flow::{FlowOutcome, MatadorFlow, TrainSpec};
+pub use flow::{FlowError, FlowOutcome, MatadorFlow, TrainSpec};
 pub use verify::{verify_design, VerificationReport};
 pub use wizard::{Wizard, WizardError, WizardOutcome};

@@ -10,7 +10,7 @@
 //!    classification is compared with software inference.
 
 use crate::design::AcceleratorDesign;
-use matador_sim::SimEngine;
+use matador_sim::{SimEngine, SimError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tsetlin::bits::BitVec;
@@ -43,12 +43,18 @@ impl VerificationReport {
 /// `gate_vectors_per_window` random vectors (plus all-zeros/all-ones) are
 /// applied to every window netlist; all `samples` are streamed through the
 /// cycle-accurate simulator.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the cycle simulator fails to drain the
+/// streamed samples (impossible for generated designs under no
+/// backpressure, but surfaced as a typed error rather than a panic).
 pub fn verify_design(
     design: &AcceleratorDesign,
     samples: &[Sample],
     gate_vectors_per_window: usize,
     seed: u64,
-) -> VerificationReport {
+) -> Result<VerificationReport, SimError> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x5645_5249_4659); // "VERIFY"
     let w = design.config().bus_width();
 
@@ -78,7 +84,7 @@ pub fn verify_design(
     let mut sim = SimEngine::new(&accel);
     sim.set_pipelined_sum(design.config().pipeline_class_sum());
     let inputs: Vec<BitVec> = samples.iter().map(|s| s.input.clone()).collect();
-    let results = sim.run_datapoints(&inputs);
+    let results = sim.run_datapoints(&inputs)?;
     let mut system_mismatches = 0usize;
     for (s, r) in samples.iter().zip(&results) {
         if design.model().predict(&s.input) != r.winner {
@@ -86,13 +92,13 @@ pub fn verify_design(
         }
     }
 
-    VerificationReport {
+    Ok(VerificationReport {
         gate_vectors,
         gate_mismatches,
         system_vectors: samples.len(),
         system_mismatches,
         beats_observed: sim.monitor().records().len(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -132,7 +138,7 @@ mod tests {
             .build()
             .expect("valid");
         let design = AcceleratorDesign::generate(model(), config);
-        let report = verify_design(&design, &samples(), 16, 1);
+        let report = verify_design(&design, &samples(), 16, 1).expect("drains");
         assert!(report.passed(), "{report:?}");
         assert_eq!(report.system_vectors, 16);
         // 2 windows × (16 random + 2 directed).
@@ -148,7 +154,7 @@ mod tests {
             .build()
             .expect("valid");
         let design = AcceleratorDesign::generate(model(), config);
-        let report = verify_design(&design, &samples(), 8, 2);
+        let report = verify_design(&design, &samples(), 8, 2).expect("drains");
         assert!(report.passed(), "{report:?}");
     }
 

@@ -10,8 +10,48 @@
 
 use crate::accel::CompiledAccelerator;
 use matador_axi::stream::{AxiStreamMaster, StreamMonitor};
+use std::fmt;
 use tsetlin::bits::BitVec;
 use tsetlin::tm::argmax;
+
+/// Typed failure of the cycle-accurate engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The design failed to drain within the cycle bound — a hang, which
+    /// on the board is exactly what the auto-debug ILA flow would be
+    /// deployed to find.
+    DrainBoundExceeded {
+        /// The cycle budget that was exhausted.
+        max_cycles: u64,
+        /// Whether backpressure (`stall`) was asserted when the bound
+        /// tripped — the common benign cause.
+        stalled: bool,
+        /// AXI beats still queued in the stream master.
+        pending_beats: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::DrainBoundExceeded {
+                max_cycles,
+                stalled,
+                pending_beats,
+            } => {
+                write!(
+                    f,
+                    "simulation did not drain within {max_cycles} cycles \
+                     ({pending_beats} beats pending, stall {})",
+                    if *stalled { "asserted" } else { "deasserted" }
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// One classification result leaving the accelerator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -198,40 +238,84 @@ impl<'a> SimEngine<'a> {
         self.cycle += 1;
     }
 
-    /// Runs until the stream drains and the pipeline empties, with a
-    /// safety bound of `max_cycles`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the design fails to drain within `max_cycles` (a hang —
-    /// exactly what the auto-debug ILA flow would be used to find).
-    pub fn run_to_completion(&mut self, max_cycles: u64) {
-        let start = self.cycle;
-        while !(self.master.is_idle()
+    /// Whether the stream has drained and every pipeline stage is empty.
+    fn drained(&self) -> bool {
+        self.master.is_idle()
             && self.sum_stage.is_none()
             && self.sum_stage_pre.is_none()
             && self.argmax_stage.is_none()
-            && !self.sum_en_next)
-        {
-            assert!(
-                self.cycle - start < max_cycles,
-                "simulation did not drain within {max_cycles} cycles"
-            );
+            && !self.sum_en_next
+    }
+
+    /// Runs until the stream drains and the pipeline empties, with a
+    /// safety bound of `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DrainBoundExceeded`] if the design fails to
+    /// drain within `max_cycles` (a hang — exactly what the auto-debug
+    /// ILA flow would be used to find — or backpressure left asserted).
+    pub fn try_run_to_completion(&mut self, max_cycles: u64) -> Result<(), SimError> {
+        let start = self.cycle;
+        while !self.drained() {
+            if self.cycle - start >= max_cycles {
+                return Err(SimError::DrainBoundExceeded {
+                    max_cycles,
+                    stalled: self.stall,
+                    pending_beats: self.master.pending(),
+                });
+            }
             self.step();
         }
+        Ok(())
+    }
+
+    /// Panicking convenience wrapper over
+    /// [`SimEngine::try_run_to_completion`] for drivers that treat a hang
+    /// as a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design fails to drain within `max_cycles`.
+    pub fn run_to_completion(&mut self, max_cycles: u64) {
+        if let Err(e) = self.try_run_to_completion(max_cycles) {
+            panic!("{e}");
+        }
+    }
+
+    /// The exact cycle budget needed to stream `datapoints` back-to-back
+    /// from the current engine state and drain the pipeline, plus one
+    /// cycle of slack.
+    ///
+    /// Derived from the architecture rather than guessed: `P` cycles per
+    /// datapoint (one per AXI packet, including any beats already queued),
+    /// then the drain latency of the class-sum (`+1` when pipelined),
+    /// argmax and output-register stages. Anything beyond this bound is a
+    /// hang by construction.
+    pub fn drain_bound(&self, datapoints: usize) -> u64 {
+        let p = self.accel.shape().num_packets() as u64;
+        let queued_beats = self.master.pending() as u64;
+        let stream_cycles = datapoints as u64 * p + queued_beats;
+        let drain_latency = 3 + u64::from(self.pipelined_sum);
+        stream_cycles + drain_latency + 1
     }
 
     /// Streams `inputs` back-to-back and returns the classifications in
     /// arrival order.
-    pub fn run_datapoints(&mut self, inputs: &[BitVec]) -> Vec<SimResult> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DrainBoundExceeded`] if the design fails to
+    /// drain within [`SimEngine::drain_bound`] cycles — e.g. when
+    /// backpressure is left asserted via [`SimEngine::set_stall`].
+    pub fn run_datapoints(&mut self, inputs: &[BitVec]) -> Result<Vec<SimResult>, SimError> {
+        let bound = self.drain_bound(inputs.len());
         let before = self.results.len();
         for x in inputs {
             self.queue_datapoint(x);
         }
-        let shape = self.accel.shape();
-        let bound = (inputs.len() as u64 + 4) * (shape.num_packets() as u64 + 4) + 64;
-        self.run_to_completion(bound);
-        self.results[before..].to_vec()
+        self.try_run_to_completion(bound)?;
+        Ok(self.results[before..].to_vec())
     }
 
     /// All results so far.
@@ -351,7 +435,7 @@ mod tests {
         let mut sim = SimEngine::new(&a);
         sim.enable_trace();
         let x = BitVec::from_indices(8, &[0]);
-        let results = sim.run_datapoints(&[x]);
+        let results = sim.run_datapoints(&[x]).expect("drains within bound");
         assert_eq!(results.len(), 1);
         // 2 packets + sum + argmax + output register = 5 cycles.
         let report = LatencyReport::from_results(&results, 0);
@@ -364,7 +448,7 @@ mod tests {
         let mut sim = SimEngine::new(&a);
         let x = BitVec::from_indices(8, &[0]);
         let inputs = vec![x; 10];
-        let results = sim.run_datapoints(&inputs);
+        let results = sim.run_datapoints(&inputs).expect("drains within bound");
         assert_eq!(results.len(), 10);
         let report = LatencyReport::from_results(&results, 0);
         assert!((report.steady_ii_cycles - 2.0).abs() < 1e-9);
@@ -379,7 +463,7 @@ mod tests {
             BitVec::from_indices(8, &[2, 4]),
             BitVec::from_indices(8, &[1, 3]),
         ];
-        let results = sim.run_datapoints(&xs);
+        let results = sim.run_datapoints(&xs).expect("drains within bound");
         for (x, r) in xs.iter().zip(&results) {
             let sums = a.reference_class_sums(x);
             let expect = argmax(&sums);
@@ -408,7 +492,8 @@ mod tests {
         let a = accel();
         let mut sim = SimEngine::new(&a);
         sim.enable_trace();
-        sim.run_datapoints(&[BitVec::from_indices(8, &[0])]);
+        sim.run_datapoints(&[BitVec::from_indices(8, &[0])])
+            .expect("drains within bound");
         let trace = sim.trace();
         assert_eq!(trace[0].hcb_en, Some(0));
         assert_eq!(trace[1].hcb_en, Some(1));
@@ -435,7 +520,9 @@ mod tests {
         let mut sim = SimEngine::new(&a);
         sim.set_pipelined_sum(true);
         let x = BitVec::from_indices(8, &[0]);
-        let results = sim.run_datapoints(&[x.clone(), x.clone(), x]);
+        let results = sim
+            .run_datapoints(&[x.clone(), x.clone(), x])
+            .expect("drains within bound");
         let report = LatencyReport::from_results(&results, 0);
         // 2 packets + popcount stage + subtract stage + argmax + output.
         assert_eq!(report.initial_latency_cycles, 2 + 4);
@@ -451,8 +538,48 @@ mod tests {
     fn monitor_sees_all_packets() {
         let a = accel();
         let mut sim = SimEngine::new(&a);
-        sim.run_datapoints(&[BitVec::zeros(8), BitVec::zeros(8)]);
+        sim.run_datapoints(&[BitVec::zeros(8), BitVec::zeros(8)])
+            .expect("drains within bound");
         assert_eq!(sim.monitor().records().len(), 4);
         assert_eq!(sim.monitor().datapoints(), 2);
+    }
+
+    #[test]
+    fn drain_bound_derives_from_pipeline_depth() {
+        let a = accel(); // 2 packets
+        let mut sim = SimEngine::new(&a);
+        // n*P packets + 3 drain stages + 1 slack.
+        assert_eq!(sim.drain_bound(1), 2 + 3 + 1);
+        assert_eq!(sim.drain_bound(10), 20 + 3 + 1);
+        sim.set_pipelined_sum(true);
+        assert_eq!(sim.drain_bound(1), 2 + 4 + 1);
+        // Beats already queued extend the bound.
+        sim.set_pipelined_sum(false);
+        sim.queue_datapoint(&BitVec::zeros(8));
+        assert_eq!(sim.drain_bound(1), 2 + 2 + 3 + 1);
+    }
+
+    #[test]
+    fn stalled_run_returns_typed_error_instead_of_panicking() {
+        let a = accel();
+        let mut sim = SimEngine::new(&a);
+        sim.set_stall(true);
+        let err = sim
+            .run_datapoints(&[BitVec::from_indices(8, &[0])])
+            .expect_err("stalled stream cannot drain");
+        assert!(matches!(
+            err,
+            SimError::DrainBoundExceeded {
+                stalled: true,
+                pending_beats: 2,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("did not drain"));
+        // Releasing backpressure lets the same engine finish the stream.
+        sim.set_stall(false);
+        sim.try_run_to_completion(sim.drain_bound(0))
+            .expect("drains after stall release");
+        assert_eq!(sim.results().len(), 1);
     }
 }

@@ -26,7 +26,7 @@
 //! ]];
 //! let accel = CompiledAccelerator::from_window_cubes(shape, &cubes, Sharing::Enabled);
 //! let mut sim = SimEngine::new(&accel);
-//! let results = sim.run_datapoints(&[BitVec::from_indices(4, &[0])]);
+//! let results = sim.run_datapoints(&[BitVec::from_indices(4, &[0])]).expect("drains");
 //! assert_eq!(results[0].winner, 0);
 //! ```
 
@@ -34,4 +34,4 @@ pub mod accel;
 pub mod engine;
 
 pub use accel::{AccelShape, CompiledAccelerator};
-pub use engine::{CycleTrace, LatencyReport, SimEngine, SimResult};
+pub use engine::{CycleTrace, LatencyReport, SimEngine, SimError, SimResult};

@@ -1,0 +1,164 @@
+//! Property tests for the batched cycle engine: streaming a batch
+//! back-to-back must classify exactly like running each datapoint alone
+//! on a fresh engine (the pipeline carries no state across datapoints),
+//! and the derived drain bound must be simultaneously sufficient for
+//! every well-formed run and tight enough to convert hangs into typed
+//! errors — including on degenerate single-packet designs.
+
+use matador_logic::dag::Sharing;
+use matador_sim::{AccelShape, CompiledAccelerator, SimEngine, SimError};
+use proptest::prelude::*;
+use tsetlin::bits::BitVec;
+use tsetlin::model::{IncludeMask, TrainedModel};
+
+fn arb_bitvec(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(BitVec::from_bools)
+}
+
+/// Arbitrary small trained model: 1..4 classes, 2..6 clauses (even),
+/// whose feature count is an exact multiple of the bus width so designs
+/// from 1 to 4 packets are exercised.
+fn arb_model(bus: usize, packets: std::ops::Range<usize>) -> impl Strategy<Value = TrainedModel> {
+    (1usize..4, 1usize..4, packets).prop_flat_map(move |(classes, half_clauses, p)| {
+        let cpc = 2 * half_clauses;
+        let features = bus * p;
+        proptest::collection::vec((arb_bitvec(features), arb_bitvec(features)), classes * cpc)
+            .prop_map(move |masks| {
+                let includes = masks
+                    .into_iter()
+                    .map(|(pos, raw_neg)| IncludeMask {
+                        neg: raw_neg.and(&pos.not()),
+                        pos,
+                    })
+                    .collect();
+                TrainedModel::from_masks(features, classes, cpc, includes)
+            })
+    })
+}
+
+fn compile(model: &TrainedModel, bus: usize) -> CompiledAccelerator {
+    let shape = AccelShape {
+        bus_width: bus,
+        features: model.num_features(),
+        classes: model.num_classes(),
+        clauses_per_class: model.clauses_per_class(),
+    };
+    let windows = matador_logic::share::window_cubes(model, bus);
+    CompiledAccelerator::from_window_cubes(shape, &windows, Sharing::Enabled)
+}
+
+fn inputs_from_seeds(model: &TrainedModel, seeds: &[u64]) -> Vec<BitVec> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            BitVec::from_bools((0..model.num_features()).map(|i| (seed >> (i % 64)) & 1 == 1))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `run_datapoints(batch)` classifies exactly like concatenating
+    /// single-datapoint runs on fresh engines, in both class-sum modes.
+    #[test]
+    fn batch_equals_concatenated_single_runs(
+        model in arb_model(8, 1usize..4),
+        seeds in proptest::collection::vec(any::<u64>(), 1..6),
+        pipelined in any::<bool>(),
+    ) {
+        let accel = compile(&model, 8);
+        let xs = inputs_from_seeds(&model, &seeds);
+
+        let mut batch_sim = SimEngine::new(&accel);
+        batch_sim.set_pipelined_sum(pipelined);
+        let batch: Vec<usize> = batch_sim
+            .run_datapoints(&xs)
+            .expect("batch drains within the derived bound")
+            .iter()
+            .map(|r| r.winner)
+            .collect();
+
+        let singles: Vec<usize> = xs
+            .iter()
+            .map(|x| {
+                let mut sim = SimEngine::new(&accel);
+                sim.set_pipelined_sum(pipelined);
+                let rs = sim
+                    .run_datapoints(std::slice::from_ref(x))
+                    .expect("single datapoint drains within the derived bound");
+                assert_eq!(rs.len(), 1);
+                rs[0].winner
+            })
+            .collect();
+
+        prop_assert_eq!(batch, singles, "pipelined={}", pipelined);
+    }
+
+    /// Incremental batches on one engine agree with one big batch: the
+    /// drain bound derivation holds from any drained mid-stream state.
+    #[test]
+    fn sequential_batches_agree_with_one_batch(
+        model in arb_model(8, 1usize..3),
+        seeds in proptest::collection::vec(any::<u64>(), 2..6),
+        split in any::<bool>(),
+    ) {
+        let accel = compile(&model, 8);
+        let xs = inputs_from_seeds(&model, &seeds);
+        let cut = if split { xs.len() / 2 } else { 1 };
+
+        let mut one = SimEngine::new(&accel);
+        let all: Vec<usize> = one
+            .run_datapoints(&xs)
+            .expect("drains")
+            .iter()
+            .map(|r| r.winner)
+            .collect();
+
+        let mut incremental = SimEngine::new(&accel);
+        let mut winners: Vec<usize> = incremental
+            .run_datapoints(&xs[..cut])
+            .expect("first batch drains")
+            .iter()
+            .map(|r| r.winner)
+            .collect();
+        winners.extend(
+            incremental
+                .run_datapoints(&xs[cut..])
+                .expect("second batch drains")
+                .iter()
+                .map(|r| r.winner),
+        );
+        prop_assert_eq!(all, winners);
+    }
+
+    /// Regression for the old magic `+4`/`+64` slop: on a degenerate
+    /// 1-packet design a stalled stream now surfaces as a typed
+    /// `DrainBoundExceeded` instead of panicking, and the engine is
+    /// still usable after backpressure is released.
+    #[test]
+    fn stalled_one_packet_design_yields_typed_error(
+        model in arb_model(8, 1usize..2),
+        seed in any::<u64>(),
+    ) {
+        let accel = compile(&model, 8);
+        prop_assert_eq!(accel.shape().num_packets(), 1);
+        let xs = inputs_from_seeds(&model, &[seed]);
+
+        let mut sim = SimEngine::new(&accel);
+        sim.set_stall(true);
+        let err = sim
+            .run_datapoints(&xs)
+            .expect_err("a stalled stream cannot drain");
+        prop_assert!(matches!(
+            err,
+            SimError::DrainBoundExceeded { stalled: true, pending_beats: 1, .. }
+        ));
+
+        sim.set_stall(false);
+        sim.try_run_to_completion(sim.drain_bound(0))
+            .expect("drains after stall release");
+        prop_assert_eq!(sim.results().len(), 1);
+        prop_assert_eq!(sim.results()[0].winner, model.predict(&xs[0]));
+    }
+}

@@ -1,13 +1,36 @@
 //! The multiclass Tsetlin Machine: clause voting, class sums and the
 //! Type I / Type II feedback schedule (Fig 1(a) of the paper).
+//!
+//! # Training parallelism
+//!
+//! [`MultiClassTm::fit`] exploits the per-class independence of TM
+//! feedback (each class's clause bank is only ever updated from its own
+//! class sum): every epoch draws one `epoch_seed` from the caller's RNG,
+//! then derives independent streams from it via
+//! [`matador_par::split_seed`] — one for the sample shuffle, one for the
+//! per-sample negative-class draws, and one per class for the feedback
+//! coin flips. Classes are then updated concurrently with
+//! [`matador_par::par_map_mut`]. Because no RNG stream ever crosses a
+//! class boundary, the trained machine is **bit-identical at every
+//! thread count** (`MATADOR_THREADS=1` included), which the
+//! `parallel_equivalence` suite asserts end-to-end.
 
 use crate::bits::BitVec;
 use crate::clause::Clause;
 use crate::model::TrainedModel;
 use crate::params::TmParams;
 use crate::Sample;
+use matador_par::split_seed;
+use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+
+/// Seed-split stream tag for the per-epoch sample shuffle.
+const STREAM_SHUFFLE: u64 = 0;
+/// Seed-split stream tag for the per-sample negative-class draws.
+const STREAM_NEGATIVE: u64 = 1;
+/// Base stream tag for per-class feedback RNGs (`base + class_idx`).
+const STREAM_CLASS_BASE: u64 = 2;
 
 /// Polarity of a clause's vote. Clauses alternate polarity by index:
 /// even → positive, odd → negative (the paper's `[+1, -1]` alternation).
@@ -98,17 +121,7 @@ impl MultiClassTm {
     /// Polarity-weighted vote total of `class` on input `x` (with
     /// precomputed complement `x_neg`). Unclamped.
     pub fn class_sum(&self, class: usize, x: &BitVec, x_neg: &BitVec) -> i32 {
-        self.clauses[class]
-            .iter()
-            .enumerate()
-            .map(|(j, c)| {
-                if c.evaluate(x, x_neg) {
-                    Polarity::of_index(j).vote()
-                } else {
-                    0
-                }
-            })
-            .sum()
+        bank_class_sum(&self.clauses[class], x, x_neg)
     }
 
     /// All class sums for input `x`.
@@ -141,12 +154,9 @@ impl MultiClassTm {
         );
         let x = &sample.input;
         let x_neg = x.not();
-        let t = self.params.threshold() as i32;
 
         // Target class: raise its margin.
-        let sum = self.class_sum(sample.label, x, &x_neg).clamp(-t, t);
-        let p_update = (t - sum) as f64 / (2 * t) as f64;
-        self.feedback_class(sample.label, x, &x_neg, p_update, true, rng);
+        self.feedback_sample(sample.label, x, &x_neg, true, rng);
 
         // One random negative class: suppress its margin.
         if classes > 1 {
@@ -154,21 +164,115 @@ impl MultiClassTm {
             if negative >= sample.label {
                 negative += 1;
             }
-            let sum = self.class_sum(negative, x, &x_neg).clamp(-t, t);
-            let p_update = (t + sum) as f64 / (2 * t) as f64;
-            self.feedback_class(negative, x, &x_neg, p_update, false, rng);
+            self.feedback_sample(negative, x, &x_neg, false, rng);
         }
     }
 
-    /// Runs `epochs` passes over `samples` (shuffled each epoch).
+    /// Runs `epochs` passes over `samples` (shuffled each epoch), spread
+    /// over [`matador_par::configured_threads`] worker threads.
+    ///
+    /// Training is deterministic per `rng` seed and — by the per-class
+    /// seed-splitting scheme described in the module docs — bit-identical
+    /// at every thread count. See [`MultiClassTm::fit_with_threads`] for
+    /// an explicit thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample's label is out of range or its input width
+    /// mismatches the machine's feature count.
     pub fn fit<R: Rng + ?Sized>(&mut self, samples: &[Sample], epochs: usize, rng: &mut R) {
-        let mut order: Vec<usize> = (0..samples.len()).collect();
+        self.fit_with_threads(samples, epochs, rng, matador_par::configured_threads());
+    }
+
+    /// [`MultiClassTm::fit`] with an explicit worker-thread count
+    /// (`1` forces the sequential in-caller path).
+    ///
+    /// The result does not depend on `threads` — only how the identical
+    /// per-class work is scheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample's label is out of range or its input width
+    /// mismatches the machine's feature count.
+    pub fn fit_with_threads<R: Rng + ?Sized>(
+        &mut self,
+        samples: &[Sample],
+        epochs: usize,
+        rng: &mut R,
+        threads: usize,
+    ) {
+        if samples.is_empty() {
+            return;
+        }
+        let classes = self.params.classes();
+        for sample in samples {
+            assert!(sample.label < classes, "label out of range");
+            assert_eq!(
+                sample.input.len(),
+                self.params.features(),
+                "input width mismatch"
+            );
+        }
+        // Complements are input-only; hoist them out of the epoch loop.
+        let x_negs: Vec<BitVec> = samples.iter().map(|s| s.input.not()).collect();
         for _ in 0..epochs {
-            order.shuffle(rng);
+            let epoch_seed: u64 = rng.gen();
+            self.epoch_pass(samples, &x_negs, epoch_seed, threads);
+        }
+    }
+
+    /// One epoch of the deterministic parallel schedule: shuffle and
+    /// negative-class draws come from their own `epoch_seed`-derived
+    /// streams, then every class replays the sample stream concurrently
+    /// with a class-local RNG.
+    fn epoch_pass(
+        &mut self,
+        samples: &[Sample],
+        x_negs: &[BitVec],
+        epoch_seed: u64,
+        threads: usize,
+    ) {
+        let classes = self.params.classes();
+
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut shuffle_rng = SmallRng::seed_from_u64(split_seed(epoch_seed, STREAM_SHUFFLE));
+        order.shuffle(&mut shuffle_rng);
+
+        // Pre-draw each sample's negative class in stream order, so the
+        // per-class passes agree on which class suppresses which sample
+        // without sharing an RNG.
+        let mut negatives = vec![usize::MAX; samples.len()];
+        if classes > 1 {
+            let mut neg_rng = SmallRng::seed_from_u64(split_seed(epoch_seed, STREAM_NEGATIVE));
             for &i in &order {
-                self.update(&samples[i], rng);
+                let mut negative = neg_rng.gen_range(0..classes - 1);
+                if negative >= samples[i].label {
+                    negative += 1;
+                }
+                negatives[i] = negative;
             }
         }
+
+        let params = &self.params;
+        matador_par::par_map_mut_with(threads, &mut self.clauses, |class, clauses| {
+            let mut rng =
+                SmallRng::seed_from_u64(split_seed(epoch_seed, STREAM_CLASS_BASE + class as u64));
+            for &i in &order {
+                let sample = &samples[i];
+                let is_target = sample.label == class;
+                if !is_target && negatives[i] != class {
+                    continue;
+                }
+                feedback_clause_bank(
+                    params,
+                    clauses,
+                    &sample.input,
+                    &x_negs[i],
+                    is_target,
+                    &mut rng,
+                );
+            }
+        });
     }
 
     /// Fraction of `samples` classified correctly.
@@ -189,31 +293,68 @@ impl MultiClassTm {
         TrainedModel::from_clauses(&self.params, &self.clauses)
     }
 
-    fn feedback_class<R: Rng + ?Sized>(
+    fn feedback_sample<R: Rng + ?Sized>(
         &mut self,
         class: usize,
         x: &BitVec,
         x_neg: &BitVec,
-        p_update: f64,
         is_target: bool,
         rng: &mut R,
     ) {
-        let s = self.params.specificity();
-        let boost = self.params.boost_true_positive();
-        for (j, clause) in self.clauses[class].iter_mut().enumerate() {
-            if rng.gen::<f64>() >= p_update {
-                continue;
-            }
-            let output = clause.evaluate(x, x_neg);
-            let type_i = match (is_target, Polarity::of_index(j)) {
-                (true, Polarity::Positive) | (false, Polarity::Negative) => true,
-                (true, Polarity::Negative) | (false, Polarity::Positive) => false,
-            };
-            if type_i {
-                clause.type_i_feedback(x, output, s, boost, rng);
+        let params = &self.params;
+        feedback_clause_bank(params, &mut self.clauses[class], x, x_neg, is_target, rng);
+    }
+}
+
+/// Polarity-weighted vote total of one class's clause bank (unclamped).
+fn bank_class_sum(clauses: &[Clause], x: &BitVec, x_neg: &BitVec) -> i32 {
+    clauses
+        .iter()
+        .enumerate()
+        .map(|(j, c)| {
+            if c.evaluate(x, x_neg) {
+                Polarity::of_index(j).vote()
             } else {
-                clause.type_ii_feedback(x, output);
+                0
             }
+        })
+        .sum()
+}
+
+/// One sample's feedback onto a single class's clause bank — the unit of
+/// work the parallel schedule hands to each class. Reads and writes only
+/// `clauses` (plus the class-local `rng`), which is what makes per-class
+/// parallelism sound and thread-count-invariant.
+fn feedback_clause_bank<R: Rng + ?Sized>(
+    params: &TmParams,
+    clauses: &mut [Clause],
+    x: &BitVec,
+    x_neg: &BitVec,
+    is_target: bool,
+    rng: &mut R,
+) {
+    let t = params.threshold() as i32;
+    let sum = bank_class_sum(clauses, x, x_neg).clamp(-t, t);
+    let p_update = if is_target {
+        (t - sum) as f64 / (2 * t) as f64
+    } else {
+        (t + sum) as f64 / (2 * t) as f64
+    };
+    let s = params.specificity();
+    let boost = params.boost_true_positive();
+    for (j, clause) in clauses.iter_mut().enumerate() {
+        if rng.gen::<f64>() >= p_update {
+            continue;
+        }
+        let output = clause.evaluate(x, x_neg);
+        let type_i = match (is_target, Polarity::of_index(j)) {
+            (true, Polarity::Positive) | (false, Polarity::Negative) => true,
+            (true, Polarity::Negative) | (false, Polarity::Positive) => false,
+        };
+        if type_i {
+            clause.type_i_feedback(x, output, s, boost, rng);
+        } else {
+            clause.type_ii_feedback(x, output);
         }
     }
 }
@@ -332,5 +473,38 @@ mod tests {
     fn accuracy_of_empty_set_is_zero() {
         let tm = MultiClassTm::new(toy_params());
         assert_eq!(tm.accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn fit_on_empty_training_set_is_a_no_op() {
+        let mut tm = MultiClassTm::new(toy_params());
+        let reference = tm.to_model();
+        let mut rng = SmallRng::seed_from_u64(1);
+        tm.fit(&[], 10, &mut rng);
+        assert_eq!(tm.to_model(), reference);
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        let data = toy_data();
+        let mut reference = MultiClassTm::new(toy_params());
+        let mut rng = SmallRng::seed_from_u64(31);
+        reference.fit_with_threads(&data, 12, &mut rng, 1);
+        let reference = reference.to_model();
+        for threads in [2, 3, 8] {
+            let mut tm = MultiClassTm::new(toy_params());
+            let mut rng = SmallRng::seed_from_u64(31);
+            tm.fit_with_threads(&data, 12, &mut rng, threads);
+            assert_eq!(tm.to_model(), reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn fit_rejects_bad_label() {
+        let mut tm = MultiClassTm::new(toy_params());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let s = Sample::new(BitVec::zeros(8), 9);
+        tm.fit(&[s], 1, &mut rng);
     }
 }

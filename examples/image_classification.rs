@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         &data.train,
         &data.test,
-    );
+    )?;
 
     // 3. The sparsity that makes the design compact (Fig 3 / Section II).
     let sparsity = sparsity_report(&outcome.model);

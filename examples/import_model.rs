@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- MATADOR side: import and run the hardware flow. ---
     let model = read_model(text.as_slice())?;
-    let outcome = MatadorFlow::new(outcome_cfg.config).run_with_model(model, &data.test);
+    let outcome = MatadorFlow::new(outcome_cfg.config).run_with_model(model, &data.test)?;
 
     println!("\n{}", outcome.implementation);
     println!(

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         &data.train,
         &data.test,
-    );
+    )?;
 
     println!("\n{}", outcome.implementation);
     println!(

@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         &data.train,
         &data.test,
-    );
+    )?;
 
     // 4. What you get back.
     println!("\n{}", outcome.implementation);

@@ -23,15 +23,18 @@ fn kws_outcome(clauses: usize, epochs: usize) -> matador::flow::FlowOutcome {
         .design_name("it_kws")
         .build()
         .expect("valid config");
-    MatadorFlow::new(config).verify_limit(Some(40)).run(
-        TrainSpec {
-            params,
-            epochs,
-            seed: 4,
-        },
-        &data.train,
-        &data.test,
-    )
+    MatadorFlow::new(config)
+        .verify_limit(Some(40))
+        .run(
+            TrainSpec {
+                params,
+                epochs,
+                seed: 4,
+            },
+            &data.train,
+            &data.test,
+        )
+        .expect("flow succeeds on a non-degenerate workload")
 }
 
 #[test]

@@ -53,7 +53,9 @@ fn throughput_is_bandwidth_bound() {
     let config = MatadorConfig::builder().build().expect("valid");
     let flow = MatadorFlow::new(config);
     let data = generate(DatasetKind::Mnist, SIZES, 5);
-    let outcome = flow.run_with_model(model, &data.test);
+    let outcome = flow
+        .run_with_model(model, &data.test)
+        .expect("flow succeeds");
     assert!(outcome.verification.passed());
     assert!((outcome.throughput_inf_s() - 50.0e6 / 13.0).abs() < 1.0);
     assert!((outcome.latency_us() - 16.0 / 50.0).abs() < 1e-9);
@@ -89,7 +91,8 @@ fn matador_beats_finn_on_bram_and_throughput() {
     let model = trained_model(DatasetKind::Kws6, 20);
     let data = generate(DatasetKind::Kws6, SIZES, 5);
     let outcome = MatadorFlow::new(MatadorConfig::builder().build().expect("valid"))
-        .run_with_model(model, &data.test);
+        .run_with_model(model, &data.test)
+        .expect("flow succeeds");
     let finn = BaselineKind::FinnKws6.design();
     // BRAM: constant 3 vs weight-bound FINN.
     assert!(outcome.implementation.resources.bram < finn.resources().bram / 10.0);
@@ -111,7 +114,8 @@ fn bnn_reference_designs_bracket_matador_throughput() {
     let model = trained_model(DatasetKind::Mnist, 10);
     let data = generate(DatasetKind::Mnist, SIZES, 5);
     let outcome = MatadorFlow::new(MatadorConfig::builder().build().expect("valid"))
-        .run_with_model(model, &data.test);
+        .run_with_model(model, &data.test)
+        .expect("flow succeeds");
     let slow = BaselineKind::BnnRRef.design().throughput_inf_s();
     let fast = BaselineKind::BnnFRef.design().throughput_inf_s();
     let ours = outcome.throughput_inf_s();

@@ -135,7 +135,7 @@ proptest! {
             })
             .collect();
         let mut sim = SimEngine::new(&accel);
-        let results = sim.run_datapoints(&xs);
+        let results = sim.run_datapoints(&xs).expect("drains within bound");
         prop_assert_eq!(results.len(), xs.len());
         for (x, r) in xs.iter().zip(&results) {
             prop_assert_eq!(r.winner, model.predict(x), "input {}", x);

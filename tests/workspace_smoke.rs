@@ -36,15 +36,17 @@ fn facade_drives_minimal_end_to_end_flow() {
         .bus_width(4) // 12 features → P = 3 packets
         .build()
         .expect("valid config");
-    let outcome = MatadorFlow::new(config).run(
-        TrainSpec {
-            params,
-            epochs: 25,
-            seed: 9,
-        },
-        &data.train,
-        &data.test,
-    );
+    let outcome = MatadorFlow::new(config)
+        .run(
+            TrainSpec {
+                params,
+                epochs: 25,
+                seed: 9,
+            },
+            &data.train,
+            &data.test,
+        )
+        .expect("flow succeeds on a non-degenerate workload");
 
     // FlowOutcome invariants: hardware bit-equivalent to software, and the
     // paper's cycle model — initial latency = P + 3 (HCB chain + class sum
@@ -72,7 +74,9 @@ fn facade_drives_minimal_end_to_end_flow() {
     // Cycle-accurate simulation through the re-exported sim crate.
     let accel = outcome.design.compile_for_sim();
     let mut sim = SimEngine::new(&accel);
-    let results = sim.run_datapoints(&[data.test[0].input.clone()]);
+    let results = sim
+        .run_datapoints(&[data.test[0].input.clone()])
+        .expect("drains within bound");
     assert_eq!(
         results[0].winner,
         outcome.model.predict(&data.test[0].input)
