@@ -1,0 +1,228 @@
+//! Sharded-serving scaling sweep: shards × batch sizes over one compiled
+//! design, through the `matador-serve` runtime.
+//!
+//! Trains (or cache-loads) one KWS-6 model, generates the accelerator
+//! once, then serves every batch size on pools of every shard count,
+//! printing a scaling table of pool cycles, aggregate inf/s at the
+//! implemented clock, and latency percentiles. Predictions are asserted
+//! bit-identical across shard counts on every run — sharding is a pure
+//! throughput knob.
+//!
+//! ```text
+//! cargo run -p matador-bench --bin serve_sweep --release -- \
+//!     [--quick] [--seed N] [--shards 1,2,4,8] [--batches 16,64,256] [--assert-scaling]
+//! ```
+//!
+//! `--assert-scaling` exits non-zero unless every multi-shard pool beats
+//! the single-shard pool's throughput on the largest batch — the CI gate.
+
+use matador_bench::eval::{model_key_for, EvalOptions};
+use matador_bench::ModelCache;
+use matador_datasets::{generate, DatasetKind};
+use matador_serve::{DispatchPolicy, ServeOptions, ShardPool};
+use matador_sim::CompiledAccelerator;
+use tsetlin::bits::BitVec;
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Sweep-specific flags, split off before [`EvalOptions`] parsing.
+struct SweepArgs {
+    shards: Vec<usize>,
+    batches: Vec<usize>,
+    assert_scaling: bool,
+    opts: EvalOptions,
+}
+
+fn parse_args() -> Result<SweepArgs, matador::Error> {
+    let mut shards = vec![1, 2, 4, 8];
+    let mut batches = vec![16, 64, 256];
+    let mut assert_scaling = false;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => shards = parse_list(&arg, args.next())?,
+            "--batches" => batches = parse_list(&arg, args.next())?,
+            "--assert-scaling" => assert_scaling = true,
+            _ => rest.push(arg),
+        }
+    }
+    let opts = EvalOptions::from_args(rest)?;
+    Ok(SweepArgs {
+        shards,
+        batches,
+        assert_scaling,
+        opts,
+    })
+}
+
+fn parse_list(flag: &str, value: Option<String>) -> Result<Vec<usize>, matador::Error> {
+    let value = value.ok_or_else(|| bad_arg(format!("{flag} requires a comma-separated list")))?;
+    let list: Vec<usize> = value
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| bad_arg(format!("{flag} entry '{tok}' is not a positive integer")))
+        })
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() {
+        return Err(bad_arg(format!("{flag} list is empty")));
+    }
+    Ok(list)
+}
+
+fn bad_arg(message: String) -> matador::Error {
+    matador::Error::other(std::io::Error::new(
+        std::io::ErrorKind::InvalidInput,
+        message,
+    ))
+}
+
+/// One measured cell of the sweep.
+struct Cell {
+    pool_cycles: u64,
+    inf_s: f64,
+    p50: u64,
+    p99: u64,
+    winners: Vec<usize>,
+}
+
+fn measure(accel: &CompiledAccelerator, shards: usize, batch: &[BitVec], clock: f64) -> Cell {
+    let mut options = ServeOptions::new(shards);
+    options.policy = DispatchPolicy::RoundRobin;
+    let mut pool = ShardPool::with_options(accel, options).expect("positive shard count");
+    let predictions = pool.serve(batch).expect("engines drain");
+    let report = pool.report();
+    Cell {
+        pool_cycles: report.pool_cycles,
+        inf_s: report.throughput_inf_s(clock),
+        p50: report.latency_p50_cycles,
+        p99: report.latency_p99_cycles,
+        winners: predictions.iter().map(|p| p.winner).collect(),
+    }
+}
+
+fn run() -> Result<bool, matador::Error> {
+    let args = parse_args()?;
+    let kind = DatasetKind::Kws6;
+    let opts = &args.opts;
+
+    eprintln!("[serve_sweep] {kind}: training model + generating accelerator…");
+    let data = generate(kind, opts.sizes, opts.seed);
+    let model = ModelCache::global().train_cached(
+        &model_key_for(kind, opts),
+        &data.train,
+        matador_par::configured_threads(),
+    );
+    let config = matador::config::MatadorConfig::builder()
+        .design_name("serve_sweep")
+        .build()
+        .expect("default configuration is valid");
+    let design = matador::design::AcceleratorDesign::generate(model, config);
+    let clock = design.implement().clock_mhz;
+    let accel = design.compile_for_sim();
+    let test_inputs: Vec<BitVec> = data.test.iter().map(|s| s.input.clone()).collect();
+
+    println!(
+        "serve_sweep — {kind} design, {} packets/datapoint, clock {clock:.0} MHz, \
+         round-robin dispatch, seed {}",
+        accel.shape().num_packets(),
+        opts.seed
+    );
+    println!(
+        "(cycle-accurate pooled engines; pool wall-clock = slowest shard; \
+         model cache: {} hit(s), {} miss(es))\n",
+        ModelCache::global().hits(),
+        ModelCache::global().misses()
+    );
+
+    let header: Vec<String> = args
+        .shards
+        .iter()
+        .map(|s| format!("{:>21}", format!("shards={s}")))
+        .collect();
+    println!(
+        "{:>7} {}   (inf/s @ pool cycles)",
+        "batch",
+        header.join(" ")
+    );
+
+    let mut gate_passed = true;
+    let gate_batch = *args.batches.iter().max().expect("non-empty");
+    let mut final_row: Vec<(usize, Cell)> = Vec::new();
+    for &batch_size in &args.batches {
+        let batch: Vec<BitVec> = (0..batch_size)
+            .map(|i| test_inputs[i % test_inputs.len()].clone())
+            .collect();
+        let cells: Vec<(usize, Cell)> = args
+            .shards
+            .iter()
+            .map(|&s| (s, measure(&accel, s, &batch, clock)))
+            .collect();
+        // Determinism: identical predictions at every shard count.
+        for (s, cell) in &cells[1..] {
+            assert_eq!(
+                cell.winners, cells[0].1.winners,
+                "predictions diverged between shards={} and shards={s}",
+                cells[0].0
+            );
+        }
+        let row: Vec<String> = cells
+            .iter()
+            .map(|(_, c)| format!("{:>12.0} @ {:>6}", c.inf_s, c.pool_cycles))
+            .collect();
+        println!("{batch_size:>7} {}", row.join(" "));
+        if batch_size == gate_batch {
+            final_row = cells;
+        }
+    }
+
+    // Latency + scaling summary on the largest batch — the summary and
+    // the gate below must survive an unsorted `--batches` list.
+    println!("\nlargest batch ({gate_batch}):");
+    // The baseline is the first *listed* shard count (1 in the default
+    // and CI invocations), not necessarily a single shard.
+    let baseline = final_row[0].1.inf_s;
+    for (s, cell) in &final_row {
+        println!(
+            "  shards={s:<2} p50 {:>3} cyc  p99 {:>3} cyc  {:>12.0} inf/s  x{:.2} vs shards={}",
+            cell.p50,
+            cell.p99,
+            cell.inf_s,
+            cell.inf_s / baseline,
+            final_row[0].0
+        );
+    }
+
+    if args.assert_scaling {
+        for (s, cell) in &final_row[1..] {
+            if cell.inf_s <= baseline {
+                eprintln!(
+                    "::error::shards={s} throughput {:.0} inf/s does not beat \
+                     shards={} at {:.0} inf/s",
+                    cell.inf_s, final_row[0].0, baseline
+                );
+                gate_passed = false;
+            }
+        }
+        if gate_passed {
+            println!(
+                "\nscaling gate passed: every multi-shard pool beats shards={}",
+                final_row[0].0
+            );
+        }
+    }
+    Ok(gate_passed)
+}

@@ -1,0 +1,374 @@
+//! Trained-model cache for the bench harnesses.
+//!
+//! `table1`, `fig7_timing` and `serve_sweep` all train the same
+//! `(dataset spec, TmParams, epochs, seed)` models; training dominates
+//! their wall-clock. This cache keys trained [`TrainedModel`] artifacts by
+//! a hash of exactly the inputs that determine them — training is
+//! bit-identical at every thread count (`tests/parallel_equivalence.rs`),
+//! so a cached model is indistinguishable from a retrained one and the
+//! produced rows/figures do not change.
+//!
+//! Two layers:
+//!
+//! - **In-process** (always on): a process-wide map, so one binary that
+//!   needs the same model twice (e.g. `serve_sweep` across shard counts)
+//!   trains it once.
+//! - **On-disk** (opt-in): set `MATADOR_MODEL_CACHE=1` to persist models
+//!   under `target/matador-cache/` in the toolflow's text model format, so
+//!   *separate* harness binaries stop retraining identical models. Any
+//!   other non-empty value (except `0`/`off`) is used as the cache
+//!   directory. Files are written atomically (temp + rename) so parallel
+//!   harnesses cannot observe torn models.
+
+use matador_datasets::{DatasetKind, SplitSizes};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use tsetlin::model::TrainedModel;
+use tsetlin::params::TmParams;
+use tsetlin::tm::MultiClassTm;
+use tsetlin::Sample;
+
+/// Environment variable controlling the on-disk layer: unset/`0`/`off`
+/// disables it, `1` uses [`DEFAULT_DISK_DIR`], anything else is a
+/// directory path.
+pub const CACHE_ENV: &str = "MATADOR_MODEL_CACHE";
+
+/// Default on-disk location, relative to the working directory.
+pub const DEFAULT_DISK_DIR: &str = "target/matador-cache";
+
+/// Everything that determines a trained model, hashed into the cache key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelKey {
+    /// Dataset generator.
+    pub kind: DatasetKind,
+    /// Split sizes (the train split shapes the model).
+    pub sizes: SplitSizes,
+    /// TM hyperparameters.
+    pub params: TmParams,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Master seed (drives both dataset generation and training RNG).
+    pub seed: u64,
+}
+
+impl ModelKey {
+    /// Stable 64-bit digest of the key (FNV-1a over the fields — not
+    /// `DefaultHasher`, whose output may change across std releases and
+    /// would silently orphan on-disk entries).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.kind.to_string().hash(&mut h);
+        self.sizes.train.hash(&mut h);
+        self.sizes.test.hash(&mut h);
+        self.params.features().hash(&mut h);
+        self.params.classes().hash(&mut h);
+        self.params.clauses_per_class().hash(&mut h);
+        self.params.threshold().hash(&mut h);
+        self.params.specificity().to_bits().hash(&mut h);
+        self.params.states_per_action().hash(&mut h);
+        self.params.boost_true_positive().hash(&mut h);
+        self.epochs.hash(&mut h);
+        self.seed.hash(&mut h);
+        h.finish()
+    }
+
+    /// Human-readable cache file name: dataset, sizing and seed up front,
+    /// digest as the collision guard.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-{}x{}-e{}-s{}-{:016x}.tm",
+            self.kind.to_string().to_lowercase(),
+            self.sizes.train,
+            self.sizes.test,
+            self.epochs,
+            self.seed,
+            self.digest()
+        )
+    }
+}
+
+/// FNV-1a, fixed offset/prime: identical digests across processes and
+/// toolchain versions.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// The two-layer model cache. Use [`ModelCache::global`] from harnesses.
+#[derive(Debug)]
+pub struct ModelCache {
+    memory: Mutex<HashMap<u64, TrainedModel>>,
+    disk_dir: Option<PathBuf>,
+    disk_enabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ModelCache {
+    /// A cache with an explicit (optional) disk directory.
+    pub fn new(disk_dir: Option<PathBuf>) -> Self {
+        ModelCache {
+            memory: Mutex::new(HashMap::new()),
+            disk_dir,
+            disk_enabled: AtomicBool::new(true),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache, configured once from [`CACHE_ENV`].
+    pub fn global() -> &'static ModelCache {
+        static GLOBAL: OnceLock<ModelCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| ModelCache::new(disk_dir_from_env()))
+    }
+
+    /// Returns the cached model for `key`, training it on `train`
+    /// (exactly as `MatadorFlow::run` would: fresh machine, `SmallRng`
+    /// from the seed, `fit_with_threads`) on a miss.
+    ///
+    /// `train` must be the train split of
+    /// `generate(key.kind, key.sizes, key.seed)` — callers already hold
+    /// it, and passing it in avoids regenerating the dataset on every
+    /// miss. The pairing is the caller's contract; a mismatched split
+    /// would poison the cache for everyone sharing the key.
+    pub fn train_cached(&self, key: &ModelKey, train: &[Sample], threads: usize) -> TrainedModel {
+        debug_assert_eq!(
+            train.len(),
+            key.sizes.train,
+            "train split does not match the key's sizes"
+        );
+        let digest = key.digest();
+        if let Some(model) = self.memory.lock().unwrap().get(&digest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return model.clone();
+        }
+        if let Some(model) = self.load_from_disk(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.memory.lock().unwrap().insert(digest, model.clone());
+            return model;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let model = train_on(key, train, threads);
+        self.store_to_disk(key, &model);
+        self.memory.lock().unwrap().insert(digest, model.clone());
+        model
+    }
+
+    /// Cache hits (memory or disk) since process start.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (models actually trained) since process start.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every in-process entry (the disk layer is untouched). Used
+    /// by equivalence tests that must observe real retraining.
+    pub fn clear_in_process(&self) {
+        self.memory.lock().unwrap().clear();
+    }
+
+    /// Turns the disk layer off (or back on) at runtime, regardless of
+    /// how [`CACHE_ENV`] configured it. Equivalence tests disable it so
+    /// their retraining runs cannot be satisfied by a file written
+    /// moments earlier — with the disk layer live, "retrain and compare"
+    /// would silently compare a model against its own on-disk copy.
+    pub fn set_disk_enabled(&self, enabled: bool) {
+        self.disk_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    fn load_from_disk(&self, key: &ModelKey) -> Option<TrainedModel> {
+        if !self.disk_enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let dir = self.disk_dir.as_ref()?;
+        let path = dir.join(key.file_name());
+        let file = std::fs::File::open(path).ok()?;
+        let model = tsetlin::io::read_model(std::io::BufReader::new(file)).ok()?;
+        // Shape sanity: a digest collision or stale file must not leak a
+        // wrong-shaped model into the flow.
+        let fits = model.num_features() == key.params.features()
+            && model.num_classes() == key.params.classes()
+            && model.clauses_per_class() == key.params.clauses_per_class();
+        fits.then_some(model)
+    }
+
+    fn store_to_disk(&self, key: &ModelKey, model: &TrainedModel) {
+        if !self.disk_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(dir) = self.disk_dir.as_ref() else {
+            return;
+        };
+        // Best-effort: an unwritable cache dir must never fail a harness.
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let path = dir.join(key.file_name());
+        let tmp = dir.join(format!("{}.tmp-{}", key.file_name(), std::process::id()));
+        let write = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            tsetlin::io::write_model(model, &mut file)?;
+            std::fs::rename(&tmp, &path)
+        };
+        if write().is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// Trains `key`'s model from scratch on `train` — the exact recipe of
+/// `MatadorFlow::run`, so cached and uncached paths are bit-identical.
+fn train_on(key: &ModelKey, train: &[Sample], threads: usize) -> TrainedModel {
+    let mut tm = MultiClassTm::new(key.params.clone());
+    let mut rng = SmallRng::seed_from_u64(key.seed);
+    tm.fit_with_threads(train, key.epochs, &mut rng, threads);
+    tm.to_model()
+}
+
+fn disk_dir_from_env() -> Option<PathBuf> {
+    match std::env::var(CACHE_ENV) {
+        Ok(v) => match v.trim() {
+            "" | "0" | "off" => None,
+            "1" => Some(PathBuf::from(DEFAULT_DISK_DIR)),
+            dir => Some(PathBuf::from(dir)),
+        },
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use matador_datasets::generate;
+
+    fn train_split(key: &ModelKey) -> Vec<Sample> {
+        generate(key.kind, key.sizes, key.seed).train
+    }
+
+    fn key() -> ModelKey {
+        ModelKey {
+            kind: DatasetKind::NoisyXor,
+            sizes: SplitSizes {
+                train: 60,
+                test: 20,
+            },
+            params: TmParams::builder(DatasetKind::NoisyXor.features(), 2)
+                .clauses_per_class(8)
+                .threshold(5)
+                .specificity(4.0)
+                .build()
+                .expect("valid"),
+            epochs: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        let a = key();
+        assert_eq!(a.digest(), key().digest());
+        let mut b = key();
+        b.seed = 12;
+        assert_ne!(a.digest(), b.digest());
+        let mut c = key();
+        c.epochs = 3;
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn cached_model_is_bit_identical_to_training() {
+        let cache = ModelCache::new(None);
+        let k = key();
+        let train = train_split(&k);
+        let first = cache.train_cached(&k, &train, 1);
+        assert_eq!(cache.misses(), 1);
+        let second = cache.train_cached(&k, &train, 4);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(first, second);
+        assert_eq!(first, train_on(&k, &train, 2));
+    }
+
+    #[test]
+    fn clear_forces_retraining() {
+        let cache = ModelCache::new(None);
+        let k = key();
+        let train = train_split(&k);
+        cache.train_cached(&k, &train, 1);
+        cache.clear_in_process();
+        cache.train_cached(&k, &train, 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn disk_layer_round_trips_models() {
+        let dir = std::env::temp_dir().join(format!("matador-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let k = key();
+        let train = train_split(&k);
+        let trained = {
+            let cache = ModelCache::new(Some(dir.clone()));
+            cache.train_cached(&k, &train, 1)
+        };
+        // A fresh cache instance (fresh process stand-in) hits the disk.
+        let cache = ModelCache::new(Some(dir.clone()));
+        let loaded = cache.train_cached(&k, &train, 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 0);
+        assert_eq!(trained, loaded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabling_the_disk_layer_forces_retraining() {
+        let dir = std::env::temp_dir().join(format!("matador-cache-off-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let k = key();
+        let train = train_split(&k);
+        {
+            let cache = ModelCache::new(Some(dir.clone()));
+            cache.train_cached(&k, &train, 1); // writes the disk entry
+        }
+        let cache = ModelCache::new(Some(dir.clone()));
+        cache.set_disk_enabled(false);
+        cache.train_cached(&k, &train, 1);
+        assert_eq!(cache.misses(), 1, "disk layer must be bypassed");
+        // Re-enabling finds the original file again.
+        cache.clear_in_process();
+        cache.set_disk_enabled(true);
+        cache.train_cached(&k, &train, 1);
+        assert_eq!(cache.hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_name_is_self_describing() {
+        let name = key().file_name();
+        assert!(name.starts_with("2d-noisy-xor-60x20-e2-s11-"));
+        assert!(name.ends_with(".tm"));
+    }
+}

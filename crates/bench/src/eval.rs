@@ -1,8 +1,9 @@
 //! Per-dataset evaluation drivers for both sides of Table I.
 
+use crate::cache::{ModelCache, ModelKey};
 use crate::table::Table1Row;
 use matador::config::MatadorConfig;
-use matador::flow::{FlowOutcome, MatadorFlow, TrainSpec};
+use matador::flow::{FlowOutcome, MatadorFlow};
 use matador_baselines::bnn::{QuantMlp, TrainConfig};
 use matador_baselines::dataflow::DataflowDesign;
 use matador_baselines::presets::BaselineKind;
@@ -161,6 +162,19 @@ pub fn tm_params_for(kind: DatasetKind) -> TmParams {
         .expect("per-dataset parameters are valid by construction")
 }
 
+/// The model-cache key for `kind` under `opts` — the single definition
+/// every harness binary shares, so they hit each other's cache entries
+/// and can never diverge on what identifies a trained model.
+pub fn model_key_for(kind: DatasetKind, opts: &EvalOptions) -> ModelKey {
+    ModelKey {
+        kind,
+        sizes: opts.sizes,
+        params: tm_params_for(kind),
+        epochs: opts.tm_epochs,
+        seed: opts.seed,
+    }
+}
+
 /// One MATADOR Table I row, fully measured.
 #[derive(Debug, Clone)]
 pub struct MatadorRow {
@@ -185,6 +199,10 @@ pub fn run_matador(kind: DatasetKind, opts: &EvalOptions) -> Result<MatadorRow, 
 /// across dataset rows and want to split the thread budget rather than
 /// oversubscribe cores. The produced row never depends on `threads`.
 ///
+/// The TM goes through [`ModelCache::global`]: training follows the exact
+/// `MatadorFlow::run` recipe on a miss (so rows are bit-identical with or
+/// without the cache) and is skipped entirely on a hit.
+///
 /// # Errors
 ///
 /// Propagates [`matador::Error`] from the flow.
@@ -194,6 +212,10 @@ pub fn run_matador_with_threads(
     threads: usize,
 ) -> Result<MatadorRow, matador::Error> {
     let data = generate(kind, opts.sizes, opts.seed);
+    if data.train.is_empty() {
+        return Err(matador::flow::FlowError::EmptyTrainingSet.into());
+    }
+    let model = ModelCache::global().train_cached(&model_key_for(kind, opts), &data.train, threads);
     let config = MatadorConfig::builder()
         .design_name(format!("matador_{}", kind.to_string().to_lowercase()))
         .build()
@@ -201,15 +223,7 @@ pub fn run_matador_with_threads(
     let outcome = MatadorFlow::new(config)
         .verify_limit(Some(64))
         .threads(threads)
-        .run(
-            TrainSpec {
-                params: tm_params_for(kind),
-                epochs: opts.tm_epochs,
-                seed: opts.seed,
-            },
-            &data.train,
-            &data.test,
-        )?;
+        .run_with_model(model, &data.test)?;
     Ok(MatadorRow { kind, outcome })
 }
 

@@ -7,11 +7,16 @@
 //! paper's Table I layout.
 //!
 //! Every binary accepts `--quick` (smaller splits/epochs, CI-friendly) and
-//! `--seed <n>`.
+//! `--seed <n>`. Trained models are memoized through [`cache::ModelCache`]
+//! (in-process always; on-disk under `target/matador-cache/` when
+//! `MATADOR_MODEL_CACHE=1`), so harnesses sharing a
+//! `(dataset spec, TmParams, seed)` triple train it once.
 
+pub mod cache;
 pub mod eval;
 pub mod table;
 
+pub use cache::{ModelCache, ModelKey};
 pub use eval::{
     run_baseline, run_matador, run_matador_with_threads, run_table1, BaselineRow, EvalError,
     EvalOptions, MatadorRow,

@@ -39,6 +39,9 @@ pub enum Error {
     /// The cycle-accurate simulator failed to drain during verification
     /// or latency characterization.
     Sim(matador_sim::SimError),
+    /// The sharded serving runtime rejected a request (backpressure,
+    /// width mismatch, degenerate pool) or a shard engine hung.
+    Serve(matador_serve::ServeError),
     /// The learning substrate reported an error (hyperparameters, model
     /// text I/O, booleanization).
     Tsetlin(tsetlin::Error),
@@ -73,6 +76,7 @@ impl fmt::Display for Error {
             Error::Wizard(e) => e.fmt(f),
             Error::Deploy(e) => e.fmt(f),
             Error::Sim(e) => e.fmt(f),
+            Error::Serve(e) => e.fmt(f),
             Error::Tsetlin(e) => e.fmt(f),
             Error::Rtl(e) => e.fmt(f),
             Error::Dataset(e) => e.fmt(f),
@@ -90,6 +94,7 @@ impl std::error::Error for Error {
             Error::Wizard(e) => Some(e),
             Error::Deploy(e) => Some(e),
             Error::Sim(e) => Some(e),
+            Error::Serve(e) => Some(e),
             Error::Tsetlin(e) => Some(e),
             Error::Rtl(e) => Some(e),
             Error::Dataset(e) => Some(e),
@@ -114,6 +119,12 @@ impl From<FlowError> for Error {
 impl From<matador_sim::SimError> for Error {
     fn from(e: matador_sim::SimError) -> Self {
         Error::Sim(e)
+    }
+}
+
+impl From<matador_serve::ServeError> for Error {
+    fn from(e: matador_serve::ServeError) -> Self {
+        Error::Serve(e)
     }
 }
 
@@ -221,6 +232,17 @@ mod tests {
         let err: Error = spec.validate().unwrap_err().into();
         assert!(matches!(err, Error::Dataset(_)));
         assert!(err.to_string().contains("noise"));
+    }
+
+    #[test]
+    fn serve_error_converts_with_variant_intact() {
+        let err: Error = matador_serve::ServeError::QueueFull { capacity: 16 }.into();
+        assert!(matches!(
+            err,
+            Error::Serve(matador_serve::ServeError::QueueFull { capacity: 16 })
+        ));
+        assert!(err.to_string().contains("backpressure"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

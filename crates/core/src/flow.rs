@@ -5,6 +5,7 @@
 use crate::config::MatadorConfig;
 use crate::design::AcceleratorDesign;
 use crate::verify::{verify_design, VerificationReport};
+use matador_serve::{ServeOptions, ServeSession};
 use matador_sim::{LatencyReport, SimEngine};
 use matador_synth::report::ImplementationReport;
 use rand::rngs::SmallRng;
@@ -77,6 +78,34 @@ impl FlowOutcome {
     /// Throughput in inferences/second at the implemented clock.
     pub fn throughput_inf_s(&self) -> f64 {
         self.latency.throughput_inf_s(self.implementation.clock_mhz)
+    }
+
+    /// Stands up a sharded serving runtime over this design: `shards`
+    /// pooled cycle-accurate engines behind independent AXI streams,
+    /// inheriting the design's class-sum pipelining. Predictions are
+    /// bit-identical at every shard count — sharding only multiplies
+    /// stream bandwidth (see `matador-serve`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`matador_serve::ServeError::ZeroShards`] (as
+    /// [`crate::Error::Serve`]) when `shards == 0`.
+    pub fn serve(&self, shards: usize) -> Result<ServeSession, crate::Error> {
+        self.serve_with_options(ServeOptions {
+            pipelined_sum: self.design.config().pipeline_class_sum(),
+            ..ServeOptions::new(shards)
+        })
+    }
+
+    /// [`FlowOutcome::serve`] with full control over dispatch policy,
+    /// queue depth, class-sum capture and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Serve`] on degenerate options.
+    pub fn serve_with_options(&self, options: ServeOptions) -> Result<ServeSession, crate::Error> {
+        let accel = self.design.compile_for_sim();
+        ServeSession::new(accel, options).map_err(Into::into)
     }
 }
 
@@ -338,6 +367,47 @@ mod tests {
             .run(spec(), &train, &test)
             .expect("flow succeeds");
         assert_eq!(outcome.verification.system_vectors, 4);
+    }
+
+    #[test]
+    fn flow_outcome_serves_over_shards() {
+        let (train, test) = tiny_task();
+        let config = MatadorConfig::builder()
+            .bus_width(4)
+            .build()
+            .expect("valid");
+        let outcome = MatadorFlow::new(config)
+            .run(spec(), &train, &test)
+            .expect("flow succeeds");
+
+        // Zero shards is rejected through the unified error type.
+        let err = outcome.serve(0).expect_err("zero shards rejected");
+        assert!(matches!(
+            err,
+            crate::Error::Serve(matador_serve::ServeError::ZeroShards)
+        ));
+
+        // Sharding never changes predictions, only pool wall-clock.
+        let batch: Vec<_> = test.iter().map(|s| s.input.clone()).collect();
+        let mut winners = Vec::new();
+        let mut pool_cycles = Vec::new();
+        for shards in [1usize, 4] {
+            let mut session = outcome.serve(shards).expect("valid session");
+            let preds = session.serve(&batch).expect("drains");
+            winners.push(preds.iter().map(|p| p.winner).collect::<Vec<_>>());
+            pool_cycles.push(session.report().pool_cycles);
+        }
+        assert_eq!(winners[0], winners[1]);
+        assert!(
+            pool_cycles[1] < pool_cycles[0],
+            "4 shards {} !< 1 shard {}",
+            pool_cycles[1],
+            pool_cycles[0]
+        );
+        // The software model agrees with every served prediction.
+        for (x, &w) in batch.iter().zip(&winners[0]) {
+            assert_eq!(w, outcome.model.predict(x));
+        }
     }
 
     #[test]

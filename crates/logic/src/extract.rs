@@ -40,6 +40,12 @@ pub struct Extraction {
     pub divisors: Vec<Divisor>,
     /// Each input cube rewritten over literals + divisors (sorted).
     pub cubes: Vec<Vec<Item>>,
+    /// Whether [`ExtractOptions::max_candidates`] tripped and factoring
+    /// was skipped outright — distinguishes "the optimizer gave up on a
+    /// pathologically dense input" from "no shareable pairs exist", so
+    /// gate-savings reports can flag the shed effort instead of quietly
+    /// reading as zero sharing.
+    pub budget_exceeded: bool,
 }
 
 impl Extraction {
@@ -76,6 +82,15 @@ impl Extraction {
     }
 }
 
+/// Default candidate-pair budget used by [`ExtractOptions::budgeted`] —
+/// the density guard `matador_logic::share` wires through window
+/// optimization. Sized well above any trained window (a sparse
+/// 2000-clause, 64-bit window sits around 10⁶ candidate pairs) while
+/// cutting off the pathological dense regime (under-trained models with
+/// near-full include masks reach ~10⁷) where extraction work grows
+/// quadratically for negligible gate savings.
+pub const DEFAULT_MAX_CANDIDATES: usize = 4_000_000;
+
 /// Options for [`extract_divisors`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ExtractOptions {
@@ -83,6 +98,12 @@ pub struct ExtractOptions {
     pub max_divisors: usize,
     /// Minimum occurrence count for a pair to be extracted (≥ 2).
     pub min_count: usize,
+    /// Density budget: when the candidate-pair mass `Σ_cube C(len, 2)`
+    /// exceeds this, extraction is skipped outright and cubes pass
+    /// through unfactored (0 = unbounded). Structural hashing downstream
+    /// still dedups identical cubes, and functional behaviour is
+    /// unchanged — only the factoring effort is shed.
+    pub max_candidates: usize,
 }
 
 impl Default for ExtractOptions {
@@ -90,6 +111,19 @@ impl Default for ExtractOptions {
         ExtractOptions {
             max_divisors: 0,
             min_count: 2,
+            max_candidates: 0,
+        }
+    }
+}
+
+impl ExtractOptions {
+    /// Defaults plus the [`DEFAULT_MAX_CANDIDATES`] density budget — what
+    /// the model-partitioning path uses, so pathologically dense
+    /// (under-trained) windows no longer make generation quadratic-slow.
+    pub fn budgeted() -> Self {
+        ExtractOptions {
+            max_candidates: DEFAULT_MAX_CANDIDATES,
+            ..ExtractOptions::default()
         }
     }
 }
@@ -133,6 +167,24 @@ pub fn extract_divisors(cubes: &[Cube], options: ExtractOptions) -> Extraction {
         .iter()
         .map(|c| c.lits().iter().map(|&l| Item::Lit(l)).collect())
         .collect();
+
+    // Density early-out: both the initial pair count-up below and the
+    // per-extraction rewrite passes scale with the candidate-pair mass,
+    // so a budget violation bails to the identity factoring before any
+    // quadratic work happens.
+    if options.max_candidates != 0 {
+        let pair_mass: usize = work
+            .iter()
+            .map(|c| c.len() * c.len().saturating_sub(1) / 2)
+            .sum();
+        if pair_mass > options.max_candidates {
+            return Extraction {
+                divisors: Vec::new(),
+                cubes: work,
+                budget_exceeded: true,
+            };
+        }
+    }
 
     // cube index sets per pair are implicit; we track only counts and do a
     // linear pass over cubes when applying an extraction (cube sets are
@@ -203,6 +255,7 @@ pub fn extract_divisors(cubes: &[Cube], options: ExtractOptions) -> Extraction {
     Extraction {
         divisors,
         cubes: work,
+        budget_exceeded: false,
     }
 }
 
@@ -316,10 +369,75 @@ mod tests {
             &cubes,
             ExtractOptions {
                 max_divisors: 1,
-                min_count: 2,
+                ..ExtractOptions::default()
             },
         );
         assert_eq!(ex.divisors.len(), 1);
+    }
+
+    #[test]
+    fn density_budget_skips_factoring_but_preserves_function() {
+        // Dense overlapping cubes: mass = 3 * C(6, 2) = 45 pairs.
+        let cubes: Vec<Cube> = (0..3)
+            .map(|i| {
+                cube(&[
+                    (0, false),
+                    (1, false),
+                    (2, true),
+                    (3, false),
+                    (4, true),
+                    (5 + i, false),
+                ])
+            })
+            .collect();
+        let over_budget = extract_divisors(
+            &cubes,
+            ExtractOptions {
+                max_candidates: 44,
+                ..ExtractOptions::default()
+            },
+        );
+        assert!(over_budget.divisors.is_empty());
+        assert!(over_budget.budget_exceeded);
+        // Identity factoring: each cube passes through unfactored…
+        for (rewritten, original) in over_budget.cubes.iter().zip(&cubes) {
+            assert_eq!(rewritten.len(), original.lits().len());
+        }
+        // …and evaluates exactly like the source cubes.
+        for v in 0..256u32 {
+            let input = BitVec::from_bools((0..8).map(|b| (v >> b) & 1 == 1));
+            for (i, c) in cubes.iter().enumerate() {
+                assert_eq!(over_budget.eval_cube(i, &input), c.eval(&input));
+            }
+        }
+        // A budget at the mass is not a violation: factoring proceeds and
+        // matches the unbudgeted result.
+        let at_budget = extract_divisors(
+            &cubes,
+            ExtractOptions {
+                max_candidates: 45,
+                ..ExtractOptions::default()
+            },
+        );
+        assert_eq!(
+            at_budget,
+            extract_divisors(&cubes, ExtractOptions::default())
+        );
+        assert!(!at_budget.divisors.is_empty());
+        assert!(!at_budget.budget_exceeded);
+    }
+
+    #[test]
+    fn budgeted_defaults_leave_sparse_inputs_untouched() {
+        let cubes = vec![
+            cube(&[(0, false), (1, true), (4, false)]),
+            cube(&[(0, false), (1, true), (5, false)]),
+            cube(&[(0, false), (1, true)]),
+        ];
+        assert_eq!(
+            extract_divisors(&cubes, ExtractOptions::budgeted()),
+            extract_divisors(&cubes, ExtractOptions::default())
+        );
     }
 
     #[test]

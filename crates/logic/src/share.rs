@@ -52,13 +52,15 @@ pub fn window_cubes(model: &TrainedModel, window_bits: usize) -> Vec<Vec<Cube>> 
 
 /// Optimizes one window's cube list into a [`LogicDag`].
 ///
-/// With [`Sharing::Enabled`], divisor extraction runs first and the DAG is
-/// structurally hashed; with [`Sharing::DontTouch`] each cube becomes its
-/// own verbatim AND tree (the pragma'd flow of Fig 8).
+/// With [`Sharing::Enabled`], divisor extraction runs first (under the
+/// [`ExtractOptions::budgeted`] density guard, so pathologically dense
+/// under-trained windows skip factoring instead of going quadratic) and
+/// the DAG is structurally hashed; with [`Sharing::DontTouch`] each cube
+/// becomes its own verbatim AND tree (the pragma'd flow of Fig 8).
 pub fn optimize_window(width: usize, cubes: &[Cube], sharing: Sharing) -> LogicDag {
     match sharing {
         Sharing::Enabled => {
-            let ex = extract_divisors(cubes, ExtractOptions::default());
+            let ex = extract_divisors(cubes, ExtractOptions::budgeted());
             LogicDag::from_extraction(width, &ex, sharing)
         }
         Sharing::DontTouch => LogicDag::from_cubes(width, cubes, sharing),
@@ -68,7 +70,7 @@ pub fn optimize_window(width: usize, cubes: &[Cube], sharing: Sharing) -> LogicD
 /// Runs extraction for one window and returns both the factored form and
 /// the resulting DAG (the factored form drives Verilog emission).
 pub fn optimize_window_with_extraction(width: usize, cubes: &[Cube]) -> (Extraction, LogicDag) {
-    let ex = extract_divisors(cubes, ExtractOptions::default());
+    let ex = extract_divisors(cubes, ExtractOptions::budgeted());
     let dag = LogicDag::from_extraction(width, &ex, Sharing::Enabled);
     (ex, dag)
 }
@@ -82,7 +84,7 @@ pub fn gate_stats(model: &TrainedModel, window_bits: usize) -> Vec<WindowGateSta
             let width = window_bits.min(model.num_features() - w * window_bits);
             let naive: usize = cubes.iter().map(Cube::and2_cost).sum();
             let hashed = LogicDag::from_cubes(width.max(1), &cubes, Sharing::Enabled).and2_count();
-            let ex = extract_divisors(&cubes, ExtractOptions::default());
+            let ex = extract_divisors(&cubes, ExtractOptions::budgeted());
             let extracted =
                 LogicDag::from_extraction(width.max(1), &ex, Sharing::Enabled).and2_count();
             WindowGateStats {

@@ -1,0 +1,125 @@
+//! Deterministic request→shard assignment.
+//!
+//! Both policies are pure functions of the submission order and the
+//! per-shard load counters — never of wall-clock time or thread
+//! scheduling — so a batch dispatched over N shards produces bit-identical
+//! predictions for every N. Load is measured in cycle-equivalent units:
+//! the pool feeds in each shard's accumulated engine cycles and the plan
+//! adds `P` beats (bus cycles) per assigned datapoint, so `LeastQueued`
+//! levels total shard work across flushes, not just within one.
+
+use serde::{Deserialize, Serialize};
+
+/// How pending requests are spread over the shard pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Cycle through shards in index order, continuing across flushes.
+    RoundRobin,
+    /// Assign each request to the shard with the least accumulated load
+    /// (engine cycles already run, plus beats planned so far this flush;
+    /// ties break toward the lowest shard index).
+    LeastQueued,
+}
+
+/// Stateful dispatcher: carries the round-robin cursor across flushes.
+#[derive(Debug, Clone)]
+pub struct Dispatcher {
+    policy: DispatchPolicy,
+    rr_next: usize,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher with the given policy.
+    pub fn new(policy: DispatchPolicy) -> Self {
+        Dispatcher { policy, rr_next: 0 }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// Plans shard assignments for `requests` equal-cost requests of
+    /// `beats_per_request` beats each, given the shards' current
+    /// accumulated loads. Returns one shard index per request, in
+    /// request order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_load` is empty (a pool always has ≥ 1 shard).
+    pub fn plan(
+        &mut self,
+        base_load: &[u64],
+        requests: usize,
+        beats_per_request: u64,
+    ) -> Vec<usize> {
+        assert!(!base_load.is_empty(), "dispatcher needs at least one shard");
+        let shards = base_load.len();
+        match self.policy {
+            DispatchPolicy::RoundRobin => (0..requests)
+                .map(|_| {
+                    let s = self.rr_next;
+                    self.rr_next = (self.rr_next + 1) % shards;
+                    s
+                })
+                .collect(),
+            DispatchPolicy::LeastQueued => {
+                let mut load = base_load.to_vec();
+                (0..requests)
+                    .map(|_| {
+                        let s = (0..shards)
+                            .min_by_key(|&s| (load[s], s))
+                            .expect("non-empty shard set");
+                        load[s] += beats_per_request;
+                        s
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_and_carries_over() {
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        assert_eq!(d.plan(&[0, 0, 0], 4, 2), vec![0, 1, 2, 0]);
+        // The cursor continues where the previous flush stopped.
+        assert_eq!(d.plan(&[0, 0, 0], 2, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn least_queued_balances_beats() {
+        let mut d = Dispatcher::new(DispatchPolicy::LeastQueued);
+        // Shard 1 starts loaded: first assignments avoid it.
+        assert_eq!(d.plan(&[0, 10, 0], 4, 5), vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn least_queued_ties_break_to_lowest_index() {
+        let mut d = Dispatcher::new(DispatchPolicy::LeastQueued);
+        assert_eq!(d.plan(&[3, 3], 3, 1), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LeastQueued] {
+            let mut d = Dispatcher::new(policy);
+            assert_eq!(d.plan(&[7], 3, 13), vec![0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LeastQueued] {
+            let plan_twice = || {
+                let mut d = Dispatcher::new(policy);
+                (d.plan(&[0, 1, 2, 3], 9, 4), d.plan(&[5, 0, 5, 0], 6, 4))
+            };
+            assert_eq!(plan_twice(), plan_twice());
+        }
+    }
+}

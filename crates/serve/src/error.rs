@@ -1,0 +1,99 @@
+//! Typed failures of the serving runtime.
+
+use matador_sim::SimError;
+use std::fmt;
+
+/// Any error produced by the sharded inference runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// A pool was requested with zero shards.
+    ZeroShards,
+    /// A request queue was configured with zero depth — it could never
+    /// accept a request.
+    ZeroQueueDepth,
+    /// The bounded request queue is full: typed backpressure. The caller
+    /// should flush (or drop load) and retry.
+    QueueFull {
+        /// The configured queue depth that is exhausted.
+        capacity: usize,
+    },
+    /// A submitted datapoint's width does not match the compiled
+    /// accelerator's feature count.
+    WidthMismatch {
+        /// Feature count the accelerator was compiled for.
+        expected: usize,
+        /// Width of the rejected datapoint.
+        got: usize,
+    },
+    /// A shard's cycle engine failed to drain (a hang on that shard).
+    Shard {
+        /// Index of the failing shard.
+        shard: usize,
+        /// The underlying engine error.
+        error: SimError,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ZeroShards => write!(f, "shard pool requires at least one shard"),
+            ServeError::ZeroQueueDepth => write!(f, "request queue depth must be positive"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request queue full ({capacity} pending): backpressure")
+            }
+            ServeError::WidthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "datapoint width {got} does not match the accelerator's {expected} features"
+                )
+            }
+            ServeError::Shard { shard, error } => {
+                write!(f, "shard {shard} failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Shard { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cause() {
+        assert!(ServeError::ZeroShards.to_string().contains("shard"));
+        assert!(ServeError::QueueFull { capacity: 8 }
+            .to_string()
+            .contains("backpressure"));
+        let e = ServeError::WidthMismatch {
+            expected: 784,
+            got: 10,
+        };
+        assert!(e.to_string().contains("784"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn shard_error_exposes_source() {
+        let e = ServeError::Shard {
+            shard: 3,
+            error: SimError::DrainBoundExceeded {
+                max_cycles: 10,
+                stalled: true,
+                pending_beats: 2,
+            },
+        };
+        assert!(e.to_string().contains("shard 3"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,63 @@
+//! # matador-serve — sharded, batched inference over pooled engines
+//!
+//! The serving layer of the reproduction: where `matador-sim` models *one*
+//! accelerator behind *one* AXI stream, this crate models the deployed
+//! system under load — N replicated engine shards over one shared
+//! compiled design, each behind its own independent AXI stream master,
+//! fed from a bounded request queue by a deterministic dispatcher.
+//!
+//! Three guarantees are load-bearing:
+//!
+//! 1. **Determinism.** Predictions (winners *and* class sums) are
+//!    bit-identical for any shard count, dispatch policy and worker-thread
+//!    count — sharding is a pure throughput knob. Locked in by
+//!    `tests/serve_determinism.rs` at the workspace root.
+//! 2. **Typed backpressure.** The [`RequestQueue`] is bounded; admission
+//!    beyond the depth fails with [`ServeError::QueueFull`] instead of
+//!    unbounded buffering, and [`ShardPool::serve`] demonstrates the
+//!    flush-and-retry loop a real driver runs.
+//! 3. **Honest aggregation.** The [`ThroughputReport`] merges per-shard
+//!    engine/monitor statistics the way the hardware would experience
+//!    them: pool wall-clock is the *slowest* shard (shards run
+//!    concurrently), datapoints/transfers/stalls add, and latency
+//!    percentiles are computed over per-request samples.
+//!
+//! ```
+//! use matador_logic::cube::{Cube, Lit};
+//! use matador_logic::dag::Sharing;
+//! use matador_serve::{ServeOptions, ShardPool};
+//! use matador_sim::{AccelShape, CompiledAccelerator};
+//! use tsetlin::bits::BitVec;
+//!
+//! let shape = AccelShape { bus_width: 4, features: 4, classes: 2, clauses_per_class: 2 };
+//! let cubes = vec![vec![
+//!     Cube::from_lits([Lit::pos(0)]),
+//!     Cube::one(),
+//!     Cube::from_lits([Lit::pos(1)]),
+//!     Cube::one(),
+//! ]];
+//! let accel = CompiledAccelerator::from_window_cubes(shape, &cubes, Sharing::Enabled);
+//!
+//! // Four shards, one design: 4× the stream bandwidth.
+//! let mut pool = ShardPool::with_options(&accel, ServeOptions::new(4)).expect("valid options");
+//! let batch = vec![BitVec::from_indices(4, &[0]); 16];
+//! let predictions = pool.serve(&batch).expect("engines drain");
+//! assert!(predictions.iter().all(|p| p.winner == 0));
+//! let report = pool.report();
+//! assert_eq!(report.datapoints, 16);
+//! assert!(report.throughput_inf_s(50.0) > 0.0);
+//! ```
+
+pub mod dispatch;
+pub mod error;
+pub mod pool;
+pub mod queue;
+pub mod report;
+pub mod session;
+
+pub use dispatch::{DispatchPolicy, Dispatcher};
+pub use error::ServeError;
+pub use pool::{Prediction, ServeOptions, ShardPool};
+pub use queue::{Request, RequestQueue, DEFAULT_QUEUE_DEPTH};
+pub use report::{ShardStats, ThroughputReport};
+pub use session::ServeSession;

@@ -1,0 +1,648 @@
+//! The shard pool: N independent cycle-accurate engines over one shared
+//! compiled design, executing batched prediction requests.
+//!
+//! Each shard owns a full [`SimEngine`] — its own AXI stream master,
+//! HCB register chain and pipeline — exactly as N replicated accelerator
+//! instances on the fabric would each sit behind an independent AXI
+//! stream. The pool adds the processor-side runtime around them: bounded
+//! admission ([`RequestQueue`]), deterministic dispatch ([`Dispatcher`])
+//! and result reassembly in submission order.
+//!
+//! ## Determinism guarantee
+//!
+//! A request's classification depends only on the compiled design and the
+//! datapoint — never on which shard executed it, the shard count, the
+//! dispatch policy or the worker-thread count. The dispatcher itself is a
+//! pure function of submission order and queued-beat counters, so the
+//! *assignment* is also reproducible run-to-run. `tests/serve_determinism.rs`
+//! locks in bit-identical predictions and class sums across shard counts.
+
+use crate::dispatch::{DispatchPolicy, Dispatcher};
+use crate::error::ServeError;
+use crate::queue::{RequestQueue, DEFAULT_QUEUE_DEPTH};
+use crate::report::{ShardStats, ThroughputReport};
+use matador_sim::{CompiledAccelerator, SimEngine, SimError, SimResult};
+use serde::{Deserialize, Serialize};
+use tsetlin::bits::BitVec;
+
+/// Configuration of a serving runtime instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeOptions {
+    /// Engine shards in the pool (≥ 1).
+    pub shards: usize,
+    /// Request→shard assignment policy.
+    pub policy: DispatchPolicy,
+    /// Bounded request-queue depth (≥ 1); submissions beyond it fail with
+    /// [`ServeError::QueueFull`].
+    pub queue_depth: usize,
+    /// Whether shard engines model the two-stage (pipelined) class sum.
+    pub pipelined_sum: bool,
+    /// Whether predictions carry the class sums behind each winner.
+    pub capture_class_sums: bool,
+    /// Worker threads for shard execution (`None` = the
+    /// `MATADOR_THREADS`/available-parallelism default).
+    pub threads: Option<usize>,
+}
+
+impl ServeOptions {
+    /// Options for a pool of `shards` engines with the defaults: round-robin
+    /// dispatch, a [`DEFAULT_QUEUE_DEPTH`]-deep queue, plain class sums.
+    pub fn new(shards: usize) -> Self {
+        ServeOptions {
+            shards,
+            policy: DispatchPolicy::RoundRobin,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            pipelined_sum: false,
+            capture_class_sums: false,
+            threads: None,
+        }
+    }
+
+    /// Rejects degenerate options — the single source of truth for both
+    /// [`ShardPool::with_options`] and [`crate::ServeSession::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ZeroShards`] or [`ServeError::ZeroQueueDepth`].
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.shards == 0 {
+            return Err(ServeError::ZeroShards);
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::ZeroQueueDepth);
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions::new(1)
+    }
+}
+
+/// One completed inference.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Id assigned at submission (monotonic per pool; a
+    /// [`crate::ServeSession`] rebases ids to stay monotonic per session).
+    pub request: u64,
+    /// Winning class index.
+    pub winner: usize,
+    /// Shard that executed the request.
+    pub shard: usize,
+    /// First packet acceptance → `result_valid`, inclusive, on that shard.
+    pub latency_cycles: u64,
+    /// Class sums behind the winner, when
+    /// [`ServeOptions::capture_class_sums`] is set.
+    pub class_sums: Option<Vec<i32>>,
+}
+
+/// A pool of engine shards serving batched requests over one design.
+///
+/// # Lifetime and memory
+///
+/// A pool retains per-request latency samples and each engine's
+/// monitor/result/sum logs for its whole lifetime — memory grows with the
+/// total requests served, which is what makes the cumulative
+/// [`ShardPool::report`] possible. Scope a pool to a bounded serving
+/// window and roll its report up (exactly what [`crate::ServeSession`]
+/// does per batch) rather than holding one pool open indefinitely.
+///
+/// # Examples
+///
+/// ```
+/// use matador_logic::cube::{Cube, Lit};
+/// use matador_logic::dag::Sharing;
+/// use matador_serve::{ServeOptions, ShardPool};
+/// use matador_sim::{AccelShape, CompiledAccelerator};
+/// use tsetlin::bits::BitVec;
+///
+/// let shape = AccelShape { bus_width: 4, features: 4, classes: 2, clauses_per_class: 2 };
+/// let cubes = vec![vec![
+///     Cube::from_lits([Lit::pos(0)]),
+///     Cube::one(),
+///     Cube::from_lits([Lit::pos(1)]),
+///     Cube::one(),
+/// ]];
+/// let accel = CompiledAccelerator::from_window_cubes(shape, &cubes, Sharing::Enabled);
+/// let mut pool = ShardPool::with_options(&accel, ServeOptions::new(2)).expect("valid");
+/// let batch = vec![BitVec::from_indices(4, &[0]); 6];
+/// let predictions = pool.serve(&batch).expect("drains");
+/// assert_eq!(predictions.len(), 6);
+/// assert!(predictions.iter().all(|p| p.winner == 0));
+/// assert_eq!(pool.report().datapoints, 6);
+/// ```
+#[derive(Debug)]
+pub struct ShardPool<'a> {
+    accel: &'a CompiledAccelerator,
+    engines: Vec<SimEngine<'a>>,
+    dispatcher: Dispatcher,
+    queue: RequestQueue,
+    capture_sums: bool,
+    threads: Option<usize>,
+    /// Per-request latency samples, pool lifetime.
+    latencies: Vec<u64>,
+}
+
+/// One shard's slice of a flush, mutated on a worker thread.
+struct ShardRun<'e, 'a> {
+    engine: &'e mut SimEngine<'a>,
+    inputs: Vec<BitVec>,
+    outcome: Result<Vec<SimResult>, SimError>,
+    class_sums: Vec<Vec<i32>>,
+    first_beat_cycles: Vec<u64>,
+}
+
+impl<'a> ShardPool<'a> {
+    /// Creates a pool of `shards` engines with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ZeroShards`] when `shards == 0`.
+    pub fn new(accel: &'a CompiledAccelerator, shards: usize) -> Result<Self, ServeError> {
+        Self::with_options(accel, ServeOptions::new(shards))
+    }
+
+    /// Creates a pool from explicit [`ServeOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ZeroShards`] or [`ServeError::ZeroQueueDepth`]
+    /// on degenerate options.
+    pub fn with_options(
+        accel: &'a CompiledAccelerator,
+        options: ServeOptions,
+    ) -> Result<Self, ServeError> {
+        options.validate()?;
+        let queue = RequestQueue::new(options.queue_depth)?;
+        let engines = (0..options.shards)
+            .map(|_| {
+                let mut engine = SimEngine::new(accel);
+                engine.set_pipelined_sum(options.pipelined_sum);
+                engine.set_capture_class_sums(options.capture_class_sums);
+                engine
+            })
+            .collect();
+        Ok(ShardPool {
+            accel,
+            engines,
+            dispatcher: Dispatcher::new(options.policy),
+            queue,
+            capture_sums: options.capture_class_sums,
+            threads: options.threads,
+            latencies: Vec::new(),
+        })
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The active dispatch policy.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.dispatcher.policy()
+    }
+
+    /// The admission queue (pending counts, backpressure counters).
+    pub fn queue(&self) -> &RequestQueue {
+        &self.queue
+    }
+
+    /// Per-request latency samples collected so far (flush order).
+    pub fn latencies(&self) -> &[u64] {
+        &self.latencies
+    }
+
+    /// Admits one request into the bounded queue, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WidthMismatch`] for a datapoint that does not
+    /// match the compiled design, and [`ServeError::QueueFull`] when the
+    /// depth bound is reached (typed backpressure — flush and retry).
+    pub fn submit(&mut self, input: &BitVec) -> Result<u64, ServeError> {
+        let expected = self.accel.shape().features;
+        if input.len() != expected {
+            return Err(ServeError::WidthMismatch {
+                expected,
+                got: input.len(),
+            });
+        }
+        self.queue.push(input.clone())
+    }
+
+    /// Dispatches every pending request over the shard pool, runs the
+    /// shard engines (in parallel on up to `MATADOR_THREADS` workers) and
+    /// returns predictions in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Shard`] if a shard's engine fails to drain;
+    /// the lowest failing shard index is reported. A hang is a toolflow
+    /// bug, not a recoverable condition: the failed flush's requests are
+    /// dropped (including any classified by surviving shards), no latency
+    /// samples are recorded for it, and surviving shards' cumulative
+    /// engine/monitor counters remain visible in [`ShardPool::report`].
+    pub fn flush(&mut self) -> Result<Vec<Prediction>, ServeError> {
+        let requests = self.queue.drain();
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let beats = self.accel.shape().num_packets() as u64;
+        // Load signal for LeastQueued: cycles a shard has already run.
+        // Every flush drains its engines completely, so cumulative cycles
+        // are exactly what distinguishes shards *across* flushes (uneven
+        // earlier batches leave uneven histories to balance against).
+        let loads: Vec<u64> = self.engines.iter().map(|e| e.cycle()).collect();
+        let assignment = self.dispatcher.plan(&loads, requests.len(), beats);
+
+        // Per-shard work lists; order within a shard = submission order.
+        let mut work: Vec<Vec<usize>> = vec![Vec::new(); self.engines.len()];
+        for (ri, &s) in assignment.iter().enumerate() {
+            work[s].push(ri);
+        }
+
+        // Move the drained inputs into their shard's work list (each
+        // request is assigned exactly once, so no clone is needed on the
+        // serving hot path); ids stay behind for result reassembly.
+        let request_ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        let mut request_inputs: Vec<Option<BitVec>> =
+            requests.into_iter().map(|r| Some(r.input)).collect();
+        let mut runs: Vec<ShardRun<'_, 'a>> = self
+            .engines
+            .iter_mut()
+            .zip(&work)
+            .map(|(engine, indices)| ShardRun {
+                engine,
+                inputs: indices
+                    .iter()
+                    .map(|&ri| {
+                        request_inputs[ri]
+                            .take()
+                            .expect("every request is assigned to exactly one shard")
+                    })
+                    .collect(),
+                outcome: Ok(Vec::new()),
+                class_sums: Vec::new(),
+                first_beat_cycles: Vec::new(),
+            })
+            .collect();
+
+        let threads = self.threads.unwrap_or_else(matador_par::configured_threads);
+        matador_par::par_map_mut_with(threads, &mut runs, |_, run| {
+            if run.inputs.is_empty() {
+                return;
+            }
+            let monitor_before = run.engine.monitor().records().len();
+            let sums_before = run.engine.class_sums_log().len();
+            run.outcome = run.engine.run_datapoints(&run.inputs);
+            run.class_sums = run.engine.class_sums_log()[sums_before..].to_vec();
+            // A datapoint's beats transfer back-to-back before the next
+            // datapoint's, so fixed-size chunks recover each first-packet
+            // acceptance cycle from the monitor (ILA) records.
+            run.first_beat_cycles = run.engine.monitor().records()[monitor_before..]
+                .chunks(beats as usize)
+                .map(|c| c[0].cycle)
+                .collect();
+        });
+
+        // Reassemble into submission order, surfacing the lowest failing
+        // shard as a typed error.
+        let mut slots: Vec<Option<Prediction>> = vec![None; request_ids.len()];
+        for (shard, run) in runs.into_iter().enumerate() {
+            let results = match run.outcome {
+                Ok(results) => results,
+                Err(error) => return Err(ServeError::Shard { shard, error }),
+            };
+            debug_assert_eq!(results.len(), work[shard].len());
+            for (j, &ri) in work[shard].iter().enumerate() {
+                let latency = results[j].cycle - run.first_beat_cycles[j] + 1;
+                slots[ri] = Some(Prediction {
+                    request: request_ids[ri],
+                    winner: results[j].winner,
+                    shard,
+                    latency_cycles: latency,
+                    class_sums: self.capture_sums.then(|| run.class_sums[j].clone()),
+                });
+            }
+        }
+        let predictions: Vec<Prediction> = slots
+            .into_iter()
+            .map(|p| p.expect("every request was assigned to exactly one shard"))
+            .collect();
+        self.latencies
+            .extend(predictions.iter().map(|p| p.latency_cycles));
+        Ok(predictions)
+    }
+
+    /// Serves a whole batch: submits each datapoint, flushing whenever
+    /// the bounded queue fills, and once more at the end. Returns
+    /// predictions in input order. The queue's depth bound is respected
+    /// by flushing *before* it would overflow, so the backpressure
+    /// counter ([`RequestQueue::rejected`]) only ever reflects real
+    /// external rejections, never this loop's own batching.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WidthMismatch`] — checked for the *whole*
+    /// batch up front, before anything is flushed, so a malformed input
+    /// cannot strand already-classified predictions — and propagates
+    /// [`ServeError::Shard`] from flushing.
+    pub fn serve(&mut self, inputs: &[BitVec]) -> Result<Vec<Prediction>, ServeError> {
+        let expected = self.accel.shape().features;
+        if let Some(bad) = inputs.iter().find(|x| x.len() != expected) {
+            return Err(ServeError::WidthMismatch {
+                expected,
+                got: bad.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            if self.queue.len() >= self.queue.capacity() {
+                out.extend(self.flush()?);
+            }
+            self.submit(input)?;
+        }
+        out.extend(self.flush()?);
+        Ok(out)
+    }
+
+    /// Merges every shard's stream statistics (engine cycles, monitor
+    /// datapoint counts, transfers, stalls) and the pool's latency samples
+    /// into a whole-pool [`ThroughputReport`].
+    pub fn report(&self) -> ThroughputReport {
+        let shards = self
+            .engines
+            .iter()
+            .enumerate()
+            .map(|(i, e)| ShardStats {
+                shard: i,
+                cycles: e.cycle(),
+                datapoints: e.monitor().datapoints() as u64,
+                transfers: e.stream_transfers(),
+                stall_cycles: e.stream_stall_cycles(),
+            })
+            .collect();
+        ThroughputReport::merge(shards, &self.latencies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matador_logic::cube::{Cube, Lit};
+    use matador_logic::dag::Sharing;
+    use matador_sim::AccelShape;
+
+    /// 8-feature, 2-packet accelerator: class 0 votes for x0, class 1 for
+    /// x4 (mirrors the engine's own test design).
+    fn accel() -> CompiledAccelerator {
+        let shape = AccelShape {
+            bus_width: 4,
+            features: 8,
+            classes: 2,
+            clauses_per_class: 2,
+        };
+        let w0 = vec![
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::from_lits([Lit::pos(1)]),
+            Cube::from_lits([Lit::pos(2)]),
+            Cube::from_lits([Lit::pos(3)]),
+        ];
+        let w1 = vec![
+            Cube::one(),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::one(),
+        ];
+        CompiledAccelerator::from_window_cubes(shape, &[w0, w1], Sharing::Enabled)
+    }
+
+    fn inputs(n: usize) -> Vec<BitVec> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    BitVec::from_indices(8, &[0])
+                } else {
+                    BitVec::from_indices(8, &[4])
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_error() {
+        let a = accel();
+        assert!(matches!(
+            ShardPool::new(&a, 0).unwrap_err(),
+            ServeError::ZeroShards
+        ));
+    }
+
+    #[test]
+    fn predictions_match_reference_on_every_shard_count() {
+        let a = accel();
+        let xs = inputs(11);
+        let expected: Vec<usize> = xs
+            .iter()
+            .map(|x| tsetlin::tm::argmax(&a.reference_class_sums(x)))
+            .collect();
+        for shards in [1, 2, 3, 8] {
+            let mut pool = ShardPool::new(&a, shards).expect("valid");
+            let winners: Vec<usize> = pool
+                .serve(&xs)
+                .expect("drains")
+                .iter()
+                .map(|p| p.winner)
+                .collect();
+            assert_eq!(winners, expected, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_requests() {
+        let a = accel();
+        let mut pool = ShardPool::new(&a, 4).expect("valid");
+        let preds = pool.serve(&inputs(8)).expect("drains");
+        let shards: Vec<usize> = preds.iter().map(|p| p.shard).collect();
+        assert_eq!(shards, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn width_mismatch_is_typed() {
+        let a = accel();
+        let mut pool = ShardPool::new(&a, 2).expect("valid");
+        let err = pool.submit(&BitVec::zeros(5)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::WidthMismatch {
+                expected: 8,
+                got: 5
+            }
+        );
+    }
+
+    #[test]
+    fn serve_rejects_malformed_batches_atomically() {
+        let a = accel();
+        let mut options = ServeOptions::new(2);
+        options.queue_depth = 2;
+        let mut pool = ShardPool::with_options(&a, options).expect("valid");
+        // A bad width deep in the batch (past several flush boundaries)
+        // must fail before *anything* runs — no stranded predictions, no
+        // phantom datapoints in the report.
+        let mut batch = inputs(7);
+        batch.push(BitVec::zeros(5));
+        let err = pool.serve(&batch).unwrap_err();
+        assert!(matches!(err, ServeError::WidthMismatch { got: 5, .. }));
+        assert_eq!(pool.report().datapoints, 0);
+        assert!(pool.latencies().is_empty());
+        // The pool stays fully usable afterwards.
+        assert_eq!(pool.serve(&inputs(7)).expect("drains").len(), 7);
+    }
+
+    #[test]
+    fn bounded_queue_backpressures_then_recovers() {
+        let a = accel();
+        let mut options = ServeOptions::new(2);
+        options.queue_depth = 3;
+        let mut pool = ShardPool::with_options(&a, options).expect("valid");
+        for _ in 0..3 {
+            pool.submit(&BitVec::from_indices(8, &[0]))
+                .expect("admitted");
+        }
+        let err = pool.submit(&BitVec::from_indices(8, &[0])).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { capacity: 3 });
+        assert_eq!(pool.queue().rejected(), 1);
+        // serve() flushes *before* the bound would trip: a batch much
+        // larger than the queue completes in order without recording any
+        // self-inflicted rejections.
+        let preds = pool.serve(&inputs(10)).expect("drains");
+        assert_eq!(preds.len(), 3 + 10);
+        assert_eq!(pool.queue().rejected(), 1);
+    }
+
+    #[test]
+    fn latency_matches_single_engine_formula() {
+        let a = accel(); // 2 packets → latency 2 + 3
+        let mut pool = ShardPool::new(&a, 2).expect("valid");
+        let preds = pool.serve(&inputs(4)).expect("drains");
+        for p in &preds {
+            assert_eq!(p.latency_cycles, 2 + 3, "{p:?}");
+        }
+        let report = pool.report();
+        assert_eq!(report.latency_p50_cycles, 5);
+        assert_eq!(report.latency_p99_cycles, 5);
+        assert_eq!(report.datapoints, 4);
+    }
+
+    #[test]
+    fn pipelined_sum_option_adds_one_cycle() {
+        let a = accel();
+        let mut options = ServeOptions::new(1);
+        options.pipelined_sum = true;
+        let mut pool = ShardPool::with_options(&a, options).expect("valid");
+        let preds = pool.serve(&inputs(2)).expect("drains");
+        assert!(preds.iter().all(|p| p.latency_cycles == 2 + 4));
+    }
+
+    #[test]
+    fn class_sums_captured_when_requested() {
+        let a = accel();
+        let mut options = ServeOptions::new(2);
+        options.capture_class_sums = true;
+        let mut pool = ShardPool::with_options(&a, options).expect("valid");
+        let xs = inputs(6);
+        let preds = pool.serve(&xs).expect("drains");
+        for (x, p) in xs.iter().zip(&preds) {
+            assert_eq!(
+                p.class_sums.as_deref(),
+                Some(a.reference_class_sums(x).as_slice())
+            );
+        }
+        // Off by default: no sums carried.
+        let mut plain = ShardPool::new(&a, 2).expect("valid");
+        assert!(plain.serve(&xs).expect("drains")[0].class_sums.is_none());
+    }
+
+    #[test]
+    fn multi_shard_pool_cycles_beat_single_shard() {
+        let a = accel();
+        let xs = inputs(32);
+        let pool_cycles = |shards: usize| {
+            let mut pool = ShardPool::new(&a, shards).expect("valid");
+            pool.serve(&xs).expect("drains");
+            pool.report().pool_cycles
+        };
+        let one = pool_cycles(1);
+        let four = pool_cycles(4);
+        assert!(four < one, "4 shards {four} !< 1 shard {one}");
+    }
+
+    #[test]
+    fn report_is_identical_at_any_thread_count() {
+        let a = accel();
+        let xs = inputs(17);
+        let run = |threads: usize| {
+            let mut options = ServeOptions::new(4);
+            options.threads = Some(threads);
+            options.capture_class_sums = true;
+            let mut pool = ShardPool::with_options(&a, options).expect("valid");
+            let preds = pool.serve(&xs).expect("drains");
+            (preds, pool.report())
+        };
+        let sequential = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn least_queued_balances_cumulative_load_across_flushes() {
+        let a = accel();
+        let mut options = ServeOptions::new(2);
+        options.policy = DispatchPolicy::LeastQueued;
+        let mut pool = ShardPool::with_options(&a, options).expect("valid");
+        // First flush: one request lands on shard 0 (tie → lowest index),
+        // leaving shard 0 with cycle history and shard 1 idle.
+        let first = pool.serve(&inputs(1)).expect("drains");
+        assert_eq!(first[0].shard, 0);
+        // Second flush: shard 1 has strictly less accumulated load, so it
+        // absorbs the next requests until it catches up.
+        let second = pool.serve(&inputs(2)).expect("drains");
+        assert_eq!(
+            second.iter().map(|p| p.shard).collect::<Vec<_>>(),
+            vec![1, 1]
+        );
+    }
+
+    #[test]
+    fn least_queued_agrees_with_round_robin_on_predictions() {
+        let a = accel();
+        let xs = inputs(13);
+        let winners = |policy: DispatchPolicy| {
+            let mut options = ServeOptions::new(3);
+            options.policy = policy;
+            let mut pool = ShardPool::with_options(&a, options).expect("valid");
+            pool.serve(&xs)
+                .expect("drains")
+                .iter()
+                .map(|p| p.winner)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            winners(DispatchPolicy::RoundRobin),
+            winners(DispatchPolicy::LeastQueued)
+        );
+    }
+
+    #[test]
+    fn empty_flush_is_a_no_op() {
+        let a = accel();
+        let mut pool = ShardPool::new(&a, 2).expect("valid");
+        assert!(pool.flush().expect("trivially drains").is_empty());
+        assert_eq!(pool.report().datapoints, 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The bounded request queue: admission control for the serving runtime.
+//!
+//! Requests wait here between [`submit`](crate::ShardPool::submit) and
+//! [`flush`](crate::ShardPool::flush). The depth bound is the runtime's
+//! backpressure mechanism — once `capacity` requests are pending, further
+//! submissions fail with the typed [`ServeError::QueueFull`] instead of
+//! growing without bound, exactly like a full DMA descriptor ring on the
+//! processor side of the SoC.
+
+use crate::error::ServeError;
+use std::collections::VecDeque;
+use tsetlin::bits::BitVec;
+
+/// Default queue depth used by [`crate::ServeOptions::default`].
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// One pending inference request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Monotonic request id, assigned at admission.
+    pub id: u64,
+    /// The booleanized datapoint to classify.
+    pub input: BitVec,
+}
+
+/// A bounded FIFO of pending requests with admission counters.
+///
+/// # Examples
+///
+/// ```
+/// use matador_serve::queue::RequestQueue;
+/// use tsetlin::bits::BitVec;
+///
+/// let mut q = RequestQueue::new(2).expect("positive depth");
+/// q.push(BitVec::zeros(4)).expect("admitted");
+/// q.push(BitVec::zeros(4)).expect("admitted");
+/// assert!(q.push(BitVec::zeros(4)).is_err()); // typed backpressure
+/// assert_eq!(q.drain().len(), 2);
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestQueue {
+    capacity: usize,
+    pending: VecDeque<Request>,
+    next_id: u64,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl RequestQueue {
+    /// Creates a queue bounded at `capacity` pending requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ZeroQueueDepth`] when `capacity == 0`.
+    pub fn new(capacity: usize) -> Result<Self, ServeError> {
+        if capacity == 0 {
+            return Err(ServeError::ZeroQueueDepth);
+        }
+        Ok(RequestQueue {
+            capacity,
+            pending: VecDeque::new(),
+            next_id: 0,
+            accepted: 0,
+            rejected: 0,
+        })
+    }
+
+    /// Admits one request, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] when the depth bound is reached;
+    /// the rejection is counted (see [`RequestQueue::rejected`]).
+    pub fn push(&mut self, input: BitVec) -> Result<u64, ServeError> {
+        if self.pending.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(ServeError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.accepted += 1;
+        self.pending.push_back(Request { id, input });
+        Ok(id)
+    }
+
+    /// Removes and returns every pending request, oldest first.
+    pub fn drain(&mut self) -> Vec<Request> {
+        self.pending.drain(..).collect()
+    }
+
+    /// Pending request count.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no requests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The configured depth bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Requests admitted since construction.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Requests rejected by backpressure since construction.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_depth_is_rejected() {
+        assert_eq!(
+            RequestQueue::new(0).unwrap_err(),
+            ServeError::ZeroQueueDepth
+        );
+    }
+
+    #[test]
+    fn ids_are_monotonic_across_drains() {
+        let mut q = RequestQueue::new(4).expect("valid");
+        let a = q.push(BitVec::zeros(2)).expect("admitted");
+        let b = q.push(BitVec::zeros(2)).expect("admitted");
+        assert_eq!((a, b), (0, 1));
+        q.drain();
+        let c = q.push(BitVec::zeros(2)).expect("admitted");
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    fn backpressure_counts_rejections_and_recovers() {
+        let mut q = RequestQueue::new(1).expect("valid");
+        q.push(BitVec::zeros(2)).expect("admitted");
+        let err = q.push(BitVec::zeros(2)).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { capacity: 1 });
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.accepted(), 1);
+        // Draining frees capacity: the queue recovers after backpressure.
+        q.drain();
+        q.push(BitVec::zeros(2)).expect("admitted after drain");
+        assert_eq!(q.accepted(), 2);
+    }
+
+    #[test]
+    fn drain_preserves_fifo_order() {
+        let mut q = RequestQueue::new(8).expect("valid");
+        for i in 0..5usize {
+            q.push(BitVec::from_indices(8, &[i])).expect("admitted");
+        }
+        let drained = q.drain();
+        assert_eq!(drained.len(), 5);
+        for (i, r) in drained.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(r.input.get(i));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Aggregate pool characterization: per-shard stream statistics merged
+//! into whole-pool cycles, latency percentiles and inferences/second.
+//!
+//! The merge rule mirrors the hardware: shards are independent engines
+//! clocked together, so the pool finishes when its *slowest* shard
+//! finishes — pool cycles are the maximum over shard cycles, not the sum —
+//! while datapoints, transfers and stalls add across shards.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative stream statistics of one engine shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index within the pool.
+    pub shard: usize,
+    /// Cycles this shard's engine has run.
+    pub cycles: u64,
+    /// Datapoints this shard classified.
+    pub datapoints: u64,
+    /// AXI beats this shard transferred.
+    pub transfers: u64,
+    /// Cycles this shard's stream spent stalled under backpressure.
+    pub stall_cycles: u64,
+}
+
+impl ShardStats {
+    /// An idle shard's statistics.
+    pub fn idle(shard: usize) -> Self {
+        ShardStats {
+            shard,
+            cycles: 0,
+            datapoints: 0,
+            transfers: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Accumulates `other` (a later batch on the same shard) into `self`.
+    pub fn absorb(&mut self, other: &ShardStats) {
+        self.cycles += other.cycles;
+        self.datapoints += other.datapoints;
+        self.transfers += other.transfers;
+        self.stall_cycles += other.stall_cycles;
+    }
+}
+
+/// Whole-pool latency/throughput characterization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Per-shard stream statistics, shard-index order.
+    pub shards: Vec<ShardStats>,
+    /// Pool wall-clock in cycles: the slowest shard's cycle count.
+    pub pool_cycles: u64,
+    /// Total datapoints classified across the pool.
+    pub datapoints: u64,
+    /// Median per-request latency in cycles (first packet → result).
+    pub latency_p50_cycles: u64,
+    /// 95th-percentile per-request latency in cycles.
+    pub latency_p95_cycles: u64,
+    /// 99th-percentile per-request latency in cycles.
+    pub latency_p99_cycles: u64,
+}
+
+impl ThroughputReport {
+    /// Merges per-shard statistics and the pool-wide per-request latency
+    /// samples into one report. `latencies` need not be sorted.
+    pub fn merge(shards: Vec<ShardStats>, latencies: &[u64]) -> ThroughputReport {
+        let pool_cycles = shards.iter().map(|s| s.cycles).max().unwrap_or(0);
+        let datapoints = shards.iter().map(|s| s.datapoints).sum();
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        ThroughputReport {
+            shards,
+            pool_cycles,
+            datapoints,
+            latency_p50_cycles: percentile(&sorted, 50),
+            latency_p95_cycles: percentile(&sorted, 95),
+            latency_p99_cycles: percentile(&sorted, 99),
+        }
+    }
+
+    /// Aggregate throughput in inferences/second at `clock_mhz`: total
+    /// datapoints over the slowest shard's wall-clock.
+    pub fn throughput_inf_s(&self, clock_mhz: f64) -> f64 {
+        if self.pool_cycles == 0 {
+            0.0
+        } else {
+            self.datapoints as f64 * clock_mhz * 1.0e6 / self.pool_cycles as f64
+        }
+    }
+
+    /// Median request latency in microseconds at `clock_mhz`.
+    pub fn latency_p50_us(&self, clock_mhz: f64) -> f64 {
+        self.latency_p50_cycles as f64 / clock_mhz
+    }
+
+    /// Total stalled cycles across all shards.
+    pub fn stall_cycles(&self) -> u64 {
+        self.shards.iter().map(|s| s.stall_cycles).sum()
+    }
+
+    /// Total AXI transfers across all shards.
+    pub fn transfers(&self) -> u64 {
+        self.shards.iter().map(|s| s.transfers).sum()
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set (0 when
+/// empty) — deterministic, no interpolation.
+fn percentile(sorted: &[u64], pct: u32) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * u64::from(pct)).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(shard: usize, cycles: u64, datapoints: u64) -> ShardStats {
+        ShardStats {
+            shard,
+            cycles,
+            datapoints,
+            transfers: datapoints * 2,
+            stall_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn pool_cycles_are_the_slowest_shard() {
+        let r = ThroughputReport::merge(vec![stats(0, 100, 10), stats(1, 130, 13)], &[5, 6, 7]);
+        assert_eq!(r.pool_cycles, 130);
+        assert_eq!(r.datapoints, 23);
+        assert_eq!(r.transfers(), 46);
+    }
+
+    #[test]
+    fn throughput_scales_with_shards() {
+        // Same 60 datapoints: one shard needs 120 cycles, two shards of 30
+        // need 60 each → pool halves its wall-clock, doubling inf/s.
+        let one = ThroughputReport::merge(vec![stats(0, 120, 60)], &[6]);
+        let two = ThroughputReport::merge(vec![stats(0, 60, 30), stats(1, 60, 30)], &[6]);
+        let clock = 50.0;
+        assert!((two.throughput_inf_s(clock) / one.throughput_inf_s(clock) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let lat: Vec<u64> = (1..=100).collect();
+        let r = ThroughputReport::merge(vec![stats(0, 1, 1)], &lat);
+        assert_eq!(r.latency_p50_cycles, 50);
+        assert_eq!(r.latency_p95_cycles, 95);
+        assert_eq!(r.latency_p99_cycles, 99);
+        // Singleton and empty sample sets stay well-defined.
+        let single = ThroughputReport::merge(vec![stats(0, 1, 1)], &[42]);
+        assert_eq!(single.latency_p50_cycles, 42);
+        assert_eq!(single.latency_p99_cycles, 42);
+        let empty = ThroughputReport::merge(vec![stats(0, 0, 0)], &[]);
+        assert_eq!(empty.latency_p50_cycles, 0);
+        assert_eq!(empty.throughput_inf_s(50.0), 0.0);
+    }
+
+    #[test]
+    fn absorb_accumulates_batches() {
+        let mut a = stats(0, 100, 10);
+        a.absorb(&stats(0, 50, 5));
+        assert_eq!(a.cycles, 150);
+        assert_eq!(a.datapoints, 15);
+        assert_eq!(a.transfers, 30);
+    }
+}

@@ -1,0 +1,162 @@
+//! An owning serving session: the handle `MatadorFlow` hands back.
+//!
+//! [`crate::ShardPool`] borrows its [`CompiledAccelerator`] (engines hold
+//! references into the design), which is the right shape for drivers that
+//! manage the design's lifetime themselves. A [`ServeSession`] instead
+//! *owns* the compiled design and aggregates statistics across batches:
+//! each [`ServeSession::serve`] call runs a fresh pool — engines start
+//! post-reset, as a batch streamed to the board would — and folds the
+//! batch's per-shard stream stats and latency samples into the session's
+//! cumulative [`ThroughputReport`].
+
+use crate::error::ServeError;
+use crate::pool::{Prediction, ServeOptions, ShardPool};
+use crate::report::{ShardStats, ThroughputReport};
+use matador_sim::CompiledAccelerator;
+use tsetlin::bits::BitVec;
+
+/// An owning, multi-batch serving runtime over one compiled design.
+#[derive(Debug)]
+pub struct ServeSession {
+    accel: CompiledAccelerator,
+    options: ServeOptions,
+    /// Cumulative per-shard statistics across batches.
+    stats: Vec<ShardStats>,
+    /// Cumulative per-request latency samples across batches.
+    latencies: Vec<u64>,
+    /// Id offset for the next batch, keeping [`Prediction::request`]
+    /// monotonic across the session (each batch's pool restarts at 0).
+    next_request_id: u64,
+}
+
+impl ServeSession {
+    /// Creates a session serving `accel` with the given options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ZeroShards`] or [`ServeError::ZeroQueueDepth`]
+    /// on degenerate options.
+    pub fn new(accel: CompiledAccelerator, options: ServeOptions) -> Result<Self, ServeError> {
+        options.validate()?;
+        let stats = (0..options.shards).map(ShardStats::idle).collect();
+        Ok(ServeSession {
+            accel,
+            options,
+            stats,
+            latencies: Vec::new(),
+            next_request_id: 0,
+        })
+    }
+
+    /// The compiled design being served.
+    pub fn accel(&self) -> &CompiledAccelerator {
+        &self.accel
+    }
+
+    /// The session's serving options.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Serves one batch over a fresh shard pool and folds its statistics
+    /// into the session aggregate. Predictions come back in input order,
+    /// with request ids monotonic across the whole session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`ServeError`] the underlying pool can produce.
+    pub fn serve(&mut self, inputs: &[BitVec]) -> Result<Vec<Prediction>, ServeError> {
+        let mut pool = ShardPool::with_options(&self.accel, self.options)?;
+        let mut predictions = pool.serve(inputs)?;
+        // Each batch's pool numbers requests from 0; rebase onto the
+        // session counter so ids never collide across batches.
+        for p in &mut predictions {
+            p.request += self.next_request_id;
+        }
+        self.next_request_id += predictions.len() as u64;
+        let batch = pool.report();
+        for (aggregate, shard) in self.stats.iter_mut().zip(&batch.shards) {
+            aggregate.absorb(shard);
+        }
+        self.latencies.extend_from_slice(pool.latencies());
+        Ok(predictions)
+    }
+
+    /// Cumulative whole-pool report over every batch served so far.
+    pub fn report(&self) -> ThroughputReport {
+        ThroughputReport::merge(self.stats.clone(), &self.latencies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matador_logic::cube::{Cube, Lit};
+    use matador_logic::dag::Sharing;
+    use matador_sim::AccelShape;
+
+    fn accel() -> CompiledAccelerator {
+        let shape = AccelShape {
+            bus_width: 4,
+            features: 8,
+            classes: 2,
+            clauses_per_class: 2,
+        };
+        let w0 = vec![
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(1)]),
+            Cube::one(),
+        ];
+        let w1 = vec![
+            Cube::one(),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::one(),
+        ];
+        CompiledAccelerator::from_window_cubes(shape, &[w0, w1], Sharing::Enabled)
+    }
+
+    #[test]
+    fn session_accumulates_across_batches() {
+        let mut session = ServeSession::new(accel(), ServeOptions::new(2)).expect("valid");
+        let batch: Vec<BitVec> = vec![BitVec::from_indices(8, &[0]); 6];
+        let first = session.serve(&batch).expect("drains");
+        let second = session.serve(&batch).expect("drains");
+        // Request ids stay monotonic across batches despite each batch
+        // running on a fresh pool.
+        let ids: Vec<u64> = first.iter().chain(&second).map(|p| p.request).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<u64>>());
+        let report = session.report();
+        assert_eq!(report.datapoints, 12);
+        assert_eq!(report.shards.len(), 2);
+        // 3 datapoints × 2 packets per shard per batch, 2 batches.
+        assert_eq!(report.transfers(), 24);
+        assert_eq!(report.latency_p50_cycles, 2 + 3);
+    }
+
+    #[test]
+    fn degenerate_options_are_typed_errors() {
+        assert!(matches!(
+            ServeSession::new(accel(), ServeOptions::new(0)).unwrap_err(),
+            ServeError::ZeroShards
+        ));
+        let mut opts = ServeOptions::new(1);
+        opts.queue_depth = 0;
+        assert!(matches!(
+            ServeSession::new(accel(), opts).unwrap_err(),
+            ServeError::ZeroQueueDepth
+        ));
+    }
+
+    #[test]
+    fn session_predictions_match_pool_predictions() {
+        let a = accel();
+        let batch: Vec<BitVec> = (0..9).map(|i| BitVec::from_indices(8, &[i % 8])).collect();
+        let mut session = ServeSession::new(a.clone(), ServeOptions::new(3)).expect("valid");
+        let from_session = session.serve(&batch).expect("drains");
+        let mut pool = ShardPool::with_options(&a, ServeOptions::new(3)).expect("valid");
+        let from_pool = pool.serve(&batch).expect("drains");
+        assert_eq!(from_session, from_pool);
+    }
+}

@@ -108,6 +108,15 @@ pub struct SimEngine<'a> {
     trace_enabled: bool,
     /// Two-stage class-sum pipeline (the paper's optional adder pipelining).
     pipelined_sum: bool,
+    /// Optional capture of the class sums behind each result (the serving
+    /// runtime's determinism proofs compare these bit-for-bit).
+    capture_sums: bool,
+    /// Pipeline: class sums travelling with [`SimEngine::argmax_stage`]
+    /// when capture is enabled.
+    sums_stage: Option<Vec<i32>>,
+    /// Captured class sums, aligned with [`SimEngine::results`] entries
+    /// produced while capture was enabled.
+    sums_log: Vec<Vec<i32>>,
 }
 
 impl<'a> SimEngine<'a> {
@@ -130,6 +139,9 @@ impl<'a> SimEngine<'a> {
             trace: Vec::new(),
             trace_enabled: false,
             pipelined_sum: false,
+            capture_sums: false,
+            sums_stage: None,
+            sums_log: Vec::new(),
         }
     }
 
@@ -143,6 +155,19 @@ impl<'a> SimEngine<'a> {
     /// Enables per-cycle trace capture (Fig 7).
     pub fn enable_trace(&mut self) {
         self.trace_enabled = true;
+    }
+
+    /// Enables capture of the class sums behind every subsequent result
+    /// (see [`SimEngine::class_sums_log`]). Enable before streaming — sums
+    /// captured mid-pipeline would misalign with their results.
+    pub fn set_capture_class_sums(&mut self, capture: bool) {
+        self.capture_sums = capture;
+    }
+
+    /// Class sums captured for each result produced while
+    /// [`SimEngine::set_capture_class_sums`] was enabled, in result order.
+    pub fn class_sums_log(&self) -> &[Vec<i32>] {
+        &self.sums_log
     }
 
     /// Queues one datapoint (feature vector) for streaming.
@@ -209,6 +234,9 @@ impl<'a> SimEngine<'a> {
             });
         }
         if let Some(winner) = self.argmax_stage.take() {
+            if let Some(sums) = self.sums_stage.take() {
+                self.sums_log.push(sums);
+            }
             self.results.push(SimResult {
                 winner,
                 cycle: self.cycle,
@@ -216,6 +244,11 @@ impl<'a> SimEngine<'a> {
         }
 
         // --- register update phase (end of cycle) ------------------------
+        if self.capture_sums {
+            // The sums travel in lock-step with the winner derived from
+            // them, so the log stays aligned with the result stream.
+            self.sums_stage = self.sum_stage.clone();
+        }
         self.argmax_stage = winner_now;
         if self.pipelined_sum {
             // Two-stage class sum: popcounts register first, subtract next.
@@ -331,6 +364,21 @@ impl<'a> SimEngine<'a> {
     /// The stream monitor (ILA model).
     pub fn monitor(&self) -> &StreamMonitor {
         &self.monitor
+    }
+
+    /// AXI beats still queued in the stream master.
+    pub fn pending_beats(&self) -> usize {
+        self.master.pending()
+    }
+
+    /// Cycles the stream master spent stalled (TVALID high, TREADY low).
+    pub fn stream_stall_cycles(&self) -> u64 {
+        self.master.stall_cycles()
+    }
+
+    /// Completed AXI transfers since construction.
+    pub fn stream_transfers(&self) -> u64 {
+        self.master.transfers()
     }
 
     /// Current cycle counter.
@@ -532,6 +580,34 @@ mod tests {
         for r in &results {
             assert_eq!(r.winner, 0);
         }
+    }
+
+    #[test]
+    fn captured_class_sums_match_reference() {
+        let a = accel();
+        for pipelined in [false, true] {
+            let mut sim = SimEngine::new(&a);
+            sim.set_pipelined_sum(pipelined);
+            sim.set_capture_class_sums(true);
+            let xs = vec![
+                BitVec::from_indices(8, &[0]),
+                BitVec::from_indices(8, &[2, 4]),
+                BitVec::from_indices(8, &[1, 3]),
+            ];
+            let results = sim.run_datapoints(&xs).expect("drains within bound");
+            let log = sim.class_sums_log();
+            assert_eq!(log.len(), results.len(), "pipelined={pipelined}");
+            for ((x, r), sums) in xs.iter().zip(&results).zip(log) {
+                assert_eq!(sums, &a.reference_class_sums(x), "input {x}");
+                assert_eq!(r.winner, argmax(sums));
+            }
+        }
+        // Capture off: the log stays empty.
+        let mut plain = SimEngine::new(&a);
+        plain
+            .run_datapoints(&[BitVec::zeros(8)])
+            .expect("drains within bound");
+        assert!(plain.class_sums_log().is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub use matador_datasets as datasets;
 pub use matador_logic as logic;
 pub use matador_par as par;
 pub use matador_rtl as rtl;
+pub use matador_serve as serve;
 pub use matador_sim as sim;
 pub use matador_synth as synth;
 pub use tsetlin;
