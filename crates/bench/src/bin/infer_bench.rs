@@ -1,0 +1,290 @@
+//! Host-side inference-throughput benchmark: cycle-accurate vs turbo
+//! backends at several shard counts, with a machine-readable artifact.
+//!
+//! Where `serve_sweep` reports *simulated* (in-cycle) throughput, this
+//! harness measures what the serving process itself achieves — wall-clock
+//! inferences/second on the host — which is what the bit-sliced turbo
+//! backend exists to multiply. One KWS-6 model is trained (or
+//! cache-loaded), its accelerator generated (or cache-loaded), and every
+//! `backend × shard-count` cell serves the same batch on a fresh pool.
+//! Winners are asserted bit-identical across all cells on every run.
+//!
+//! ```text
+//! cargo run -p matador-bench --bin infer_bench --release -- \
+//!     [--quick] [--seed N] [--shards 1,4,8] [--batch N] \
+//!     [--out BENCH_inference.json] [--assert-turbo-speedup X]
+//! ```
+//!
+//! The JSON artifact (`BENCH_inference.json` by default) tracks the
+//! repo's perf trajectory: one row per cell with backend, shards,
+//! wall-clock, inf/s and speedup vs the cycle-accurate backend at the
+//! first listed shard count (1 by default). `--assert-turbo-speedup X`
+//! exits non-zero unless the turbo backend beats the cycle-accurate
+//! backend by at least `X`× — the release CI gate.
+
+use matador_bench::eval::{model_key_for, EvalOptions};
+use matador_bench::{DesignCache, ModelCache};
+use matador_datasets::{generate, DatasetKind};
+use matador_serve::{EngineBackend, ServeOptions, ShardPool};
+use matador_sim::CompiledAccelerator;
+use std::time::Instant;
+use tsetlin::bits::BitVec;
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+struct BenchArgs {
+    shards: Vec<usize>,
+    batch: usize,
+    out: String,
+    assert_speedup: Option<f64>,
+    opts: EvalOptions,
+}
+
+fn parse_args() -> Result<BenchArgs, matador::Error> {
+    let mut shards = vec![1, 4, 8];
+    let mut batch: Option<usize> = None;
+    let mut out = "BENCH_inference.json".to_string();
+    let mut assert_speedup = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| bad_arg("--shards requires a comma-separated list"))?;
+                shards = value
+                    .split(',')
+                    .map(|tok| {
+                        tok.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| {
+                                bad_arg(format!("--shards entry '{tok}' is not a positive integer"))
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+                if shards.is_empty() {
+                    return Err(bad_arg("--shards list is empty"));
+                }
+            }
+            "--batch" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| bad_arg("--batch requires a value"))?;
+                batch = Some(
+                    value
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| bad_arg(format!("--batch '{value}' is not positive")))?,
+                );
+            }
+            "--out" => {
+                out = args
+                    .next()
+                    .ok_or_else(|| bad_arg("--out requires a path"))?;
+            }
+            "--assert-turbo-speedup" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| bad_arg("--assert-turbo-speedup requires a factor"))?;
+                assert_speedup = Some(value.parse::<f64>().ok().filter(|x| *x > 0.0).ok_or_else(
+                    || bad_arg(format!("--assert-turbo-speedup '{value}' is not positive")),
+                )?);
+            }
+            _ => rest.push(arg),
+        }
+    }
+    let opts = EvalOptions::from_args(rest)?;
+    // The cycle-accurate baseline dominates wall-clock; size the batch so
+    // full runs stay in seconds, not minutes.
+    let batch = batch.unwrap_or(1024);
+    Ok(BenchArgs {
+        shards,
+        batch,
+        out,
+        assert_speedup,
+        opts,
+    })
+}
+
+fn bad_arg(message: impl Into<String>) -> matador::Error {
+    matador::Error::other(std::io::Error::new(
+        std::io::ErrorKind::InvalidInput,
+        message.into(),
+    ))
+}
+
+struct Cell {
+    backend: EngineBackend,
+    shards: usize,
+    wall_s: f64,
+    inf_s: f64,
+    winners: Vec<usize>,
+}
+
+fn backend_slug(backend: EngineBackend) -> &'static str {
+    match backend {
+        EngineBackend::CycleAccurate => "cycle_accurate",
+        EngineBackend::Turbo => "turbo",
+    }
+}
+
+fn measure(
+    accel: &CompiledAccelerator,
+    backend: EngineBackend,
+    shards: usize,
+    batch: &[BitVec],
+) -> Cell {
+    let options = ServeOptions {
+        backend,
+        ..ServeOptions::new(shards)
+    };
+    // Warm compilation, scratch growth and allocator state outside the
+    // measured window, on a disposable pool.
+    let mut warm = ShardPool::with_options(accel, options).expect("positive shard count");
+    warm.serve(&batch[..batch.len().min(64)]).expect("drains");
+
+    let mut pool = ShardPool::with_options(accel, options).expect("positive shard count");
+    let start = Instant::now();
+    let predictions = pool.serve(batch).expect("engines drain");
+    let wall_s = start.elapsed().as_secs_f64();
+    Cell {
+        backend,
+        shards,
+        wall_s,
+        inf_s: batch.len() as f64 / wall_s.max(1e-9),
+        winners: predictions.iter().map(|p| p.winner).collect(),
+    }
+}
+
+fn run() -> Result<bool, matador::Error> {
+    let args = parse_args()?;
+    let kind = DatasetKind::Kws6;
+    let opts = &args.opts;
+    let threads = matador_par::configured_threads();
+
+    eprintln!("[infer_bench] {kind}: training model + generating accelerator…");
+    let data = generate(kind, opts.sizes, opts.seed);
+    let model = ModelCache::global().train_cached(&model_key_for(kind, opts), &data.train, threads);
+    let config = matador::config::MatadorConfig::builder()
+        .design_name("infer_bench")
+        .build()
+        .expect("default configuration is valid");
+    let design = DesignCache::global().generate_cached(&model, &config, threads);
+    let accel = design.compile_for_sim();
+    let batch: Vec<BitVec> = (0..args.batch)
+        .map(|i| data.test[i % data.test.len()].input.clone())
+        .collect();
+
+    println!(
+        "infer_bench — {kind} design, {} packets/datapoint, batch {}, seed {}, {} worker thread(s)",
+        accel.shape().num_packets(),
+        args.batch,
+        opts.seed,
+        threads
+    );
+    println!(
+        "(host wall-clock inf/s; model cache {}h/{}m, design cache {}h/{}m)\n",
+        ModelCache::global().hits(),
+        ModelCache::global().misses(),
+        DesignCache::global().hits(),
+        DesignCache::global().misses()
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for backend in [EngineBackend::CycleAccurate, EngineBackend::Turbo] {
+        for &shards in &args.shards {
+            let cell = measure(&accel, backend, shards, &batch);
+            println!(
+                "  {:>14} shards={:<2} {:>12.0} inf/s  ({:.3}s)",
+                backend_slug(cell.backend),
+                cell.shards,
+                cell.inf_s,
+                cell.wall_s
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Backends and shard counts must agree bit-for-bit on every run.
+    for cell in &cells[1..] {
+        assert_eq!(
+            cell.winners,
+            cells[0].winners,
+            "predictions diverged: {} shards={} vs {} shards={}",
+            backend_slug(cell.backend),
+            cell.shards,
+            backend_slug(cells[0].backend),
+            cells[0].shards
+        );
+    }
+
+    // The baseline is the cycle-accurate backend at the first *listed*
+    // shard count (1 in the default and CI invocations) — recorded in the
+    // artifact so rows are never mislabeled under a custom --shards list.
+    let baseline_shards = args.shards[0];
+    let baseline = cells
+        .iter()
+        .find(|c| c.backend == EngineBackend::CycleAccurate && c.shards == baseline_shards)
+        .expect("first cell is the baseline")
+        .inf_s;
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"backend\": \"{}\", \"shards\": {}, \"wall_s\": {:.6}, \
+                 \"inf_s\": {:.1}, \"speedup_vs_baseline\": {:.2}}}",
+                backend_slug(c.backend),
+                c.shards,
+                c.wall_s,
+                c.inf_s,
+                c.inf_s / baseline
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"inference_throughput\",\n  \"dataset\": \"{kind}\",\n  \
+         \"batch\": {},\n  \"seed\": {},\n  \"threads\": {threads},\n  \
+         \"baseline\": {{\"backend\": \"cycle_accurate\", \"shards\": {baseline_shards}}},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        args.batch,
+        opts.seed,
+        rows.join(",\n")
+    );
+    std::fs::write(&args.out, &json).map_err(matador::Error::other)?;
+    println!("\nwrote {}", args.out);
+
+    if let Some(min_speedup) = args.assert_speedup {
+        let turbo = cells
+            .iter()
+            .find(|c| c.backend == EngineBackend::Turbo && c.shards == baseline_shards)
+            .expect("turbo cell at the baseline shard count")
+            .inf_s;
+        let speedup = turbo / baseline;
+        if speedup < min_speedup {
+            eprintln!(
+                "::error::turbo speedup {speedup:.2}x at shards={} is below the \
+                 required {min_speedup:.2}x",
+                baseline_shards
+            );
+            return Ok(false);
+        }
+        println!(
+            "turbo gate passed: {speedup:.2}x >= {min_speedup:.2}x at shards={}",
+            baseline_shards
+        );
+    }
+    Ok(true)
+}

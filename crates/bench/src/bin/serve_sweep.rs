@@ -17,7 +17,7 @@
 //! the single-shard pool's throughput on the largest batch — the CI gate.
 
 use matador_bench::eval::{model_key_for, EvalOptions};
-use matador_bench::ModelCache;
+use matador_bench::{DesignCache, ModelCache};
 use matador_datasets::{generate, DatasetKind};
 use matador_serve::{DispatchPolicy, ServeOptions, ShardPool};
 use matador_sim::CompiledAccelerator;
@@ -130,7 +130,8 @@ fn run() -> Result<bool, matador::Error> {
         .design_name("serve_sweep")
         .build()
         .expect("default configuration is valid");
-    let design = matador::design::AcceleratorDesign::generate(model, config);
+    let design =
+        DesignCache::global().generate_cached(&model, &config, matador_par::configured_threads());
     let clock = design.implement().clock_mhz;
     let accel = design.compile_for_sim();
     let test_inputs: Vec<BitVec> = data.test.iter().map(|s| s.input.clone()).collect();

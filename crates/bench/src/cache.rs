@@ -20,7 +20,10 @@
 //!   directory. Files are written atomically (temp + rename) so parallel
 //!   harnesses cannot observe torn models.
 
+use matador::config::{ClockChoice, MatadorConfig};
+use matador::design::AcceleratorDesign;
 use matador_datasets::{DatasetKind, SplitSizes};
+use matador_logic::dag::Sharing;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -240,6 +243,173 @@ impl ModelCache {
     }
 }
 
+/// Everything that determines a generated [`AcceleratorDesign`], digested
+/// into the design-cache key: the trained model's include masks and shape
+/// plus every [`MatadorConfig`] knob that shapes generation.
+pub fn design_digest(model: &TrainedModel, config: &MatadorConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    model.num_features().hash(&mut h);
+    model.num_classes().hash(&mut h);
+    model.clauses_per_class().hash(&mut h);
+    for (_, _, mask) in model.iter_clauses() {
+        for &w in mask.pos.words() {
+            w.hash(&mut h);
+        }
+        for &w in mask.neg.words() {
+            w.hash(&mut h);
+        }
+    }
+    config.design_name().hash(&mut h);
+    config.bus_width().hash(&mut h);
+    match config.clock() {
+        ClockChoice::Auto => 0u8.hash(&mut h),
+        ClockChoice::FixedMhz(mhz) => {
+            1u8.hash(&mut h);
+            mhz.to_bits().hash(&mut h);
+        }
+    }
+    (config.sharing() == Sharing::DontTouch).hash(&mut h);
+    config.device().name.hash(&mut h);
+    config.pipeline_class_sum().hash(&mut h);
+    h.finish()
+}
+
+/// The generated-design counterpart of [`ModelCache`]: memoizes
+/// `AcceleratorDesign::generate` keyed by [`design_digest`] over
+/// `(model, config)`.
+///
+/// Same two layers and the same [`CACHE_ENV`] switch as the model cache —
+/// in-process always, on-disk (`*.design` blobs next to the `*.tm`
+/// models) when enabled. Generation is bit-identical at every thread
+/// count, and `AcceleratorDesign::from_cache_text` rejects malformed or
+/// mismatched blobs (treating them as misses), so a cached design is
+/// indistinguishable from a regenerated one.
+#[derive(Debug)]
+pub struct DesignCache {
+    memory: Mutex<HashMap<u64, AcceleratorDesign>>,
+    disk_dir: Option<PathBuf>,
+    disk_enabled: AtomicBool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DesignCache {
+    /// A cache with an explicit (optional) disk directory.
+    pub fn new(disk_dir: Option<PathBuf>) -> Self {
+        DesignCache {
+            memory: Mutex::new(HashMap::new()),
+            disk_dir,
+            disk_enabled: AtomicBool::new(true),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide cache, configured once from [`CACHE_ENV`].
+    pub fn global() -> &'static DesignCache {
+        static GLOBAL: OnceLock<DesignCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| DesignCache::new(disk_dir_from_env()))
+    }
+
+    /// Returns the cached design for `(model, config)`, generating it on
+    /// `threads` workers on a miss — exactly as
+    /// `AcceleratorDesign::generate_with_threads` would.
+    pub fn generate_cached(
+        &self,
+        model: &TrainedModel,
+        config: &MatadorConfig,
+        threads: usize,
+    ) -> AcceleratorDesign {
+        let digest = design_digest(model, config);
+        if let Some(design) = self.memory.lock().unwrap().get(&digest) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return design.clone();
+        }
+        if let Some(design) = self.load_design(digest, model, config) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.memory.lock().unwrap().insert(digest, design.clone());
+            return design;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let design =
+            AcceleratorDesign::generate_with_threads(model.clone(), config.clone(), threads);
+        self.store_design(digest, config, &design);
+        self.memory.lock().unwrap().insert(digest, design.clone());
+        design
+    }
+
+    /// Cache hits (memory or disk) since process start.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (designs actually generated) since process start.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every in-process entry (the disk layer is untouched).
+    pub fn clear_in_process(&self) {
+        self.memory.lock().unwrap().clear();
+    }
+
+    /// Turns the disk layer off (or back on) at runtime — see
+    /// [`ModelCache::set_disk_enabled`] for why equivalence tests need
+    /// this.
+    pub fn set_disk_enabled(&self, enabled: bool) {
+        self.disk_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    fn file_name(digest: u64, config: &MatadorConfig) -> String {
+        format!(
+            "{}-w{}-{digest:016x}.design",
+            config.design_name(),
+            config.bus_width()
+        )
+    }
+
+    fn load_design(
+        &self,
+        digest: u64,
+        model: &TrainedModel,
+        config: &MatadorConfig,
+    ) -> Option<AcceleratorDesign> {
+        if !self.disk_enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let dir = self.disk_dir.as_ref()?;
+        let text = std::fs::read_to_string(dir.join(Self::file_name(digest, config))).ok()?;
+        AcceleratorDesign::from_cache_text(model.clone(), config.clone(), &text)
+    }
+
+    fn store_design(&self, digest: u64, config: &MatadorConfig, design: &AcceleratorDesign) {
+        if !self.disk_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let Some(dir) = self.disk_dir.as_ref() else {
+            return;
+        };
+        // Best-effort, atomic (temp + rename): an unwritable cache dir
+        // must never fail a harness, and parallel harnesses must never
+        // observe torn blobs.
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let name = Self::file_name(digest, config);
+        let path = dir.join(&name);
+        let tmp = dir.join(format!("{name}.tmp-{}", std::process::id()));
+        let write = || -> std::io::Result<()> {
+            std::fs::write(&tmp, design.to_cache_text())?;
+            std::fs::rename(&tmp, &path)
+        };
+        if write().is_err() {
+            // `fs::write` can create the tmp file and then fail; never
+            // strand pid-suffixed debris in the cache directory.
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
 /// Trains `key`'s model from scratch on `train` — the exact recipe of
 /// `MatadorFlow::run`, so cached and uncached paths are bit-identical.
 fn train_on(key: &ModelKey, train: &[Sample], threads: usize) -> TrainedModel {
@@ -370,5 +540,89 @@ mod tests {
         let name = key().file_name();
         assert!(name.starts_with("2d-noisy-xor-60x20-e2-s11-"));
         assert!(name.ends_with(".tm"));
+    }
+
+    fn design_inputs() -> (TrainedModel, MatadorConfig) {
+        let k = key();
+        let train = train_split(&k);
+        let model = train_on(&k, &train, 1);
+        let config = MatadorConfig::builder()
+            .bus_width(4)
+            .design_name("design_cache_test")
+            .build()
+            .expect("valid");
+        (model, config)
+    }
+
+    #[test]
+    fn design_digest_is_stable_and_input_sensitive() {
+        let (model, config) = design_inputs();
+        assert_eq!(
+            design_digest(&model, &config),
+            design_digest(&model, &config)
+        );
+        let wider = MatadorConfig::builder()
+            .bus_width(8)
+            .design_name("design_cache_test")
+            .build()
+            .expect("valid");
+        assert_ne!(
+            design_digest(&model, &config),
+            design_digest(&model, &wider)
+        );
+        let mut other_key = key();
+        other_key.seed = 12;
+        let other_model = train_on(&other_key, &train_split(&other_key), 1);
+        assert_ne!(
+            design_digest(&model, &config),
+            design_digest(&other_model, &config)
+        );
+    }
+
+    #[test]
+    fn cached_design_is_bit_identical_to_generation() {
+        let (model, config) = design_inputs();
+        let cache = DesignCache::new(None);
+        let first = cache.generate_cached(&model, &config, 1);
+        assert_eq!(cache.misses(), 1);
+        let second = cache.generate_cached(&model, &config, 4);
+        assert_eq!(cache.hits(), 1);
+        let direct = AcceleratorDesign::generate(model, config);
+        assert_eq!(first.to_cache_text(), direct.to_cache_text());
+        assert_eq!(second.to_cache_text(), direct.to_cache_text());
+        assert_eq!(
+            first.emit_verilog().expect("valid"),
+            direct.emit_verilog().expect("valid")
+        );
+    }
+
+    #[test]
+    fn design_disk_layer_round_trips() {
+        let dir = std::env::temp_dir().join(format!("matador-design-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (model, config) = design_inputs();
+        let generated = {
+            let cache = DesignCache::new(Some(dir.clone()));
+            cache.generate_cached(&model, &config, 1)
+        };
+        // A fresh cache instance (fresh process stand-in) hits the disk.
+        let cache = DesignCache::new(Some(dir.clone()));
+        let loaded = cache.generate_cached(&model, &config, 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 0);
+        assert_eq!(loaded.to_cache_text(), generated.to_cache_text());
+        // A corrupted blob degrades to a regenerating miss, then heals.
+        let file = std::fs::read_dir(&dir)
+            .expect("cache dir exists")
+            .next()
+            .expect("one entry")
+            .expect("readable")
+            .path();
+        std::fs::write(&file, "matador-design-cache v1\ngarbage\n").expect("writable");
+        let healing = DesignCache::new(Some(dir.clone()));
+        let regenerated = healing.generate_cached(&model, &config, 1);
+        assert_eq!(healing.misses(), 1);
+        assert_eq!(regenerated.to_cache_text(), generated.to_cache_text());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

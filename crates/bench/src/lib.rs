@@ -8,15 +8,16 @@
 //!
 //! Every binary accepts `--quick` (smaller splits/epochs, CI-friendly) and
 //! `--seed <n>`. Trained models are memoized through [`cache::ModelCache`]
-//! (in-process always; on-disk under `target/matador-cache/` when
+//! and generated designs through [`cache::DesignCache`] (in-process
+//! always; on-disk under `target/matador-cache/` when
 //! `MATADOR_MODEL_CACHE=1`), so harnesses sharing a
-//! `(dataset spec, TmParams, seed)` triple train it once.
+//! `(dataset spec, TmParams, seed)` triple train and generate once.
 
 pub mod cache;
 pub mod eval;
 pub mod table;
 
-pub use cache::{ModelCache, ModelKey};
+pub use cache::{design_digest, DesignCache, ModelCache, ModelKey};
 pub use eval::{
     run_baseline, run_matador, run_matador_with_threads, run_table1, BaselineRow, EvalError,
     EvalOptions, MatadorRow,

@@ -148,9 +148,72 @@ impl LogicDag {
         }
     }
 
+    /// Reassembles a DAG from raw `nodes`/`outputs` arrays — the design
+    /// cache's deserialization path. Builder caches (literal pins and, in
+    /// [`Sharing::Enabled`] mode, the structural hash) are reconstructed,
+    /// so the rebuilt DAG both evaluates and *extends* exactly like the
+    /// original. Returns `None` when the arrays are not a well-formed
+    /// topologically-ordered AND/INV network over `width` inputs (a
+    /// corrupt or stale cache entry, which callers treat as a miss).
+    pub fn from_parts(
+        width: usize,
+        nodes: Vec<Node>,
+        outputs: Vec<NodeRef>,
+        sharing: Sharing,
+    ) -> Option<Self> {
+        if nodes.len() < 2 || nodes[0] != Node::Const0 || nodes[1] != Node::Const1 {
+            return None;
+        }
+        let mut input_cache = vec![None; width];
+        let mut not_cache = vec![None; width];
+        let mut and_hash = HashMap::new();
+        for (i, node) in nodes.iter().enumerate() {
+            match *node {
+                Node::Const0 | Node::Const1 => {
+                    if i > 1 {
+                        return None;
+                    }
+                }
+                Node::Input(b) => {
+                    let slot = input_cache.get_mut(b as usize)?;
+                    slot.get_or_insert(NodeRef::from_index(i));
+                }
+                Node::NotInput(b) => {
+                    let slot = not_cache.get_mut(b as usize)?;
+                    slot.get_or_insert(NodeRef::from_index(i));
+                }
+                Node::And(a, b) => {
+                    if a.index() >= i || b.index() >= i {
+                        return None;
+                    }
+                    if sharing == Sharing::Enabled {
+                        and_hash.insert((a, b), NodeRef::from_index(i));
+                    }
+                }
+            }
+        }
+        if outputs.iter().any(|o| o.index() >= nodes.len()) {
+            return None;
+        }
+        Some(LogicDag {
+            width,
+            nodes,
+            outputs,
+            and_hash,
+            input_cache,
+            not_cache,
+            sharing,
+        })
+    }
+
     /// Window width in bits.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// The sharing mode the DAG was built with.
+    pub fn sharing(&self) -> Sharing {
+        self.sharing
     }
 
     /// All nodes, in topological order (operands precede users).
@@ -291,8 +354,25 @@ impl LogicDag {
     ///
     /// Panics if `input.len() != width`.
     pub fn eval(&self, input: &BitVec) -> Vec<bool> {
+        let mut values = Vec::new();
+        let mut out = BitVec::zeros(self.outputs.len());
+        self.eval_into(input, &mut values, &mut out);
+        out.iter().collect()
+    }
+
+    /// Evaluates every output into `out` (bit `i` = output `i`), reusing
+    /// `values` as per-node scratch — the allocation-free core of
+    /// [`LogicDag::eval`]: once the scratch has grown to the node count,
+    /// repeated calls perform no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != width` or `out.len() != outputs().len()`.
+    pub fn eval_into(&self, input: &BitVec, values: &mut Vec<bool>, out: &mut BitVec) {
         assert_eq!(input.len(), self.width, "input width mismatch");
-        let mut values = vec![false; self.nodes.len()];
+        assert_eq!(out.len(), self.outputs.len(), "output width mismatch");
+        values.clear();
+        values.resize(self.nodes.len(), false);
         for (i, node) in self.nodes.iter().enumerate() {
             values[i] = match *node {
                 Node::Const0 => false,
@@ -302,7 +382,9 @@ impl LogicDag {
                 Node::And(a, b) => values[a.index()] && values[b.index()],
             };
         }
-        self.outputs.iter().map(|o| values[o.index()]).collect()
+        for (i, o) in self.outputs.iter().enumerate() {
+            out.set(i, values[o.index()]);
+        }
     }
 
     /// Nodes reachable from any output (the logic that actually gets
@@ -489,5 +571,87 @@ mod tests {
         let dag = LogicDag::new(4, Sharing::Enabled);
         assert_eq!(dag.depth(), 0);
         assert_eq!(dag.and2_count(), 0);
+    }
+
+    #[test]
+    fn eval_into_matches_eval_and_reuses_scratch() {
+        let cubes = vec![
+            c(&[(0, false), (1, true), (2, false)]),
+            c(&[(3, true)]),
+            c(&[]),
+        ];
+        let dag = LogicDag::from_cubes(4, &cubes, Sharing::Enabled);
+        let mut values = Vec::new();
+        let mut out = BitVec::zeros(dag.outputs().len());
+        for v in 0..16u32 {
+            let input = BitVec::from_bools((0..4).map(|b| (v >> b) & 1 == 1));
+            dag.eval_into(&input, &mut values, &mut out);
+            assert_eq!(out.iter().collect::<Vec<_>>(), dag.eval(&input), "{v:04b}");
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_extends() {
+        let cubes = vec![
+            c(&[(0, false), (1, true), (2, false)]),
+            c(&[(0, false), (1, true)]),
+            c(&[(3, true)]),
+        ];
+        for sharing in [Sharing::Enabled, Sharing::DontTouch] {
+            let dag = LogicDag::from_cubes(4, &cubes, sharing);
+            let rebuilt =
+                LogicDag::from_parts(4, dag.nodes().to_vec(), dag.outputs().to_vec(), sharing)
+                    .expect("well-formed parts");
+            assert_eq!(rebuilt.nodes(), dag.nodes());
+            assert_eq!(rebuilt.outputs(), dag.outputs());
+            for v in 0..16u32 {
+                let input = BitVec::from_bools((0..4).map(|b| (v >> b) & 1 == 1));
+                assert_eq!(rebuilt.eval(&input), dag.eval(&input));
+            }
+            // Building *further* on a rebuilt DAG behaves per `sharing`:
+            // the reconstructed structural hash dedups in Enabled mode.
+            let mut extended = rebuilt.clone();
+            let a = extended.literal(0, false);
+            let b = extended.literal(1, true);
+            let node_count = extended.nodes().len();
+            let and = extended.and(a, b);
+            match sharing {
+                Sharing::Enabled => {
+                    assert_eq!(extended.nodes().len(), node_count, "AND was re-shared");
+                    assert!(and.index() < node_count);
+                }
+                Sharing::DontTouch => assert_eq!(extended.nodes().len(), node_count + 1),
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_tapes() {
+        let ok = |nodes: Vec<Node>, outputs: Vec<NodeRef>| {
+            LogicDag::from_parts(4, nodes, outputs, Sharing::Enabled)
+        };
+        // Missing constant prelude.
+        assert!(ok(vec![Node::Const0], vec![]).is_none());
+        assert!(ok(vec![Node::Const1, Node::Const0], vec![]).is_none());
+        // Forward (non-topological) AND operand.
+        assert!(ok(
+            vec![
+                Node::Const0,
+                Node::Const1,
+                Node::And(NodeRef::from_index(2), NodeRef::from_index(1)),
+            ],
+            vec![]
+        )
+        .is_none());
+        // Input pin out of window range.
+        assert!(ok(vec![Node::Const0, Node::Const1, Node::Input(4)], vec![]).is_none());
+        // Output referencing a node past the tape.
+        assert!(ok(
+            vec![Node::Const0, Node::Const1],
+            vec![NodeRef::from_index(2)]
+        )
+        .is_none());
+        // Stray constant past the prelude.
+        assert!(ok(vec![Node::Const0, Node::Const1, Node::Const0], vec![]).is_none());
     }
 }

@@ -19,6 +19,28 @@ pub enum DispatchPolicy {
     /// (engine cycles already run, plus beats planned so far this flush;
     /// ties break toward the lowest shard index).
     LeastQueued,
+    /// Assign each request to the shard with the smallest estimated
+    /// drain time for the *current* flush: queued beats planned so far
+    /// this flush × the shard's observed steady-state II (result-to-
+    /// result cycles; the design's bandwidth-bound II for shards with no
+    /// steady-state history). Ties break toward the lowest shard index.
+    ///
+    /// Unlike [`DispatchPolicy::LeastQueued`] it does not re-balance
+    /// historical cycle counts, so a batch always drains as fast as the
+    /// current pool allows — history is a sunk cost, not pending work.
+    LatencyAware,
+}
+
+/// Per-shard load snapshot fed to [`Dispatcher::plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ShardLoad {
+    /// Cumulative engine cycles — the [`DispatchPolicy::LeastQueued`]
+    /// balance signal.
+    pub cycles: u64,
+    /// Sum of observed result-to-result gaps (cycles) on this shard.
+    pub ii_cycles: u64,
+    /// Number of gaps behind `ii_cycles`.
+    pub ii_samples: u64,
 }
 
 /// Stateful dispatcher: carries the round-robin cursor across flushes.
@@ -40,21 +62,20 @@ impl Dispatcher {
     }
 
     /// Plans shard assignments for `requests` equal-cost requests of
-    /// `beats_per_request` beats each, given the shards' current
-    /// accumulated loads. Returns one shard index per request, in
-    /// request order.
+    /// `beats_per_request` beats each, given the shards' current load
+    /// snapshots. Returns one shard index per request, in request order.
     ///
     /// # Panics
     ///
-    /// Panics if `base_load` is empty (a pool always has ≥ 1 shard).
+    /// Panics if `loads` is empty (a pool always has ≥ 1 shard).
     pub fn plan(
         &mut self,
-        base_load: &[u64],
+        loads: &[ShardLoad],
         requests: usize,
         beats_per_request: u64,
     ) -> Vec<usize> {
-        assert!(!base_load.is_empty(), "dispatcher needs at least one shard");
-        let shards = base_load.len();
+        assert!(!loads.is_empty(), "dispatcher needs at least one shard");
+        let shards = loads.len();
         match self.policy {
             DispatchPolicy::RoundRobin => (0..requests)
                 .map(|_| {
@@ -64,13 +85,48 @@ impl Dispatcher {
                 })
                 .collect(),
             DispatchPolicy::LeastQueued => {
-                let mut load = base_load.to_vec();
+                let mut load: Vec<u64> = loads.iter().map(|l| l.cycles).collect();
                 (0..requests)
                     .map(|_| {
                         let s = (0..shards)
                             .min_by_key(|&s| (load[s], s))
                             .expect("non-empty shard set");
                         load[s] += beats_per_request;
+                        s
+                    })
+                    .collect()
+            }
+            DispatchPolicy::LatencyAware => {
+                // Estimated marginal cost per streamed beat on shard `s`:
+                // its observed steady-state II spread over the beats of a
+                // datapoint, defaulting to the bandwidth-bound 1 cycle /
+                // beat for shards with no steady-state history. IEEE
+                // arithmetic on these fixed inputs is deterministic, so
+                // the plan is a pure function of the snapshots.
+                let cost_per_beat: Vec<f64> = loads
+                    .iter()
+                    .map(|l| {
+                        if l.ii_samples > 0 && beats_per_request > 0 {
+                            l.ii_cycles as f64 / (l.ii_samples * beats_per_request) as f64
+                        } else {
+                            1.0
+                        }
+                    })
+                    .collect();
+                let mut queued = vec![0u64; shards];
+                (0..requests)
+                    .map(|_| {
+                        let s = (0..shards)
+                            .min_by(|&a, &b| {
+                                let score_a = queued[a] as f64 * cost_per_beat[a];
+                                let score_b = queued[b] as f64 * cost_per_beat[b];
+                                score_a
+                                    .partial_cmp(&score_b)
+                                    .expect("scores are finite")
+                                    .then(a.cmp(&b))
+                            })
+                            .expect("non-empty shard set");
+                        queued[s] += beats_per_request;
                         s
                     })
                     .collect()
@@ -83,41 +139,129 @@ impl Dispatcher {
 mod tests {
     use super::*;
 
+    fn cycles(loads: &[u64]) -> Vec<ShardLoad> {
+        loads
+            .iter()
+            .map(|&cycles| ShardLoad {
+                cycles,
+                ..ShardLoad::default()
+            })
+            .collect()
+    }
+
     #[test]
     fn round_robin_cycles_and_carries_over() {
         let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
-        assert_eq!(d.plan(&[0, 0, 0], 4, 2), vec![0, 1, 2, 0]);
+        assert_eq!(d.plan(&cycles(&[0, 0, 0]), 4, 2), vec![0, 1, 2, 0]);
         // The cursor continues where the previous flush stopped.
-        assert_eq!(d.plan(&[0, 0, 0], 2, 2), vec![1, 2]);
+        assert_eq!(d.plan(&cycles(&[0, 0, 0]), 2, 2), vec![1, 2]);
     }
 
     #[test]
     fn least_queued_balances_beats() {
         let mut d = Dispatcher::new(DispatchPolicy::LeastQueued);
         // Shard 1 starts loaded: first assignments avoid it.
-        assert_eq!(d.plan(&[0, 10, 0], 4, 5), vec![0, 2, 0, 2]);
+        assert_eq!(d.plan(&cycles(&[0, 10, 0]), 4, 5), vec![0, 2, 0, 2]);
     }
 
     #[test]
     fn least_queued_ties_break_to_lowest_index() {
         let mut d = Dispatcher::new(DispatchPolicy::LeastQueued);
-        assert_eq!(d.plan(&[3, 3], 3, 1), vec![0, 1, 0]);
+        assert_eq!(d.plan(&cycles(&[3, 3]), 3, 1), vec![0, 1, 0]);
     }
 
     #[test]
     fn single_shard_takes_everything() {
-        for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LeastQueued] {
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastQueued,
+            DispatchPolicy::LatencyAware,
+        ] {
             let mut d = Dispatcher::new(policy);
-            assert_eq!(d.plan(&[7], 3, 13), vec![0, 0, 0]);
+            assert_eq!(d.plan(&cycles(&[7]), 3, 13), vec![0, 0, 0]);
         }
     }
 
     #[test]
+    fn latency_aware_splits_uniform_shards_evenly() {
+        // Uniform observed II (and the no-history fallback) → the plan
+        // alternates like LeastQueued on a fresh pool, regardless of how
+        // lopsided the *historical* cycle counts are.
+        let loads = [
+            ShardLoad {
+                cycles: 500,
+                ii_cycles: 12,
+                ii_samples: 6,
+            },
+            ShardLoad {
+                cycles: 0,
+                ii_cycles: 2,
+                ii_samples: 1,
+            },
+            ShardLoad::default(),
+        ];
+        let mut d = Dispatcher::new(DispatchPolicy::LatencyAware);
+        assert_eq!(d.plan(&loads, 6, 2), vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn latency_aware_prefers_faster_shards() {
+        // Shard 0 observed II 6 cycles/result, shard 1 II 2: shard 1
+        // absorbs ~3× the requests of shard 0.
+        let loads = [
+            ShardLoad {
+                cycles: 0,
+                ii_cycles: 60,
+                ii_samples: 10,
+            },
+            ShardLoad {
+                cycles: 0,
+                ii_cycles: 20,
+                ii_samples: 10,
+            },
+        ];
+        let mut d = Dispatcher::new(DispatchPolicy::LatencyAware);
+        let plan = d.plan(&loads, 8, 2);
+        let to_fast = plan.iter().filter(|&&s| s == 1).count();
+        assert_eq!(plan[0], 0, "zero-queue tie breaks to the lowest index");
+        assert_eq!(to_fast, 6, "plan {plan:?}");
+    }
+
+    #[test]
     fn plans_are_deterministic() {
-        for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LeastQueued] {
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastQueued,
+            DispatchPolicy::LatencyAware,
+        ] {
+            let a = [
+                ShardLoad {
+                    cycles: 0,
+                    ii_cycles: 9,
+                    ii_samples: 2,
+                },
+                ShardLoad {
+                    cycles: 1,
+                    ii_cycles: 0,
+                    ii_samples: 0,
+                },
+                ShardLoad {
+                    cycles: 2,
+                    ii_cycles: 8,
+                    ii_samples: 4,
+                },
+            ];
+            let b = [
+                ShardLoad {
+                    cycles: 5,
+                    ii_cycles: 20,
+                    ii_samples: 5,
+                },
+                ShardLoad::default(),
+            ];
             let plan_twice = || {
                 let mut d = Dispatcher::new(policy);
-                (d.plan(&[0, 1, 2, 3], 9, 4), d.plan(&[5, 0, 5, 0], 6, 4))
+                (d.plan(&a, 9, 4), d.plan(&b, 6, 4))
             };
             assert_eq!(plan_twice(), plan_twice());
         }

@@ -9,9 +9,12 @@
 //! Three guarantees are load-bearing:
 //!
 //! 1. **Determinism.** Predictions (winners *and* class sums) are
-//!    bit-identical for any shard count, dispatch policy and worker-thread
-//!    count — sharding is a pure throughput knob. Locked in by
-//!    `tests/serve_determinism.rs` at the workspace root.
+//!    bit-identical for any shard count, dispatch policy, worker-thread
+//!    count **and engine backend** ([`EngineBackend::CycleAccurate`] or
+//!    the bit-sliced [`EngineBackend::Turbo`], which also reproduces
+//!    cycle stamps analytically) — sharding and the backend are pure
+//!    throughput knobs. Locked in by `tests/serve_determinism.rs` at the
+//!    workspace root.
 //! 2. **Typed backpressure.** The [`RequestQueue`] is bounded; admission
 //!    beyond the depth fails with [`ServeError::QueueFull`] instead of
 //!    unbounded buffering, and [`ShardPool::serve`] demonstrates the
@@ -55,8 +58,9 @@ pub mod queue;
 pub mod report;
 pub mod session;
 
-pub use dispatch::{DispatchPolicy, Dispatcher};
+pub use dispatch::{DispatchPolicy, Dispatcher, ShardLoad};
 pub use error::ServeError;
+pub use matador_sim::EngineBackend;
 pub use pool::{Prediction, ServeOptions, ShardPool};
 pub use queue::{Request, RequestQueue, DEFAULT_QUEUE_DEPTH};
 pub use report::{ShardStats, ThroughputReport};

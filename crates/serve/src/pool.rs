@@ -17,11 +17,13 @@
 //! *assignment* is also reproducible run-to-run. `tests/serve_determinism.rs`
 //! locks in bit-identical predictions and class sums across shard counts.
 
-use crate::dispatch::{DispatchPolicy, Dispatcher};
+use crate::dispatch::{DispatchPolicy, Dispatcher, ShardLoad};
 use crate::error::ServeError;
 use crate::queue::{RequestQueue, DEFAULT_QUEUE_DEPTH};
 use crate::report::{ShardStats, ThroughputReport};
-use matador_sim::{CompiledAccelerator, SimEngine, SimError, SimResult};
+use matador_sim::{
+    CompiledAccelerator, EngineBackend, SimEngine, SimError, SimResult, TurboEngine, TurboProgram,
+};
 use serde::{Deserialize, Serialize};
 use tsetlin::bits::BitVec;
 
@@ -42,11 +44,17 @@ pub struct ServeOptions {
     /// Worker threads for shard execution (`None` = the
     /// `MATADOR_THREADS`/available-parallelism default).
     pub threads: Option<usize>,
+    /// Execution engine behind each shard. [`EngineBackend::Turbo`]
+    /// produces bit-identical predictions, class sums and cycle stamps
+    /// via bit-sliced evaluation and analytic timing — the serving fast
+    /// path.
+    pub backend: EngineBackend,
 }
 
 impl ServeOptions {
     /// Options for a pool of `shards` engines with the defaults: round-robin
-    /// dispatch, a [`DEFAULT_QUEUE_DEPTH`]-deep queue, plain class sums.
+    /// dispatch, a [`DEFAULT_QUEUE_DEPTH`]-deep queue, plain class sums,
+    /// cycle-accurate engines.
     pub fn new(shards: usize) -> Self {
         ServeOptions {
             shards,
@@ -55,6 +63,15 @@ impl ServeOptions {
             pipelined_sum: false,
             capture_class_sums: false,
             threads: None,
+            backend: EngineBackend::CycleAccurate,
+        }
+    }
+
+    /// [`ServeOptions::new`] on the [`EngineBackend::Turbo`] backend.
+    pub fn turbo(shards: usize) -> Self {
+        ServeOptions {
+            backend: EngineBackend::Turbo,
+            ..ServeOptions::new(shards)
         }
     }
 
@@ -136,7 +153,7 @@ pub struct Prediction {
 #[derive(Debug)]
 pub struct ShardPool<'a> {
     accel: &'a CompiledAccelerator,
-    engines: Vec<SimEngine<'a>>,
+    engines: Vec<PoolEngine<'a>>,
     dispatcher: Dispatcher,
     queue: RequestQueue,
     capture_sums: bool,
@@ -145,13 +162,104 @@ pub struct ShardPool<'a> {
     latencies: Vec<u64>,
 }
 
+/// One engine shard behind either execution backend. Both variants expose
+/// the same result stream, cycle clock and stream statistics, so the pool
+/// (and everything above it) is backend-agnostic. Engines are boxed: a
+/// pool holds many, and both variants carry sizeable scratch state.
+#[derive(Debug)]
+enum PoolEngine<'a> {
+    Cycle(Box<SimEngine<'a>>),
+    Turbo(Box<TurboEngine>),
+}
+
+/// What one shard produced for its slice of a flush: classifications in
+/// submission order, the class sums behind them, and each datapoint's
+/// first-packet acceptance cycle.
+struct ShardOutput {
+    results: Vec<SimResult>,
+    class_sums: Vec<Vec<i32>>,
+    first_beats: Vec<u64>,
+}
+
+impl PoolEngine<'_> {
+    fn load(&self) -> ShardLoad {
+        match self {
+            PoolEngine::Cycle(e) => ShardLoad {
+                cycles: e.cycle(),
+                ii_cycles: e.observed_ii_cycles(),
+                ii_samples: e.observed_ii_samples(),
+            },
+            PoolEngine::Turbo(e) => ShardLoad {
+                cycles: e.cycle(),
+                ii_cycles: e.observed_ii_cycles(),
+                ii_samples: e.observed_ii_samples(),
+            },
+        }
+    }
+
+    fn stats(&self, shard: usize) -> ShardStats {
+        match self {
+            PoolEngine::Cycle(e) => ShardStats {
+                shard,
+                cycles: e.cycle(),
+                datapoints: e.monitor().datapoints() as u64,
+                transfers: e.stream_transfers(),
+                stall_cycles: e.stream_stall_cycles(),
+            },
+            PoolEngine::Turbo(e) => ShardStats {
+                shard,
+                cycles: e.cycle(),
+                datapoints: e.datapoints(),
+                transfers: e.transfers(),
+                stall_cycles: e.stall_cycles(),
+            },
+        }
+    }
+
+    /// Runs this shard's slice of a flush.
+    fn run(&mut self, inputs: &[BitVec], beats_per_request: u64) -> Result<ShardOutput, SimError> {
+        match self {
+            PoolEngine::Cycle(e) => {
+                let monitor_before = e.monitor().records().len();
+                let sums_before = e.class_sums_log().len();
+                let results = e.run_datapoints(inputs)?;
+                let class_sums = e.class_sums_log()[sums_before..].to_vec();
+                // A datapoint's beats transfer back-to-back before the
+                // next datapoint's, so fixed-size chunks recover each
+                // first-packet acceptance cycle from the monitor (ILA)
+                // records.
+                let first_beats = e.monitor().records()[monitor_before..]
+                    .chunks(beats_per_request as usize)
+                    .map(|c| c[0].cycle)
+                    .collect();
+                Ok(ShardOutput {
+                    results,
+                    class_sums,
+                    first_beats,
+                })
+            }
+            PoolEngine::Turbo(e) => {
+                let first_beats = (0..inputs.len())
+                    .map(|i| e.next_first_beat_cycle(i))
+                    .collect();
+                let sums_before = e.class_sums_log().len();
+                let results = e.run_datapoints(inputs)?;
+                let class_sums = e.class_sums_log()[sums_before..].to_vec();
+                Ok(ShardOutput {
+                    results,
+                    class_sums,
+                    first_beats,
+                })
+            }
+        }
+    }
+}
+
 /// One shard's slice of a flush, mutated on a worker thread.
 struct ShardRun<'e, 'a> {
-    engine: &'e mut SimEngine<'a>,
+    engine: &'e mut PoolEngine<'a>,
     inputs: Vec<BitVec>,
-    outcome: Result<Vec<SimResult>, SimError>,
-    class_sums: Vec<Vec<i32>>,
-    first_beat_cycles: Vec<u64>,
+    outcome: Result<ShardOutput, SimError>,
 }
 
 impl<'a> ShardPool<'a> {
@@ -176,12 +284,26 @@ impl<'a> ShardPool<'a> {
     ) -> Result<Self, ServeError> {
         options.validate()?;
         let queue = RequestQueue::new(options.queue_depth)?;
+        // The turbo instruction tapes are immutable: compile them once
+        // per pool and hand every shard a copy.
+        let program = match options.backend {
+            EngineBackend::CycleAccurate => None,
+            EngineBackend::Turbo => Some(TurboProgram::compile(accel)),
+        };
         let engines = (0..options.shards)
-            .map(|_| {
-                let mut engine = SimEngine::new(accel);
-                engine.set_pipelined_sum(options.pipelined_sum);
-                engine.set_capture_class_sums(options.capture_class_sums);
-                engine
+            .map(|_| match &program {
+                None => {
+                    let mut engine = SimEngine::new(accel);
+                    engine.set_pipelined_sum(options.pipelined_sum);
+                    engine.set_capture_class_sums(options.capture_class_sums);
+                    PoolEngine::Cycle(Box::new(engine))
+                }
+                Some(program) => {
+                    let mut engine = TurboEngine::from_program(program.clone());
+                    engine.set_pipelined_sum(options.pipelined_sum);
+                    engine.set_capture_class_sums(options.capture_class_sums);
+                    PoolEngine::Turbo(Box::new(engine))
+                }
             })
             .collect();
         Ok(ShardPool {
@@ -251,11 +373,11 @@ impl<'a> ShardPool<'a> {
             return Ok(Vec::new());
         }
         let beats = self.accel.shape().num_packets() as u64;
-        // Load signal for LeastQueued: cycles a shard has already run.
-        // Every flush drains its engines completely, so cumulative cycles
-        // are exactly what distinguishes shards *across* flushes (uneven
-        // earlier batches leave uneven histories to balance against).
-        let loads: Vec<u64> = self.engines.iter().map(|e| e.cycle()).collect();
+        // Load snapshots for the stateful policies: cumulative cycles
+        // (every flush drains its engines completely, so cumulative
+        // cycles are exactly what distinguishes shards *across* flushes)
+        // and observed-II statistics for latency-aware planning.
+        let loads: Vec<ShardLoad> = self.engines.iter().map(|e| e.load()).collect();
         let assignment = self.dispatcher.plan(&loads, requests.len(), beats);
 
         // Per-shard work lists; order within a shard = submission order.
@@ -284,9 +406,11 @@ impl<'a> ShardPool<'a> {
                             .expect("every request is assigned to exactly one shard")
                     })
                     .collect(),
-                outcome: Ok(Vec::new()),
-                class_sums: Vec::new(),
-                first_beat_cycles: Vec::new(),
+                outcome: Ok(ShardOutput {
+                    results: Vec::new(),
+                    class_sums: Vec::new(),
+                    first_beats: Vec::new(),
+                }),
             })
             .collect();
 
@@ -295,36 +419,26 @@ impl<'a> ShardPool<'a> {
             if run.inputs.is_empty() {
                 return;
             }
-            let monitor_before = run.engine.monitor().records().len();
-            let sums_before = run.engine.class_sums_log().len();
-            run.outcome = run.engine.run_datapoints(&run.inputs);
-            run.class_sums = run.engine.class_sums_log()[sums_before..].to_vec();
-            // A datapoint's beats transfer back-to-back before the next
-            // datapoint's, so fixed-size chunks recover each first-packet
-            // acceptance cycle from the monitor (ILA) records.
-            run.first_beat_cycles = run.engine.monitor().records()[monitor_before..]
-                .chunks(beats as usize)
-                .map(|c| c[0].cycle)
-                .collect();
+            run.outcome = run.engine.run(&run.inputs, beats);
         });
 
         // Reassemble into submission order, surfacing the lowest failing
         // shard as a typed error.
         let mut slots: Vec<Option<Prediction>> = vec![None; request_ids.len()];
         for (shard, run) in runs.into_iter().enumerate() {
-            let results = match run.outcome {
-                Ok(results) => results,
+            let output = match run.outcome {
+                Ok(output) => output,
                 Err(error) => return Err(ServeError::Shard { shard, error }),
             };
-            debug_assert_eq!(results.len(), work[shard].len());
+            debug_assert_eq!(output.results.len(), work[shard].len());
             for (j, &ri) in work[shard].iter().enumerate() {
-                let latency = results[j].cycle - run.first_beat_cycles[j] + 1;
+                let latency = output.results[j].cycle - output.first_beats[j] + 1;
                 slots[ri] = Some(Prediction {
                     request: request_ids[ri],
-                    winner: results[j].winner,
+                    winner: output.results[j].winner,
                     shard,
                     latency_cycles: latency,
-                    class_sums: self.capture_sums.then(|| run.class_sums[j].clone()),
+                    class_sums: self.capture_sums.then(|| output.class_sums[j].clone()),
                 });
             }
         }
@@ -377,13 +491,7 @@ impl<'a> ShardPool<'a> {
             .engines
             .iter()
             .enumerate()
-            .map(|(i, e)| ShardStats {
-                shard: i,
-                cycles: e.cycle(),
-                datapoints: e.monitor().datapoints() as u64,
-                transfers: e.stream_transfers(),
-                stall_cycles: e.stream_stall_cycles(),
-            })
+            .map(|(i, e)| e.stats(i))
             .collect();
         ThroughputReport::merge(shards, &self.latencies)
     }
@@ -644,5 +752,96 @@ mod tests {
         let mut pool = ShardPool::new(&a, 2).expect("valid");
         assert!(pool.flush().expect("trivially drains").is_empty());
         assert_eq!(pool.report().datapoints, 0);
+    }
+
+    #[test]
+    fn turbo_backend_is_bit_identical_including_reports() {
+        let a = accel();
+        let xs = inputs(23);
+        for shards in [1usize, 3] {
+            for policy in [
+                DispatchPolicy::RoundRobin,
+                DispatchPolicy::LeastQueued,
+                DispatchPolicy::LatencyAware,
+            ] {
+                let serve_twice = |backend: EngineBackend| {
+                    let mut options = ServeOptions::new(shards);
+                    options.policy = policy;
+                    options.capture_class_sums = true;
+                    options.backend = backend;
+                    let mut pool = ShardPool::with_options(&a, options).expect("valid");
+                    // Two batches exercise the cumulative shard clocks the
+                    // stateful policies dispatch on.
+                    let mut preds = pool.serve(&xs[..9]).expect("drains");
+                    preds.extend(pool.serve(&xs[9..]).expect("drains"));
+                    (preds, pool.report())
+                };
+                let cycle = serve_twice(EngineBackend::CycleAccurate);
+                let turbo = serve_twice(EngineBackend::Turbo);
+                assert_eq!(turbo, cycle, "shards={shards} {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn turbo_convenience_options_select_the_backend() {
+        let a = accel();
+        let options = ServeOptions::turbo(2);
+        assert_eq!(options.backend, EngineBackend::Turbo);
+        let mut pool = ShardPool::with_options(&a, options).expect("valid");
+        let preds = pool.serve(&inputs(5)).expect("infallible");
+        assert_eq!(preds.len(), 5);
+        assert!(preds.iter().all(|p| p.latency_cycles == 2 + 3));
+    }
+
+    #[test]
+    fn latency_aware_matches_least_queued_on_uniform_load() {
+        let a = accel();
+        let xs = inputs(12);
+        let serve_fresh = |policy: DispatchPolicy| {
+            let mut options = ServeOptions::new(3);
+            options.policy = policy;
+            let mut pool = ShardPool::with_options(&a, options).expect("valid");
+            pool.serve(&xs).expect("drains")
+        };
+        // From a fresh (uniform) pool the two policies plan identically —
+        // same shard assignment, same predictions.
+        assert_eq!(
+            serve_fresh(DispatchPolicy::LatencyAware),
+            serve_fresh(DispatchPolicy::LeastQueued)
+        );
+    }
+
+    #[test]
+    fn latency_aware_beats_least_queued_on_a_skewed_batch() {
+        let a = accel(); // 2 packets → a 1-datapoint flush costs 5 cycles
+        let run = |policy: DispatchPolicy| {
+            let mut options = ServeOptions::new(2);
+            options.policy = policy;
+            let mut pool = ShardPool::with_options(&a, options).expect("valid");
+            // Skew the histories: a lone request lands on shard 0.
+            pool.serve(&inputs(1)).expect("drains");
+            let before: Vec<u64> = pool.report().shards.iter().map(|s| s.cycles).collect();
+            let preds = pool.serve(&inputs(8)).expect("drains");
+            let makespan = pool
+                .report()
+                .shards
+                .iter()
+                .zip(&before)
+                .map(|(s, b)| s.cycles - b)
+                .max()
+                .expect("two shards");
+            let winners: Vec<usize> = preds.iter().map(|p| p.winner).collect();
+            (winners, makespan)
+        };
+        let (lq_winners, lq_makespan) = run(DispatchPolicy::LeastQueued);
+        let (la_winners, la_makespan) = run(DispatchPolicy::LatencyAware);
+        // Identical answers (dispatch never changes predictions) …
+        assert_eq!(la_winners, lq_winners);
+        // … but LeastQueued "repays" shard 0's history by overloading
+        // shard 1 (3/5 split → 13-cycle drain), while LatencyAware
+        // schedules the batch itself evenly (4/4 → 11 cycles).
+        assert_eq!(lq_makespan, 13);
+        assert_eq!(la_makespan, 11);
     }
 }

@@ -89,14 +89,39 @@ impl CompiledAccelerator {
     ///
     /// Panics if `k` is out of range.
     pub fn eval_window(&self, k: usize, packet: u64) -> BitVec {
-        let dag = &self.windows[k];
-        let mut input = BitVec::zeros(self.shape.bus_width);
-        for b in 0..self.shape.bus_width {
-            if (packet >> b) & 1 == 1 {
-                input.set(b, true);
-            }
+        let input = BitVec::from_word(self.shape.bus_width, packet);
+        let mut values = Vec::new();
+        let mut out = BitVec::zeros(self.shape.total_clauses());
+        self.windows[k].eval_into(&input, &mut values, &mut out);
+        out
+    }
+
+    /// Fresh reusable scratch for [`CompiledAccelerator::eval_window_into`].
+    pub fn window_scratch(&self) -> WindowScratch {
+        WindowScratch {
+            values: Vec::new(),
+            input: BitVec::zeros(self.shape.bus_width),
         }
-        BitVec::from_bools(dag.eval(&input))
+    }
+
+    /// Allocation-free core of [`CompiledAccelerator::eval_window`]:
+    /// evaluates window `k` on `packet`, writing the partial clause bits
+    /// into `out`. Once `scratch` has warmed to the largest window's node
+    /// count, repeated calls perform no heap allocation — this is the
+    /// cycle engine's per-beat hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or `out.len() != total_clauses()`.
+    pub fn eval_window_into(
+        &self,
+        k: usize,
+        packet: u64,
+        scratch: &mut WindowScratch,
+        out: &mut BitVec,
+    ) {
+        scratch.input.assign_word(packet);
+        self.windows[k].eval_into(&scratch.input, &mut scratch.values, out);
     }
 
     /// Software reference: the class sums the hardware will produce for a
@@ -108,27 +133,80 @@ impl CompiledAccelerator {
     pub fn reference_class_sums(&self, input: &BitVec) -> Vec<i32> {
         assert_eq!(input.len(), self.shape.features, "input width mismatch");
         let c = self.shape.total_clauses();
+        let mut scratch = self.window_scratch();
+        let mut window_out = BitVec::zeros(c);
         let mut clauses = BitVec::ones(c);
         for k in 0..self.shape.num_packets() {
             let word = input.extract_word(k * self.shape.bus_width, self.shape.bus_width);
-            clauses = clauses.and(&self.eval_window(k, word));
+            self.eval_window_into(k, word, &mut scratch, &mut window_out);
+            clauses.and_assign(&window_out);
         }
-        let cpc = self.shape.clauses_per_class;
-        (0..self.shape.classes)
-            .map(|class| {
-                (0..cpc)
-                    .map(|j| {
-                        let fired = clauses.get(class * cpc + j);
-                        match (fired, j % 2 == 0) {
-                            (true, true) => 1,
-                            (true, false) => -1,
-                            (false, _) => 0,
-                        }
-                    })
-                    .sum()
-            })
-            .collect()
+        self.shape.sums_from_clauses(&clauses)
     }
+
+    /// Classifies a whole batch on the bit-sliced turbo evaluator: 64
+    /// datapoints per instruction pass, one `u64` lane each. Winners are
+    /// bit-identical to streaming each datapoint through [`crate::SimEngine`].
+    ///
+    /// One-shot convenience over [`crate::TurboEngine`], which amortizes
+    /// program compilation and scratch across batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width differs from `features`.
+    pub fn batch_classify(&self, inputs: &[BitVec]) -> Vec<usize> {
+        crate::turbo::TurboProgram::compile(self).classify(inputs)
+    }
+
+    /// The class sums behind [`CompiledAccelerator::batch_classify`], in
+    /// input order — bit-identical to [`CompiledAccelerator::reference_class_sums`]
+    /// per datapoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width differs from `features`.
+    pub fn batch_class_sums(&self, inputs: &[BitVec]) -> Vec<Vec<i32>> {
+        crate::turbo::TurboProgram::compile(self).class_sums(inputs)
+    }
+}
+
+impl AccelShape {
+    /// Polarity-weighted class sums from a fired-clause vector (clause
+    /// `class * clauses_per_class + j` votes `+1` for even `j`, `−1` for
+    /// odd `j`) — the single home of the vote convention shared by the
+    /// software reference and the cycle engine's class-sum stage.
+    pub(crate) fn sums_from_clauses(&self, clauses: &BitVec) -> Vec<i32> {
+        let mut sums = Vec::with_capacity(self.classes);
+        self.sums_from_clauses_into(clauses, &mut sums);
+        sums
+    }
+
+    /// [`AccelShape::sums_from_clauses`] into a reusable buffer.
+    pub(crate) fn sums_from_clauses_into(&self, clauses: &BitVec, out: &mut Vec<i32>) {
+        let cpc = self.clauses_per_class;
+        out.clear();
+        out.extend((0..self.classes).map(|class| {
+            (0..cpc)
+                .map(|j| {
+                    let fired = clauses.get(class * cpc + j);
+                    match (fired, j % 2 == 0) {
+                        (true, true) => 1,
+                        (true, false) => -1,
+                        (false, _) => 0,
+                    }
+                })
+                .sum::<i32>()
+        }));
+    }
+}
+
+/// Reusable per-engine scratch for
+/// [`CompiledAccelerator::eval_window_into`]: the DAG node-value buffer
+/// and the packet-as-window-input bit vector.
+#[derive(Debug, Clone)]
+pub struct WindowScratch {
+    values: Vec<bool>,
+    input: BitVec,
 }
 
 #[cfg(test)]

@@ -8,8 +8,8 @@
 //! packet (HCB chain fill + class-sum + argmax + output register), and the
 //! steady-state initiation interval is `P` cycles.
 
-use crate::accel::CompiledAccelerator;
-use matador_axi::stream::{AxiStreamMaster, StreamMonitor};
+use crate::accel::{CompiledAccelerator, WindowScratch};
+use matador_axi::stream::{AxiStreamMaster, Beat, StreamMonitor};
 use std::fmt;
 use tsetlin::bits::BitVec;
 use tsetlin::tm::argmax;
@@ -117,6 +117,20 @@ pub struct SimEngine<'a> {
     /// Captured class sums, aligned with [`SimEngine::results`] entries
     /// produced while capture was enabled.
     sums_log: Vec<Vec<i32>>,
+    /// Reusable DAG-evaluation scratch (node values + packet input).
+    scratch: WindowScratch,
+    /// Reusable partial-clause vector for the current beat's window.
+    pc_scratch: BitVec,
+    /// Next value of the written HCB register, swapped in at end of cycle.
+    reg_scratch: BitVec,
+    /// Recycled class-sum buffers (the pipeline holds at most three).
+    sum_free: Vec<Vec<i32>>,
+    /// Sum of result-to-result gaps observed within runs, in cycles.
+    ii_cycles: u64,
+    /// Number of gaps behind [`SimEngine::observed_ii_cycles`].
+    ii_samples: u64,
+    /// Cycle of the previous result in the current run, if any.
+    ii_anchor: Option<u64>,
 }
 
 impl<'a> SimEngine<'a> {
@@ -142,6 +156,13 @@ impl<'a> SimEngine<'a> {
             capture_sums: false,
             sums_stage: None,
             sums_log: Vec::new(),
+            scratch: accel.window_scratch(),
+            pc_scratch: BitVec::zeros(c),
+            reg_scratch: BitVec::zeros(c),
+            sum_free: Vec::new(),
+            ii_cycles: 0,
+            ii_samples: 0,
+            ii_anchor: None,
         }
     }
 
@@ -178,10 +199,13 @@ impl<'a> SimEngine<'a> {
     pub fn queue_datapoint(&mut self, input: &BitVec) {
         let shape = self.accel.shape();
         assert_eq!(input.len(), shape.features, "datapoint width mismatch");
-        let packets: Vec<u64> = (0..shape.num_packets())
-            .map(|k| input.extract_word(k * shape.bus_width, shape.bus_width))
-            .collect();
-        self.master.queue_datapoint(&packets);
+        let p = shape.num_packets();
+        for k in 0..p {
+            self.master.queue_beat(Beat {
+                tdata: input.extract_word(k * shape.bus_width, shape.bus_width),
+                tlast: k + 1 == p,
+            });
+        }
     }
 
     /// Asserts or releases backpressure (the controller's `stall` input).
@@ -190,6 +214,12 @@ impl<'a> SimEngine<'a> {
     }
 
     /// Advances one clock cycle.
+    ///
+    /// The hot path is allocation-free once warmed: window evaluation,
+    /// the HCB chain AND and the class-sum computation all reuse engine
+    /// scratch, and retired class-sum buffers are recycled through a
+    /// small free list (`crates/sim/tests/no_alloc.rs` locks this in
+    /// with a counting allocator).
     pub fn step(&mut self) {
         let shape = self.accel.shape();
         let p = shape.num_packets();
@@ -198,25 +228,29 @@ impl<'a> SimEngine<'a> {
         let tready = !self.stall;
         let transferred = self.master.advance(tready);
         let mut hcb_en = None;
-        let mut new_reg: Option<(usize, BitVec)> = None;
+        let mut new_reg: Option<usize> = None;
         let mut tlast = false;
         if let Some(beat) = transferred {
             self.monitor.capture(self.cycle, beat);
             let k = self.pkt;
             hcb_en = Some(k);
-            let pc = self.accel.eval_window(k, beat.tdata);
-            let reg = if k == 0 {
-                pc
+            self.accel
+                .eval_window_into(k, beat.tdata, &mut self.scratch, &mut self.pc_scratch);
+            if k == 0 {
+                self.reg_scratch.copy_from(&self.pc_scratch);
             } else {
-                self.hcb_regs[k - 1].and(&pc)
-            };
-            new_reg = Some((k, reg));
+                self.reg_scratch.copy_from(&self.hcb_regs[k - 1]);
+                self.reg_scratch.and_assign(&self.pc_scratch);
+            }
+            new_reg = Some(k);
             tlast = beat.tlast;
         }
         // Stage enables derived from last cycle's register writes.
         let sum_en = self.sum_en_next;
         let sums_now = if sum_en {
-            Some(self.class_sums_from_regs())
+            let mut sums = self.sum_free.pop().unwrap_or_default();
+            self.class_sums_from_regs_into(&mut sums);
+            Some(sums)
         } else {
             None
         };
@@ -237,6 +271,11 @@ impl<'a> SimEngine<'a> {
             if let Some(sums) = self.sums_stage.take() {
                 self.sums_log.push(sums);
             }
+            if let Some(prev) = self.ii_anchor {
+                self.ii_cycles += self.cycle - prev;
+                self.ii_samples += 1;
+            }
+            self.ii_anchor = Some(self.cycle);
             self.results.push(SimResult {
                 winner,
                 cycle: self.cycle,
@@ -244,22 +283,28 @@ impl<'a> SimEngine<'a> {
         }
 
         // --- register update phase (end of cycle) ------------------------
-        if self.capture_sums {
-            // The sums travel in lock-step with the winner derived from
-            // them, so the log stays aligned with the result stream.
-            self.sums_stage = self.sum_stage.clone();
-        }
         self.argmax_stage = winner_now;
-        if self.pipelined_sum {
+        // The class sums that fed this cycle's argmax are consumed: they
+        // either travel alongside the winner toward the capture log, or
+        // return to the free list. Either way no clone is made.
+        let consumed = if self.pipelined_sum {
             // Two-stage class sum: popcounts register first, subtract next.
-            self.sum_stage = self.sum_stage_pre.take();
+            let pre = self.sum_stage_pre.take();
             self.sum_stage_pre = sums_now;
+            std::mem::replace(&mut self.sum_stage, pre)
         } else {
-            self.sum_stage = sums_now;
+            std::mem::replace(&mut self.sum_stage, sums_now)
+        };
+        if let Some(sums) = consumed {
+            if self.capture_sums {
+                self.sums_stage = Some(sums);
+            } else if self.sum_free.len() < 4 {
+                self.sum_free.push(sums);
+            }
         }
         self.sum_en_next = false;
-        if let Some((k, reg)) = new_reg {
-            self.hcb_regs[k] = reg;
+        if let Some(k) = new_reg {
+            std::mem::swap(&mut self.hcb_regs[k], &mut self.reg_scratch);
             if tlast {
                 assert_eq!(k, p - 1, "TLAST on a non-final packet");
                 self.sum_en_next = true;
@@ -344,6 +389,9 @@ impl<'a> SimEngine<'a> {
     pub fn run_datapoints(&mut self, inputs: &[BitVec]) -> Result<Vec<SimResult>, SimError> {
         let bound = self.drain_bound(inputs.len());
         let before = self.results.len();
+        // Observed-II gaps are measured within a run only; the idle gap
+        // between runs says nothing about shard throughput.
+        self.ii_anchor = None;
         for x in inputs {
             self.queue_datapoint(x);
         }
@@ -386,21 +434,23 @@ impl<'a> SimEngine<'a> {
         self.cycle
     }
 
-    fn class_sums_from_regs(&self) -> Vec<i32> {
+    /// Sum of result-to-result gaps observed within runs, in cycles —
+    /// `ii_cycles / ii_samples` is the shard's measured steady-state II
+    /// (equal to packets/datapoint when streaming unstalled, larger under
+    /// backpressure). The latency-aware dispatcher consumes this.
+    pub fn observed_ii_cycles(&self) -> u64 {
+        self.ii_cycles
+    }
+
+    /// Number of gaps behind [`SimEngine::observed_ii_cycles`].
+    pub fn observed_ii_samples(&self) -> u64 {
+        self.ii_samples
+    }
+
+    fn class_sums_from_regs_into(&self, out: &mut Vec<i32>) {
         let shape = self.accel.shape();
         let final_regs = &self.hcb_regs[shape.num_packets() - 1];
-        let cpc = shape.clauses_per_class;
-        (0..shape.classes)
-            .map(|class| {
-                (0..cpc)
-                    .map(|j| match (final_regs.get(class * cpc + j), j % 2 == 0) {
-                        (true, true) => 1,
-                        (true, false) => -1,
-                        (false, _) => 0,
-                    })
-                    .sum()
-            })
-            .collect()
+        shape.sums_from_clauses_into(final_regs, out);
     }
 }
 
@@ -608,6 +658,24 @@ mod tests {
             .run_datapoints(&[BitVec::zeros(8)])
             .expect("drains within bound");
         assert!(plain.class_sums_log().is_empty());
+    }
+
+    #[test]
+    fn observed_ii_measures_within_run_gaps_only() {
+        let a = accel(); // 2 packets
+        let mut sim = SimEngine::new(&a);
+        let x = BitVec::from_indices(8, &[0]);
+        // 4 back-to-back datapoints: 3 gaps of exactly P cycles.
+        sim.run_datapoints(&vec![x.clone(); 4]).expect("drains");
+        assert_eq!(sim.observed_ii_samples(), 3);
+        assert_eq!(sim.observed_ii_cycles(), 3 * 2);
+        // A second run adds its own gaps but no cross-run gap.
+        sim.run_datapoints(&vec![x.clone(); 2]).expect("drains");
+        assert_eq!(sim.observed_ii_samples(), 4);
+        assert_eq!(sim.observed_ii_cycles(), 4 * 2);
+        // Single-datapoint runs contribute no samples.
+        sim.run_datapoints(&[x]).expect("drains");
+        assert_eq!(sim.observed_ii_samples(), 4);
     }
 
     #[test]

@@ -32,6 +32,8 @@
 
 pub mod accel;
 pub mod engine;
+pub mod turbo;
 
-pub use accel::{AccelShape, CompiledAccelerator};
+pub use accel::{AccelShape, CompiledAccelerator, WindowScratch};
 pub use engine::{CycleTrace, LatencyReport, SimEngine, SimError, SimResult};
+pub use turbo::{EngineBackend, TurboEngine, TurboProgram};

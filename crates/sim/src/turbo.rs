@@ -1,0 +1,616 @@
+//! The bit-sliced turbo inference backend: 64 datapoints per instruction
+//! pass.
+//!
+//! The cycle engine re-walks every window DAG one datapoint and one
+//! boolean at a time. Nothing about the *answer* needs that: the paper's
+//! architecture is fully feed-forward, so each window's combinational
+//! content can be flattened once into a topologically-ordered instruction
+//! tape ([`WindowProgram`] inside [`TurboProgram`]) and evaluated over
+//! `u64` words where **bit `l` is datapoint `l`** — 64 independent
+//! classifications advance per AND/NOT instruction. Class sums follow
+//! from a 64×64 bit transpose of the fired-clause lane words and two
+//! popcounts per class block.
+//!
+//! Timing needs no simulation either. A drained engine streaming `n`
+//! datapoints back-to-back is fully analytic (the same derivation as
+//! `SimEngine::drain_bound`): datapoint `i`'s first packet is accepted at
+//! `base + i·P`, its `result_valid` fires at `base + i·P + P + 2 (+1
+//! pipelined)`, and the engine drains at `base + n·P + 3 (+1)`. The
+//! [`TurboEngine`] therefore reproduces the cycle engine's winners, class
+//! sums **and** `SimResult::cycle` stamps bit-for-bit — locked in by
+//! `crates/sim/tests/turbo_equivalence.rs` — while doing ~64× less logic
+//! work per batch.
+
+use crate::accel::{AccelShape, CompiledAccelerator};
+use crate::engine::{SimError, SimResult};
+use matador_logic::dag::{LogicDag, Node};
+use tsetlin::bits::BitVec;
+use tsetlin::tm::argmax;
+
+/// Number of bit-slice lanes per instruction pass (one per `u64` bit).
+pub const LANES: usize = 64;
+
+/// One instruction of a flattened window tape, operating on 64-lane words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// All lanes 0.
+    Const0,
+    /// All lanes 1.
+    Const1,
+    /// Window input bit `b`, one lane per datapoint.
+    Input(u16),
+    /// Inverted window input bit `b`.
+    NotInput(u16),
+    /// Lane-wise AND of two earlier slots.
+    And(u32, u32),
+}
+
+/// One window DAG flattened into a topologically-ordered tape over the
+/// nodes reachable from its outputs (plus the two constant slots).
+#[derive(Debug, Clone)]
+struct WindowProgram {
+    ops: Vec<Op>,
+    /// Tape slot per clause output.
+    outputs: Vec<u32>,
+}
+
+impl WindowProgram {
+    fn compile(dag: &LogicDag) -> Self {
+        let reach = dag.reachable();
+        let mut slot = vec![u32::MAX; dag.nodes().len()];
+        let mut ops = Vec::new();
+        for (i, node) in dag.nodes().iter().enumerate() {
+            // Constants always occupy slots 0/1; dead logic is dropped.
+            if i >= 2 && !reach[i] {
+                continue;
+            }
+            slot[i] = u32::try_from(ops.len()).expect("tape fits u32");
+            ops.push(match *node {
+                Node::Const0 => Op::Const0,
+                Node::Const1 => Op::Const1,
+                Node::Input(b) => Op::Input(b as u16),
+                Node::NotInput(b) => Op::NotInput(b as u16),
+                Node::And(a, b) => Op::And(slot[a.index()], slot[b.index()]),
+            });
+        }
+        let outputs = dag.outputs().iter().map(|o| slot[o.index()]).collect();
+        WindowProgram { ops, outputs }
+    }
+
+    /// Runs the tape: `inputs[b]` carries window bit `b` of 64 datapoints,
+    /// `out[c]` receives clause `c`'s 64 lane results.
+    fn eval_lanes(&self, inputs: &[u64], nodes: &mut [u64], out: &mut [u64]) {
+        for (i, op) in self.ops.iter().enumerate() {
+            nodes[i] = match *op {
+                Op::Const0 => 0,
+                Op::Const1 => !0,
+                Op::Input(b) => inputs[b as usize],
+                Op::NotInput(b) => !inputs[b as usize],
+                Op::And(a, b) => nodes[a as usize] & nodes[b as usize],
+            };
+        }
+        for (o, &s) in out.iter_mut().zip(&self.outputs) {
+            *o = nodes[s as usize];
+        }
+    }
+}
+
+/// In-place transpose of a 64×64 bit matrix: `a[r]` bit `b` becomes
+/// `a[b]` bit `r` (LSB-first row/column convention) — the lane↔clause
+/// pivot between window evaluation and per-datapoint class sums.
+fn transpose_64x64(a: &mut [u64]) {
+    debug_assert_eq!(a.len(), LANES);
+    let mut j = 32usize;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < LANES {
+            if k & j == 0 {
+                let t = ((a[k] >> j) ^ a[k | j]) & m;
+                a[k] ^= t << j;
+                a[k | j] ^= t;
+            }
+            k += 1;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Reusable lane-word scratch for a [`TurboProgram`]; all buffers warm to
+/// their final size on the first chunk.
+#[derive(Debug, Clone, Default)]
+struct TurboScratch {
+    /// Bit-sliced window input: one word per window bit.
+    lane_inputs: Vec<u64>,
+    /// Tape slot values.
+    nodes: Vec<u64>,
+    /// Current window's clause lanes.
+    window_out: Vec<u64>,
+    /// Fired-clause lanes accumulated (ANDed) across windows.
+    acc: Vec<u64>,
+    /// Transposed per-lane clause words, block-major (`[block][lane]`).
+    lanes: Vec<u64>,
+}
+
+/// A compiled accelerator flattened for bit-sliced batch evaluation.
+///
+/// Shareable and immutable: compile once per design, evaluate any number
+/// of batches. [`TurboEngine`] adds the analytic clock on top.
+///
+/// # Examples
+///
+/// ```
+/// use matador_logic::cube::{Cube, Lit};
+/// use matador_logic::dag::Sharing;
+/// use matador_sim::{AccelShape, CompiledAccelerator};
+/// use tsetlin::bits::BitVec;
+///
+/// let shape = AccelShape { bus_width: 4, features: 4, classes: 2, clauses_per_class: 2 };
+/// let cubes = vec![vec![
+///     Cube::from_lits([Lit::pos(0)]),
+///     Cube::one(),
+///     Cube::from_lits([Lit::pos(1)]),
+///     Cube::one(),
+/// ]];
+/// let accel = CompiledAccelerator::from_window_cubes(shape, &cubes, Sharing::Enabled);
+/// let batch = vec![BitVec::from_indices(4, &[0]); 100];
+/// assert_eq!(accel.batch_classify(&batch), vec![0; 100]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TurboProgram {
+    shape: AccelShape,
+    windows: Vec<WindowProgram>,
+    /// Per class: `(block, +1-vote mask, −1-vote mask)` over 64-clause
+    /// blocks of the fired-clause vector.
+    class_votes: Vec<Vec<(usize, u64, u64)>>,
+    blocks: usize,
+    max_slots: usize,
+}
+
+impl TurboProgram {
+    /// Flattens every window DAG of `accel` into an instruction tape and
+    /// precomputes the per-class vote masks.
+    pub fn compile(accel: &CompiledAccelerator) -> Self {
+        let shape = *accel.shape();
+        let windows: Vec<WindowProgram> =
+            accel.windows().iter().map(WindowProgram::compile).collect();
+        let max_slots = windows.iter().map(|w| w.ops.len()).max().unwrap_or(0);
+        let c = shape.total_clauses();
+        let blocks = c.div_ceil(LANES).max(1);
+        let cpc = shape.clauses_per_class;
+        let class_votes = (0..shape.classes)
+            .map(|class| {
+                let mut votes: Vec<(usize, u64, u64)> = Vec::new();
+                for j in 0..cpc {
+                    let cc = class * cpc + j;
+                    let (t, bit) = (cc / LANES, cc % LANES);
+                    if votes.last().map(|v| v.0) != Some(t) {
+                        votes.push((t, 0, 0));
+                    }
+                    let last = votes.last_mut().expect("just pushed");
+                    if j % 2 == 0 {
+                        last.1 |= 1u64 << bit;
+                    } else {
+                        last.2 |= 1u64 << bit;
+                    }
+                }
+                votes
+            })
+            .collect();
+        TurboProgram {
+            shape,
+            windows,
+            class_votes,
+            blocks,
+            max_slots,
+        }
+    }
+
+    /// The architectural shape the program was compiled from.
+    pub fn shape(&self) -> &AccelShape {
+        &self.shape
+    }
+
+    /// Class sums for a whole batch, in input order — bit-identical to
+    /// `reference_class_sums` per datapoint. Lane padding is invisible:
+    /// a final ragged chunk evaluates its unused lanes as all-zero
+    /// datapoints and discards them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width differs from the shape's `features`.
+    pub fn class_sums(&self, inputs: &[BitVec]) -> Vec<Vec<i32>> {
+        let mut scratch = TurboScratch::default();
+        let mut out = Vec::with_capacity(inputs.len());
+        for chunk in inputs.chunks(LANES) {
+            self.chunk_class_sums(chunk, &mut scratch, &mut out);
+        }
+        out
+    }
+
+    /// Winners for a whole batch (argmax over [`TurboProgram::class_sums`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width differs from the shape's `features`.
+    pub fn classify(&self, inputs: &[BitVec]) -> Vec<usize> {
+        self.class_sums(inputs)
+            .iter()
+            .map(|sums| argmax(sums))
+            .collect()
+    }
+
+    /// Evaluates one ≤64-datapoint chunk, appending one sums vector per
+    /// datapoint to `out`.
+    fn chunk_class_sums(
+        &self,
+        chunk: &[BitVec],
+        scratch: &mut TurboScratch,
+        out: &mut Vec<Vec<i32>>,
+    ) {
+        debug_assert!(chunk.len() <= LANES);
+        let w = self.shape.bus_width;
+        let c = self.shape.total_clauses();
+        scratch.lane_inputs.resize(w, 0);
+        scratch.nodes.resize(self.max_slots, 0);
+        scratch.window_out.resize(c, 0);
+        scratch.acc.resize(c, 0);
+        scratch.lanes.resize(self.blocks * LANES, 0);
+
+        // Empty clauses fire until a window vetoes them.
+        scratch.acc.fill(!0);
+        for (k, program) in self.windows.iter().enumerate() {
+            // Bit-slice the chunk: lane word `b` collects window bit `b`
+            // of every datapoint. Unused lanes stay zero (an all-zero
+            // phantom datapoint) and are never read back.
+            scratch.lane_inputs.fill(0);
+            for (l, x) in chunk.iter().enumerate() {
+                assert_eq!(x.len(), self.shape.features, "input width mismatch");
+                let mut word = x.extract_word(k * w, w);
+                while word != 0 {
+                    let b = word.trailing_zeros() as usize;
+                    scratch.lane_inputs[b] |= 1u64 << l;
+                    word &= word - 1;
+                }
+            }
+            program.eval_lanes(
+                &scratch.lane_inputs,
+                &mut scratch.nodes,
+                &mut scratch.window_out,
+            );
+            for (a, o) in scratch.acc.iter_mut().zip(&scratch.window_out) {
+                *a &= *o;
+            }
+        }
+
+        // Pivot clause-major lane words into lane-major clause words.
+        for t in 0..self.blocks {
+            let dst = &mut scratch.lanes[t * LANES..(t + 1) * LANES];
+            for (j, d) in dst.iter_mut().enumerate() {
+                let cc = t * LANES + j;
+                *d = if cc < c { scratch.acc[cc] } else { 0 };
+            }
+            transpose_64x64(dst);
+        }
+
+        for l in 0..chunk.len() {
+            let sums: Vec<i32> = self
+                .class_votes
+                .iter()
+                .map(|votes| {
+                    votes
+                        .iter()
+                        .map(|&(t, pos, neg)| {
+                            let word = scratch.lanes[t * LANES + l];
+                            (word & pos).count_ones() as i32 - (word & neg).count_ones() as i32
+                        })
+                        .sum()
+                })
+                .collect();
+            out.push(sums);
+        }
+    }
+}
+
+/// Which execution engine a serving shard runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum EngineBackend {
+    /// The clock-by-clock [`crate::SimEngine`] — ground truth, also used
+    /// for trace capture and backpressure/stall studies.
+    #[default]
+    CycleAccurate,
+    /// The bit-sliced [`TurboEngine`]: identical winners, class sums and
+    /// cycle stamps, produced ~64 lanes at a time with analytic timing.
+    Turbo,
+}
+
+/// Drop-in turbo replacement for the back-to-back streaming use of
+/// [`crate::SimEngine`]: classifies via [`TurboProgram`] and reproduces
+/// the cycle engine's result stream — cycle stamps, cumulative cycle
+/// counter, datapoint/transfer counts and observed-II statistics — from
+/// the architecture's closed-form timing.
+///
+/// Deliberately *not* modelled: per-cycle traces, stall injection and
+/// mid-stream pipeline state (the engine is always between drained
+/// states). Drivers needing those belong on the cycle-accurate backend.
+#[derive(Debug, Clone)]
+pub struct TurboEngine {
+    program: TurboProgram,
+    /// Lane-word scratch reused across runs (grows once, on the first).
+    scratch: TurboScratch,
+    pipelined_sum: bool,
+    capture_sums: bool,
+    cycle: u64,
+    results: Vec<SimResult>,
+    sums_log: Vec<Vec<i32>>,
+    datapoints: u64,
+    transfers: u64,
+    ii_cycles: u64,
+    ii_samples: u64,
+}
+
+impl TurboEngine {
+    /// Compiles `accel` and creates an engine in the post-reset state.
+    /// Pools standing up many shards over one design should compile once
+    /// and use [`TurboEngine::from_program`] instead.
+    pub fn new(accel: &CompiledAccelerator) -> Self {
+        Self::from_program(TurboProgram::compile(accel))
+    }
+
+    /// Creates an engine in the post-reset state over an already-compiled
+    /// program (the program is immutable, so sharing a compiled copy
+    /// across shards changes nothing observable).
+    pub fn from_program(program: TurboProgram) -> Self {
+        TurboEngine {
+            program,
+            scratch: TurboScratch::default(),
+            pipelined_sum: false,
+            capture_sums: false,
+            cycle: 0,
+            results: Vec::new(),
+            sums_log: Vec::new(),
+            datapoints: 0,
+            transfers: 0,
+            ii_cycles: 0,
+            ii_samples: 0,
+        }
+    }
+
+    /// Models the two-stage (pipelined) class sum — one extra latency
+    /// cycle per datapoint, exactly as on the cycle engine.
+    pub fn set_pipelined_sum(&mut self, pipelined: bool) {
+        self.pipelined_sum = pipelined;
+    }
+
+    /// Enables capture of the class sums behind every subsequent result.
+    pub fn set_capture_class_sums(&mut self, capture: bool) {
+        self.capture_sums = capture;
+    }
+
+    /// Class sums captured while capture was enabled, in result order.
+    pub fn class_sums_log(&self) -> &[Vec<i32>] {
+        &self.sums_log
+    }
+
+    /// Streams `inputs` back-to-back and returns the classifications in
+    /// arrival order, with the cycle stamps the cycle-accurate engine
+    /// would produce from the same (drained) starting state.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today (the turbo path cannot stall); typed as
+    /// [`SimError`] so drivers stay backend-agnostic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width differs from the design's features.
+    pub fn run_datapoints(&mut self, inputs: &[BitVec]) -> Result<Vec<SimResult>, SimError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.program.shape().num_packets() as u64;
+        let base = self.cycle;
+        // First result P+2(+1) cycles after its first packet (HCB fill +
+        // class sum (+ popcount stage) + argmax + output register),
+        // steady-state II of P.
+        let first_result = base + p + 2 + u64::from(self.pipelined_sum);
+        let before = self.results.len();
+        let mut sums_batch = Vec::with_capacity(inputs.len());
+        for chunk in inputs.chunks(LANES) {
+            self.program
+                .chunk_class_sums(chunk, &mut self.scratch, &mut sums_batch);
+        }
+        for (i, sums) in sums_batch.into_iter().enumerate() {
+            self.results.push(SimResult {
+                winner: argmax(&sums),
+                cycle: first_result + i as u64 * p,
+            });
+            if self.capture_sums {
+                self.sums_log.push(sums);
+            }
+        }
+        let n = inputs.len() as u64;
+        // The engine steps once past the last result before draining.
+        self.cycle = base + n * p + 3 + u64::from(self.pipelined_sum);
+        self.datapoints += n;
+        self.transfers += n * p;
+        // Back-to-back results within one run are exactly P apart; runs
+        // never contribute a cross-run gap (mirrors SimEngine's per-run
+        // II anchor).
+        self.ii_cycles += (n - 1) * p;
+        self.ii_samples += n - 1;
+        Ok(self.results[before..].to_vec())
+    }
+
+    /// Cycle at which datapoint `i` of a run started *now* would have its
+    /// first packet accepted (back-to-back streaming from the drained
+    /// state): `cycle() + i·P`.
+    pub fn next_first_beat_cycle(&self, i: usize) -> u64 {
+        self.cycle + i as u64 * self.program.shape().num_packets() as u64
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[SimResult] {
+        &self.results
+    }
+
+    /// Cycle counter: where the cycle engine's clock would be after the
+    /// same run history.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Datapoints classified since construction.
+    pub fn datapoints(&self) -> u64 {
+        self.datapoints
+    }
+
+    /// AXI beats the equivalent stream would have transferred.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Stall cycles (always 0: the turbo path never backpressures).
+    pub fn stall_cycles(&self) -> u64 {
+        0
+    }
+
+    /// Sum of result-to-result gaps observed within runs, in cycles.
+    pub fn observed_ii_cycles(&self) -> u64 {
+        self.ii_cycles
+    }
+
+    /// Number of gaps behind [`TurboEngine::observed_ii_cycles`].
+    pub fn observed_ii_samples(&self) -> u64 {
+        self.ii_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimEngine;
+    use matador_logic::cube::{Cube, Lit};
+    use matador_logic::dag::Sharing;
+
+    fn accel() -> CompiledAccelerator {
+        let shape = AccelShape {
+            bus_width: 4,
+            features: 8,
+            classes: 2,
+            clauses_per_class: 2,
+        };
+        let w0 = vec![
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::from_lits([Lit::pos(1)]),
+            Cube::from_lits([Lit::pos(2)]),
+            Cube::from_lits([Lit::pos(3)]),
+        ];
+        let w1 = vec![
+            Cube::one(),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::one(),
+        ];
+        CompiledAccelerator::from_window_cubes(shape, &[w0, w1], Sharing::Enabled)
+    }
+
+    fn inputs(n: usize) -> Vec<BitVec> {
+        (0..n)
+            .map(|i| BitVec::from_indices(8, &[i % 8, (3 * i) % 8]))
+            .collect()
+    }
+
+    #[test]
+    fn transpose_matches_naive() {
+        // A full-period LCG fills an irregular matrix.
+        let mut m = [0u64; 64];
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        for w in &mut m {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *w = s;
+        }
+        let mut t = m;
+        transpose_64x64(&mut t);
+        for (r, &row_t) in t.iter().enumerate() {
+            for (b, &row_m) in m.iter().enumerate() {
+                assert_eq!((row_t >> b) & 1, (row_m >> r) & 1, "element ({r},{b})");
+            }
+        }
+        // Involution: transposing back recovers the original.
+        transpose_64x64(&mut t);
+        assert_eq!(t, m);
+    }
+
+    #[test]
+    fn batch_sums_match_reference_across_chunk_boundaries() {
+        let a = accel();
+        for n in [0usize, 1, 2, 63, 64, 65, 130] {
+            let xs = inputs(n);
+            let sums = a.batch_class_sums(&xs);
+            assert_eq!(sums.len(), n);
+            for (x, s) in xs.iter().zip(&sums) {
+                assert_eq!(s, &a.reference_class_sums(x), "n={n} input {x}");
+            }
+            let winners = a.batch_classify(&xs);
+            for (s, w) in sums.iter().zip(&winners) {
+                assert_eq!(*w, argmax(s));
+            }
+        }
+    }
+
+    #[test]
+    fn turbo_engine_matches_cycle_engine_results_and_clock() {
+        let a = accel();
+        for pipelined in [false, true] {
+            let mut cycle = SimEngine::new(&a);
+            cycle.set_pipelined_sum(pipelined);
+            cycle.set_capture_class_sums(true);
+            let mut turbo = TurboEngine::new(&a);
+            turbo.set_pipelined_sum(pipelined);
+            turbo.set_capture_class_sums(true);
+            // Several runs back-to-back exercise the cumulative clock.
+            for n in [1usize, 5, 64, 3] {
+                let xs = inputs(n);
+                let from_cycle = cycle.run_datapoints(&xs).expect("drains");
+                let from_turbo = turbo.run_datapoints(&xs).expect("infallible");
+                assert_eq!(from_turbo, from_cycle, "pipelined={pipelined} n={n}");
+                assert_eq!(turbo.cycle(), cycle.cycle(), "pipelined={pipelined} n={n}");
+            }
+            assert_eq!(turbo.class_sums_log(), cycle.class_sums_log());
+            assert_eq!(turbo.results(), cycle.results());
+            assert_eq!(turbo.datapoints(), 73);
+            assert_eq!(turbo.transfers(), cycle.stream_transfers());
+            assert_eq!(turbo.observed_ii_cycles(), cycle.observed_ii_cycles());
+            assert_eq!(turbo.observed_ii_samples(), cycle.observed_ii_samples());
+        }
+    }
+
+    #[test]
+    fn empty_run_is_a_no_op() {
+        let a = accel();
+        let mut turbo = TurboEngine::new(&a);
+        assert!(turbo.run_datapoints(&[]).expect("infallible").is_empty());
+        assert_eq!(turbo.cycle(), 0);
+        assert_eq!(turbo.datapoints(), 0);
+    }
+
+    #[test]
+    fn capture_off_keeps_log_empty() {
+        let a = accel();
+        let mut turbo = TurboEngine::new(&a);
+        turbo.run_datapoints(&inputs(5)).expect("infallible");
+        assert!(turbo.class_sums_log().is_empty());
+        assert_eq!(turbo.results().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn width_mismatch_panics_like_the_cycle_engine() {
+        let a = accel();
+        a.batch_classify(&[BitVec::zeros(5)]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Cross-backend determinism: the bit-sliced turbo backend must be
+//! observationally identical to the cycle-accurate engine and to the
+//! software reference — winners, class sums **and** result cycle stamps —
+//! across random architectural shapes (bus widths 4–64, 2–8 classes,
+//! ragged last windows) and batch sizes that straddle the 64-datapoint
+//! lane boundary.
+
+use matador_logic::dag::Sharing;
+use matador_sim::{AccelShape, CompiledAccelerator, SimEngine, TurboEngine};
+use proptest::prelude::*;
+use tsetlin::bits::BitVec;
+use tsetlin::model::{IncludeMask, TrainedModel};
+use tsetlin::tm::argmax;
+
+fn arb_bitvec(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(BitVec::from_bools)
+}
+
+/// Arbitrary model over an arbitrary architecture: bus width 4..=64,
+/// 2..=8 classes, 1..=3 packets with a ragged (partially-filled) last
+/// window allowed.
+fn arb_model_and_bus() -> impl Strategy<Value = (TrainedModel, usize)> {
+    (4usize..=64, 2usize..=8, 1usize..4, 1usize..6).prop_flat_map(
+        |(bus, classes, half_clauses, packets)| {
+            let cpc = 2 * half_clauses;
+            // Last window ragged: anywhere from 1 bit to a full bus.
+            (1usize..=bus).prop_flat_map(move |last| {
+                let features = bus * (packets - 1) + last;
+                proptest::collection::vec(
+                    (arb_bitvec(features), arb_bitvec(features)),
+                    classes * cpc,
+                )
+                .prop_map(move |masks| {
+                    let includes = masks
+                        .into_iter()
+                        .map(|(pos, raw_neg)| IncludeMask {
+                            neg: raw_neg.and(&pos.not()),
+                            pos,
+                        })
+                        .collect();
+                    (
+                        TrainedModel::from_masks(features, classes, cpc, includes),
+                        bus,
+                    )
+                })
+            })
+        },
+    )
+}
+
+fn compile(model: &TrainedModel, bus: usize) -> CompiledAccelerator {
+    let shape = AccelShape {
+        bus_width: bus,
+        features: model.num_features(),
+        classes: model.num_classes(),
+        clauses_per_class: model.clauses_per_class(),
+    };
+    let windows = matador_logic::share::window_cubes(model, bus);
+    CompiledAccelerator::from_window_cubes(shape, &windows, Sharing::Enabled)
+}
+
+fn inputs_from_seeds(model: &TrainedModel, seeds: &[u64]) -> Vec<BitVec> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            BitVec::from_bools(
+                (0..model.num_features())
+                    .map(|b| (seed.rotate_left(i as u32) >> (b % 64)) & 1 == 1),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Turbo == CycleAccurate == software reference, including cycle
+    /// stamps, across two back-to-back runs (the second exercises the
+    /// cumulative analytic clock) and both class-sum pipeline modes.
+    #[test]
+    fn turbo_equals_cycle_accurate_equals_reference(
+        (model, bus) in arb_model_and_bus(),
+        seeds in proptest::collection::vec(any::<u64>(), 1..8),
+        pipelined in any::<bool>(),
+        split in 0usize..8,
+    ) {
+        let accel = compile(&model, bus);
+        let xs = inputs_from_seeds(&model, &seeds);
+
+        // Batch-level API against the per-datapoint software reference.
+        let batch_sums = accel.batch_class_sums(&xs);
+        for (x, sums) in xs.iter().zip(&batch_sums) {
+            prop_assert_eq!(sums, &accel.reference_class_sums(x));
+            prop_assert_eq!(sums, &model.class_sums(x));
+        }
+
+        // Engine-level equivalence, split into two runs.
+        let cut = split.min(xs.len());
+        let mut cycle = SimEngine::new(&accel);
+        cycle.set_pipelined_sum(pipelined);
+        cycle.set_capture_class_sums(true);
+        let mut turbo = TurboEngine::new(&accel);
+        turbo.set_pipelined_sum(pipelined);
+        turbo.set_capture_class_sums(true);
+        for part in [&xs[..cut], &xs[cut..]] {
+            let from_cycle = cycle.run_datapoints(part).expect("drains");
+            let from_turbo = turbo.run_datapoints(part).expect("infallible");
+            prop_assert_eq!(from_turbo, from_cycle);
+            prop_assert_eq!(turbo.cycle(), cycle.cycle());
+        }
+        prop_assert_eq!(turbo.class_sums_log(), cycle.class_sums_log());
+        prop_assert_eq!(turbo.transfers(), cycle.stream_transfers());
+        prop_assert_eq!(turbo.observed_ii_cycles(), cycle.observed_ii_cycles());
+        prop_assert_eq!(turbo.observed_ii_samples(), cycle.observed_ii_samples());
+    }
+
+    /// Batch sizes around the lane boundary: lane padding in the final
+    /// ragged chunk never leaks into results.
+    #[test]
+    fn lane_boundary_batches_are_exact(
+        (model, bus) in arb_model_and_bus(),
+        seed in any::<u64>(),
+    ) {
+        let accel = compile(&model, bus);
+        for n in [63usize, 64, 65] {
+            let seeds: Vec<u64> = (0..n as u64).map(|i| seed.wrapping_add(i * 0x9E37)).collect();
+            let xs = inputs_from_seeds(&model, &seeds);
+            let winners = accel.batch_classify(&xs);
+            prop_assert_eq!(winners.len(), n);
+            for (x, w) in xs.iter().zip(&winners) {
+                prop_assert_eq!(*w, argmax(&accel.reference_class_sums(x)));
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_batch_regression() {
+    let model = TrainedModel::from_masks(8, 2, 2, vec![IncludeMask::empty(8); 4]);
+    let accel = compile(&model, 4);
+    assert!(accel.batch_classify(&[]).is_empty());
+    assert!(accel.batch_class_sums(&[]).is_empty());
+    let mut turbo = TurboEngine::new(&accel);
+    assert!(turbo.run_datapoints(&[]).expect("infallible").is_empty());
+    assert_eq!(turbo.cycle(), 0);
+}
+
+#[test]
+fn single_datapoint_lane_regression() {
+    let model = TrainedModel::from_masks(8, 2, 2, vec![IncludeMask::empty(8); 4]);
+    let accel = compile(&model, 4);
+    let x = BitVec::from_indices(8, &[1, 6]);
+    let mut cycle = SimEngine::new(&accel);
+    let mut turbo = TurboEngine::new(&accel);
+    let from_cycle = cycle
+        .run_datapoints(std::slice::from_ref(&x))
+        .expect("drains");
+    let from_turbo = turbo
+        .run_datapoints(std::slice::from_ref(&x))
+        .expect("infallible");
+    assert_eq!(from_turbo, from_cycle);
+    assert_eq!(
+        accel.batch_class_sums(std::slice::from_ref(&x)),
+        vec![accel.reference_class_sums(&x)]
+    );
+}

@@ -74,6 +74,29 @@ impl BitVec {
         v
     }
 
+    /// Builds a bit vector of `len` bits from the low bits of `word`
+    /// (bit `i` of the vector reads bit `i` of the word). Word bits at or
+    /// beyond `len` are discarded; for `len > 64` the upper bits are zero.
+    /// The word-level inverse of [`BitVec::extract_word`].
+    pub fn from_word(len: usize, word: u64) -> Self {
+        let mut v = BitVec::zeros(len);
+        v.assign_word(word);
+        v
+    }
+
+    /// Overwrites the whole vector with the low bits of `word` (see
+    /// [`BitVec::from_word`]) without touching its length or reallocating.
+    pub fn assign_word(&mut self, word: u64) {
+        let Some(first) = self.words.first_mut() else {
+            return;
+        };
+        *first = word;
+        for w in &mut self.words[1..] {
+            *w = 0;
+        }
+        self.mask_tail();
+    }
+
     /// Number of bits.
     pub fn len(&self) -> usize {
         self.len
@@ -151,6 +174,28 @@ impl BitVec {
             .iter()
             .zip(&other.words)
             .all(|(a, b)| a & b == *a)
+    }
+
+    /// Word-wise AND in place (`self &= other`), allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// Overwrites `self` with `other`'s bits without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "length mismatch");
+        self.words.copy_from_slice(&other.words);
     }
 
     /// Word-wise AND into a fresh vector.
@@ -239,12 +284,20 @@ impl BitVec {
     /// Panics if `width > 64`.
     pub fn extract_word(&self, start: usize, width: usize) -> u64 {
         assert!(width <= 64, "cannot extract more than 64 bits");
-        let mut out = 0u64;
-        for off in 0..width {
-            let i = start + off;
-            if i < self.len && self.get(i) {
-                out |= 1 << off;
-            }
+        if width == 0 || start >= self.len {
+            return 0;
+        }
+        // Word-level read: at most two backing words contribute. Bits past
+        // `len` inside the last word are zero by invariant, so no extra
+        // end-of-vector masking is needed.
+        let wi = start / 64;
+        let off = start % 64;
+        let mut out = self.words[wi] >> off;
+        if off != 0 && wi + 1 < self.words.len() {
+            out |= self.words[wi + 1] << (64 - off);
+        }
+        if width < 64 {
+            out &= (1u64 << width) - 1;
         }
         out
     }
@@ -418,6 +471,69 @@ mod tests {
         v.set(65, true);
         assert_eq!(v.extract_word(0, 64), 1);
         assert_eq!(v.extract_word(64, 64), 0b10);
+    }
+
+    #[test]
+    fn extract_word_matches_per_bit_reference() {
+        let v = BitVec::from_indices(200, &[0, 3, 63, 64, 65, 127, 128, 199]);
+        for start in [0, 1, 5, 60, 63, 64, 100, 137, 190, 199, 200, 300] {
+            for width in [0usize, 1, 3, 7, 17, 32, 63, 64] {
+                let mut expect = 0u64;
+                for off in 0..width {
+                    let i = start + off;
+                    if i < v.len() && v.get(i) {
+                        expect |= 1 << off;
+                    }
+                }
+                assert_eq!(
+                    v.extract_word(start, width),
+                    expect,
+                    "start {start} width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_word_round_trips_extract_word() {
+        for len in [1usize, 7, 13, 64, 70] {
+            let word = 0xDEAD_BEEF_F00D_1234u64;
+            let v = BitVec::from_word(len, word);
+            assert_eq!(v.len(), len);
+            let expect = if len >= 64 {
+                word
+            } else {
+                word & ((1 << len) - 1)
+            };
+            assert_eq!(v.extract_word(0, 64.min(len)), expect, "len {len}");
+            // Bits past 64 are zero.
+            if len > 64 {
+                assert!(!v.get(64));
+            }
+        }
+        // Zero-length vectors stay well-formed.
+        let mut empty = BitVec::zeros(0);
+        empty.assign_word(!0);
+        assert_eq!(empty.count_ones(), 0);
+    }
+
+    #[test]
+    fn assign_word_clears_upper_words() {
+        let mut v = BitVec::from_indices(130, &[0, 70, 129]);
+        v.assign_word(0b101);
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn and_assign_and_copy_from_match_allocating_ops() {
+        let a = BitVec::from_indices(80, &[0, 10, 70]);
+        let b = BitVec::from_indices(80, &[10, 70, 79]);
+        let mut c = a.clone();
+        c.and_assign(&b);
+        assert_eq!(c, a.and(&b));
+        let mut d = BitVec::zeros(80);
+        d.copy_from(&b);
+        assert_eq!(d, b);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use matador_repro::datasets::{generate, DatasetKind, SplitSizes};
 use matador_repro::matador::config::MatadorConfig;
 use matador_repro::matador::design::AcceleratorDesign;
-use matador_repro::serve::{DispatchPolicy, ServeOptions, ShardPool};
+use matador_repro::serve::{DispatchPolicy, EngineBackend, ServeOptions, ShardPool};
 use matador_repro::tsetlin::bits::BitVec;
 use matador_repro::tsetlin::model::TrainedModel;
 use matador_repro::tsetlin::params::TmParams;
@@ -46,12 +46,14 @@ fn serve_batch(
     shards: usize,
     policy: DispatchPolicy,
     threads: usize,
+    backend: EngineBackend,
 ) -> Vec<(usize, Vec<i32>)> {
     let accel = design.compile_for_sim();
     let mut options = ServeOptions::new(shards);
     options.policy = policy;
     options.capture_class_sums = true;
     options.threads = Some(threads);
+    options.backend = backend;
     let mut pool = ShardPool::with_options(&accel, options).expect("valid options");
     pool.serve(inputs)
         .expect("engines drain")
@@ -88,6 +90,7 @@ fn predictions_and_class_sums_bit_identical_across_shard_counts() {
                 SHARD_COUNTS[0],
                 DispatchPolicy::RoundRobin,
                 1,
+                EngineBackend::CycleAccurate,
             );
             // The single-shard pool agrees with software inference
             // (winners) and the model's class sums, bit for bit.
@@ -97,14 +100,21 @@ fn predictions_and_class_sums_bit_identical_across_shard_counts() {
             }
 
             for shards in &SHARD_COUNTS[1..] {
-                for policy in [DispatchPolicy::RoundRobin, DispatchPolicy::LeastQueued] {
+                for policy in [
+                    DispatchPolicy::RoundRobin,
+                    DispatchPolicy::LeastQueued,
+                    DispatchPolicy::LatencyAware,
+                ] {
                     for threads in [1, 8] {
-                        let served = serve_batch(&design, &inputs, *shards, policy, threads);
-                        assert_eq!(
-                            served, reference,
-                            "{kind} seed {seed}: shards={shards} {policy:?} \
-                             threads={threads} diverged from the single shard"
-                        );
+                        for backend in [EngineBackend::CycleAccurate, EngineBackend::Turbo] {
+                            let served =
+                                serve_batch(&design, &inputs, *shards, policy, threads, backend);
+                            assert_eq!(
+                                served, reference,
+                                "{kind} seed {seed}: shards={shards} {policy:?} \
+                                 threads={threads} {backend:?} diverged from the single shard"
+                            );
+                        }
                     }
                 }
             }
