@@ -1,6 +1,6 @@
 //! The exact baseline configurations evaluated in Table I: the five FINN
 //! builds re-run on the Pynq Z1 at 100 MHz, and the two ZC706 BNN
-//! reference designs from the FINN paper [3] at 200 MHz.
+//! reference designs from the FINN paper \[3\] at 200 MHz.
 
 use crate::dataflow::DataflowDesign;
 use crate::topology::Topology;
@@ -18,9 +18,9 @@ pub enum BaselineKind {
     FinnFmnist,
     /// FINN KMNIST build.
     FinnKmnist,
-    /// Resource-efficient BNN reference of [3] (ZC706, 200 MHz).
+    /// Resource-efficient BNN reference of \[3\] (ZC706, 200 MHz).
     BnnRRef,
-    /// Fast (max-unfolded) BNN reference of [3] (ZC706, 200 MHz).
+    /// Fast (max-unfolded) BNN reference of \[3\] (ZC706, 200 MHz).
     BnnFRef,
 }
 

@@ -179,7 +179,7 @@ impl Topology {
         )
     }
 
-    /// The BNN reference topology of [3]: 784-256-256-256-10, fully binary
+    /// The BNN reference topology of \[3\]: 784-256-256-256-10, fully binary
     /// (used for both the resource-efficient `-r` and fast `-f` variants).
     pub fn bnn_ref() -> Topology {
         Topology::new(

@@ -1,0 +1,131 @@
+//! Machine-readable benchmark artifacts.
+//!
+//! Every tracked benchmark (`infer_bench`'s `BENCH_inference.json`, the
+//! serving sweeps' `BENCH_serve.json`) shares one artifact shape so the
+//! per-commit perf trajectory can be diffed uniformly: a top-level object
+//! naming the benchmark, dataset and run sizing, plus a `rows` array of
+//! flat per-cell objects. This module is the single writer for that
+//! shape — harness binaries format their rows and hand them in.
+
+use std::fmt::Write as _;
+
+/// Builder for one benchmark artifact in the shared shape.
+#[derive(Debug, Clone)]
+pub struct BenchArtifact {
+    bench: String,
+    dataset: String,
+    batch: usize,
+    seed: u64,
+    threads: usize,
+    /// Extra top-level `(key, raw JSON value)` fields, emitted between
+    /// `threads` and `rows` in insertion order.
+    fields: Vec<(String, String)>,
+    rows: Vec<String>,
+}
+
+impl BenchArtifact {
+    /// Starts an artifact for benchmark `bench` over `dataset`. `batch`
+    /// is the headline batch size — the single measured batch for
+    /// fixed-batch harnesses (`infer_bench`), the largest (gate) batch
+    /// for sweeps; sweep rows carry their own per-row `"batch"` field.
+    pub fn new(
+        bench: impl Into<String>,
+        dataset: impl Into<String>,
+        batch: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        BenchArtifact {
+            bench: bench.into(),
+            dataset: dataset.into(),
+            batch,
+            seed,
+            threads,
+            fields: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one harness-specific top-level field: `key` plus a
+    /// preformatted raw JSON value (e.g. `infer_bench`'s
+    /// `"baseline": {"backend": "cycle_accurate", "shards": 1}`).
+    pub fn push_field(&mut self, key: impl Into<String>, raw_value: String) {
+        self.fields.push((key.into(), raw_value));
+    }
+
+    /// Appends one row: a preformatted flat JSON object literal, e.g.
+    /// `{"shards": 4, "inf_s": 123.0}`.
+    pub fn push_row(&mut self, row: String) {
+        self.rows.push(row);
+    }
+
+    /// The artifact as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"bench\": \"{}\",\n  \"dataset\": \"{}\",\n  \"batch\": {},\n  \
+             \"seed\": {},\n  \"threads\": {}",
+            self.bench, self.dataset, self.batch, self.seed, self.threads
+        );
+        for (key, value) in &self.fields {
+            let _ = write!(out, ",\n  \"{key}\": {value}");
+        }
+        out.push_str(",\n  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    {row}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_shape_matches_the_inference_artifact() {
+        let mut artifact = BenchArtifact::new("serve_throughput", "KWS-6", 256, 2024, 8);
+        artifact.push_row("{\"shards\": 1, \"inf_s\": 10.0}".to_string());
+        artifact.push_row("{\"shards\": 4, \"inf_s\": 40.0}".to_string());
+        let json = artifact.to_json();
+        assert!(json.starts_with("{\n  \"bench\": \"serve_throughput\""));
+        assert!(json.contains("\"dataset\": \"KWS-6\""));
+        assert!(json.contains("\"batch\": 256"));
+        assert!(json.contains("\"rows\": [\n"));
+        assert!(json.contains("    {\"shards\": 1, \"inf_s\": 10.0},\n"));
+        assert!(json.contains("    {\"shards\": 4, \"inf_s\": 40.0}\n"));
+        assert!(json.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn empty_rows_still_form_a_valid_document() {
+        let artifact = BenchArtifact::new("x", "y", 0, 0, 1);
+        assert!(artifact.to_json().contains("\"rows\": [\n  ]\n}\n"));
+    }
+
+    #[test]
+    fn extra_fields_sit_between_threads_and_rows() {
+        let mut artifact = BenchArtifact::new("inference_throughput", "KWS-6", 1024, 2024, 8);
+        artifact.push_field(
+            "baseline",
+            "{\"backend\": \"cycle_accurate\", \"shards\": 1}".to_string(),
+        );
+        let json = artifact.to_json();
+        let threads = json.find("\"threads\": 8").expect("threads present");
+        let baseline = json.find("\"baseline\": {").expect("baseline present");
+        let rows = json.find("\"rows\": [").expect("rows present");
+        assert!(threads < baseline && baseline < rows, "{json}");
+    }
+}

@@ -22,8 +22,8 @@
 //! exits non-zero unless the turbo backend beats the cycle-accurate
 //! backend by at least `X`× — the release CI gate.
 
-use matador_bench::eval::{model_key_for, EvalOptions};
-use matador_bench::{DesignCache, ModelCache};
+use matador_bench::eval::{bad_arg, model_key_for, parse_positive_list, EvalOptions};
+use matador_bench::{BenchArtifact, DesignCache, ModelCache};
 use matador_datasets::{generate, DatasetKind};
 use matador_serve::{EngineBackend, ServeOptions, ShardPool};
 use matador_sim::CompiledAccelerator;
@@ -58,26 +58,7 @@ fn parse_args() -> Result<BenchArgs, matador::Error> {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--shards" => {
-                let value = args
-                    .next()
-                    .ok_or_else(|| bad_arg("--shards requires a comma-separated list"))?;
-                shards = value
-                    .split(',')
-                    .map(|tok| {
-                        tok.trim()
-                            .parse::<usize>()
-                            .ok()
-                            .filter(|&n| n > 0)
-                            .ok_or_else(|| {
-                                bad_arg(format!("--shards entry '{tok}' is not a positive integer"))
-                            })
-                    })
-                    .collect::<Result<_, _>>()?;
-                if shards.is_empty() {
-                    return Err(bad_arg("--shards list is empty"));
-                }
-            }
+            "--shards" => shards = parse_positive_list(&arg, args.next())?,
             "--batch" => {
                 let value = args
                     .next()
@@ -117,13 +98,6 @@ fn parse_args() -> Result<BenchArgs, matador::Error> {
         assert_speedup,
         opts,
     })
-}
-
-fn bad_arg(message: impl Into<String>) -> matador::Error {
-    matador::Error::other(std::io::Error::new(
-        std::io::ErrorKind::InvalidInput,
-        message.into(),
-    ))
 }
 
 struct Cell {
@@ -240,30 +214,29 @@ fn run() -> Result<bool, matador::Error> {
         .find(|c| c.backend == EngineBackend::CycleAccurate && c.shards == baseline_shards)
         .expect("first cell is the baseline")
         .inf_s;
-    let rows: Vec<String> = cells
-        .iter()
-        .map(|c| {
-            format!(
-                "    {{\"backend\": \"{}\", \"shards\": {}, \"wall_s\": {:.6}, \
-                 \"inf_s\": {:.1}, \"speedup_vs_baseline\": {:.2}}}",
-                backend_slug(c.backend),
-                c.shards,
-                c.wall_s,
-                c.inf_s,
-                c.inf_s / baseline
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"inference_throughput\",\n  \"dataset\": \"{kind}\",\n  \
-         \"batch\": {},\n  \"seed\": {},\n  \"threads\": {threads},\n  \
-         \"baseline\": {{\"backend\": \"cycle_accurate\", \"shards\": {baseline_shards}}},\n  \
-         \"rows\": [\n{}\n  ]\n}}\n",
+    let mut artifact = BenchArtifact::new(
+        "inference_throughput",
+        kind.to_string(),
         args.batch,
         opts.seed,
-        rows.join(",\n")
+        threads,
     );
-    std::fs::write(&args.out, &json).map_err(matador::Error::other)?;
+    artifact.push_field(
+        "baseline",
+        format!("{{\"backend\": \"cycle_accurate\", \"shards\": {baseline_shards}}}"),
+    );
+    for c in &cells {
+        artifact.push_row(format!(
+            "{{\"backend\": \"{}\", \"shards\": {}, \"wall_s\": {:.6}, \
+             \"inf_s\": {:.1}, \"speedup_vs_baseline\": {:.2}}}",
+            backend_slug(c.backend),
+            c.shards,
+            c.wall_s,
+            c.inf_s,
+            c.inf_s / baseline
+        ));
+    }
+    artifact.write(&args.out).map_err(matador::Error::other)?;
     println!("\nwrote {}", args.out);
 
     if let Some(min_speedup) = args.assert_speedup {

@@ -10,14 +10,18 @@
 //!
 //! ```text
 //! cargo run -p matador-bench --bin serve_sweep --release -- \
-//!     [--quick] [--seed N] [--shards 1,2,4,8] [--batches 16,64,256] [--assert-scaling]
+//!     [--quick] [--seed N] [--shards 1,2,4,8] [--batches 16,64,256] \
+//!     [--assert-scaling] [--json BENCH_serve.json]
 //! ```
 //!
 //! `--assert-scaling` exits non-zero unless every multi-shard pool beats
 //! the single-shard pool's throughput on the largest batch — the CI gate.
+//! `--json <path>` writes the whole sweep as a machine-readable artifact
+//! in the same shape as `BENCH_inference.json`, so CI can track the serve
+//! perf trajectory per commit.
 
-use matador_bench::eval::{model_key_for, EvalOptions};
-use matador_bench::{DesignCache, ModelCache};
+use matador_bench::eval::{bad_arg, model_key_for, parse_positive_list, EvalOptions};
+use matador_bench::{BenchArtifact, DesignCache, ModelCache};
 use matador_datasets::{generate, DatasetKind};
 use matador_serve::{DispatchPolicy, ServeOptions, ShardPool};
 use matador_sim::CompiledAccelerator;
@@ -39,6 +43,7 @@ struct SweepArgs {
     shards: Vec<usize>,
     batches: Vec<usize>,
     assert_scaling: bool,
+    json: Option<String>,
     opts: EvalOptions,
 }
 
@@ -46,13 +51,20 @@ fn parse_args() -> Result<SweepArgs, matador::Error> {
     let mut shards = vec![1, 2, 4, 8];
     let mut batches = vec![16, 64, 256];
     let mut assert_scaling = false;
+    let mut json = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--shards" => shards = parse_list(&arg, args.next())?,
-            "--batches" => batches = parse_list(&arg, args.next())?,
+            "--shards" => shards = parse_positive_list(&arg, args.next())?,
+            "--batches" => batches = parse_positive_list(&arg, args.next())?,
             "--assert-scaling" => assert_scaling = true,
+            "--json" => {
+                json = Some(
+                    args.next()
+                        .ok_or_else(|| bad_arg("--json requires a path"))?,
+                );
+            }
             _ => rest.push(arg),
         }
     }
@@ -61,33 +73,9 @@ fn parse_args() -> Result<SweepArgs, matador::Error> {
         shards,
         batches,
         assert_scaling,
+        json,
         opts,
     })
-}
-
-fn parse_list(flag: &str, value: Option<String>) -> Result<Vec<usize>, matador::Error> {
-    let value = value.ok_or_else(|| bad_arg(format!("{flag} requires a comma-separated list")))?;
-    let list: Vec<usize> = value
-        .split(',')
-        .map(|tok| {
-            tok.trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .ok_or_else(|| bad_arg(format!("{flag} entry '{tok}' is not a positive integer")))
-        })
-        .collect::<Result<_, _>>()?;
-    if list.is_empty() {
-        return Err(bad_arg(format!("{flag} list is empty")));
-    }
-    Ok(list)
-}
-
-fn bad_arg(message: String) -> matador::Error {
-    matador::Error::other(std::io::Error::new(
-        std::io::ErrorKind::InvalidInput,
-        message,
-    ))
 }
 
 /// One measured cell of the sweep.
@@ -163,6 +151,13 @@ fn run() -> Result<bool, matador::Error> {
     let mut gate_passed = true;
     let gate_batch = *args.batches.iter().max().expect("non-empty");
     let mut final_row: Vec<(usize, Cell)> = Vec::new();
+    let mut artifact = BenchArtifact::new(
+        "serve_throughput",
+        kind.to_string(),
+        gate_batch,
+        opts.seed,
+        matador_par::configured_threads(),
+    );
     for &batch_size in &args.batches {
         let batch: Vec<BitVec> = (0..batch_size)
             .map(|i| test_inputs[i % test_inputs.len()].clone())
@@ -185,6 +180,13 @@ fn run() -> Result<bool, matador::Error> {
             .map(|(_, c)| format!("{:>12.0} @ {:>6}", c.inf_s, c.pool_cycles))
             .collect();
         println!("{batch_size:>7} {}", row.join(" "));
+        for (s, c) in &cells {
+            artifact.push_row(format!(
+                "{{\"shards\": {s}, \"batch\": {batch_size}, \"pool_cycles\": {}, \
+                 \"inf_s\": {:.1}, \"latency_p50_cycles\": {}, \"latency_p99_cycles\": {}}}",
+                c.pool_cycles, c.inf_s, c.p50, c.p99
+            ));
+        }
         if batch_size == gate_batch {
             final_row = cells;
         }
@@ -205,6 +207,11 @@ fn run() -> Result<bool, matador::Error> {
             cell.inf_s / baseline,
             final_row[0].0
         );
+    }
+
+    if let Some(path) = &args.json {
+        artifact.write(path).map_err(matador::Error::other)?;
+        println!("\nwrote {path}");
     }
 
     if args.assert_scaling {

@@ -143,6 +143,44 @@ impl EvalOptions {
     }
 }
 
+/// Wraps a malformed harness-flag diagnostic into the unified error type
+/// — the single helper behind every bin's ad-hoc flag parsing
+/// (`serve_sweep`, `hetero_sweep`, `infer_bench`).
+pub fn bad_arg(message: impl Into<String>) -> matador::Error {
+    matador::Error::other(std::io::Error::new(
+        std::io::ErrorKind::InvalidInput,
+        message.into(),
+    ))
+}
+
+/// Parses a `--flag 1,2,4`-style comma-separated list of positive
+/// integers, as the sweep harnesses take for `--shards` / `--batches`.
+///
+/// # Errors
+///
+/// Returns a [`bad_arg`] error when the value is missing, empty, or
+/// contains a non-positive / unparseable entry.
+pub fn parse_positive_list(
+    flag: &str,
+    value: Option<String>,
+) -> Result<Vec<usize>, matador::Error> {
+    let value = value.ok_or_else(|| bad_arg(format!("{flag} requires a comma-separated list")))?;
+    let list: Vec<usize> = value
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| bad_arg(format!("{flag} entry '{tok}' is not a positive integer")))
+        })
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() {
+        return Err(bad_arg(format!("{flag} list is empty")));
+    }
+    Ok(list)
+}
+
 /// TM hyperparameters used for a dataset (Table II's right column plus the
 /// training knobs the paper holds per-application).
 pub fn tm_params_for(kind: DatasetKind) -> TmParams {
@@ -382,6 +420,23 @@ mod tests {
             .unwrap_err()
             .into();
         assert!(matches!(err, matador::Error::Other(_)));
+    }
+
+    #[test]
+    fn positive_list_parsing_is_shared_and_typed() {
+        assert_eq!(
+            parse_positive_list("--shards", Some("1, 2,8".to_string())).expect("valid"),
+            vec![1, 2, 8]
+        );
+        for bad in [
+            None,
+            Some(String::new()),
+            Some("1,0".into()),
+            Some("x".into()),
+        ] {
+            let err = parse_positive_list("--shards", bad).unwrap_err();
+            assert!(err.to_string().contains("--shards"), "{err}");
+        }
     }
 
     #[test]

@@ -13,10 +13,12 @@
 //! `MATADOR_MODEL_CACHE=1`), so harnesses sharing a
 //! `(dataset spec, TmParams, seed)` triple train and generate once.
 
+pub mod benchjson;
 pub mod cache;
 pub mod eval;
 pub mod table;
 
+pub use benchjson::BenchArtifact;
 pub use cache::{design_digest, DesignCache, ModelCache, ModelKey};
 pub use eval::{
     run_baseline, run_matador, run_matador_with_threads, run_table1, BaselineRow, EvalError,

@@ -5,7 +5,7 @@
 use crate::config::MatadorConfig;
 use crate::design::AcceleratorDesign;
 use crate::verify::{verify_design, VerificationReport};
-use matador_serve::{ServeOptions, ServeSession};
+use matador_serve::{DispatchPolicy, ServeOptions, ServeSession, ShardSpec};
 use matador_sim::{LatencyReport, SimEngine};
 use matador_synth::report::ImplementationReport;
 use rand::rngs::SmallRng;
@@ -124,6 +124,59 @@ impl FlowOutcome {
     pub fn serve_with_options(&self, options: ServeOptions) -> Result<ServeSession, crate::Error> {
         let accel = self.design.compile_for_sim();
         ServeSession::new(accel, options).map_err(Into::into)
+    }
+
+    /// This outcome's design as one shard of a heterogeneous pool:
+    /// compiled for simulation, inheriting the design's class-sum
+    /// pipelining, cycle-accurate backend, dispatch weight 1. Adjust with
+    /// the [`ShardSpec`] builder methods
+    /// (`.backend(…)`, `.weight(…)`) before pooling.
+    pub fn shard_spec(&self) -> ShardSpec {
+        ShardSpec::new(self.design.compile_for_sim())
+            .pipelined_sum(self.design.config().pipeline_class_sum())
+    }
+
+    /// Stands up a heterogeneous serving runtime: one shard per
+    /// [`ShardSpec`], each owning its own generated design (typically
+    /// this outcome's [`FlowOutcome::shard_spec`] plus specs from other
+    /// flow runs — different bus widths, different models). Requests are
+    /// admitted and routed only to shards whose feature width matches
+    /// ([`matador_serve::ServeError::NoCompatibleShard`] otherwise), and
+    /// dispatch defaults to [`DispatchPolicy::LatencyAware`] so shards
+    /// with heterogeneous IIs split batches by estimated drain time
+    /// rather than blindly. Use
+    /// [`FlowOutcome::serve_heterogeneous_with_options`] for full control.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Serve`] on an empty or zero-weight spec
+    /// list.
+    pub fn serve_heterogeneous(&self, specs: Vec<ShardSpec>) -> Result<ServeSession, crate::Error> {
+        let shards = specs.len().max(1);
+        self.serve_heterogeneous_with_options(
+            specs,
+            ServeOptions {
+                policy: DispatchPolicy::LatencyAware,
+                ..ServeOptions::new(shards)
+            },
+        )
+    }
+
+    /// [`FlowOutcome::serve_heterogeneous`] with explicit
+    /// [`ServeOptions`] (dispatch policy, queue depth, class-sum capture,
+    /// worker threads; the per-shard backend/pipelining live on each
+    /// spec). The mirror of [`FlowOutcome::serve_with_options`] for mixed
+    /// pools.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Serve`] on degenerate specs or options.
+    pub fn serve_heterogeneous_with_options(
+        &self,
+        specs: Vec<ShardSpec>,
+        options: ServeOptions,
+    ) -> Result<ServeSession, crate::Error> {
+        ServeSession::heterogeneous(specs, options).map_err(Into::into)
     }
 }
 
@@ -449,6 +502,66 @@ mod tests {
         // the turbo backend is observationally identical under serving.
         assert_eq!(from_turbo, from_cycle);
         assert_eq!(turbo.report(), cycle.report());
+    }
+
+    #[test]
+    fn heterogeneous_serving_mixes_bus_widths_without_changing_answers() {
+        let (train, test) = tiny_task();
+        let outcome_for = |bus_width: usize| {
+            let config = MatadorConfig::builder()
+                .bus_width(bus_width)
+                .design_name(format!("flow_hetero_w{bus_width}"))
+                .build()
+                .expect("valid");
+            MatadorFlow::new(config)
+                .run(spec(), &train, &test)
+                .expect("flow succeeds")
+        };
+        let wide = outcome_for(6);
+        let narrow = outcome_for(2);
+        let batch: Vec<_> = test.iter().map(|s| s.input.clone()).collect();
+
+        // Same model on two bus widths behind one pool: every request
+        // gets the model's answer, whichever shard serves it.
+        let mut session = wide
+            .serve_heterogeneous(vec![wide.shard_spec(), narrow.shard_spec()])
+            .expect("valid session");
+        let preds = session.serve(&batch).expect("drains");
+        for (x, p) in batch.iter().zip(&preds) {
+            assert_eq!(p.winner, wide.model.predict(x));
+        }
+        // The latency-aware default sends more of the batch to the
+        // 2-packet wide-bus shard than the 6-packet narrow-bus one.
+        let to_wide = preds.iter().filter(|p| p.shard == 0).count();
+        assert!(
+            to_wide > preds.len() / 2,
+            "wide shard got {to_wide}/{}",
+            preds.len()
+        );
+
+        // Width-aware admission stays typed at the flow level too. Both
+        // shards share one feature width here, so the precise
+        // single-width diagnostic applies (mixed-width pools report
+        // `NoCompatibleShard`; see the serve crate's tests).
+        let err = session
+            .serve(&[tsetlin::bits::BitVec::zeros(5)])
+            .expect_err("no shard takes width 5");
+        assert!(matches!(
+            err,
+            matador_serve::ServeError::WidthMismatch {
+                expected: 12,
+                got: 5
+            }
+        ));
+
+        // Degenerate spec lists converge into the unified error type.
+        let err = wide
+            .serve_heterogeneous(Vec::new())
+            .expect_err("empty spec list rejected");
+        assert!(matches!(
+            err,
+            crate::Error::Serve(matador_serve::ServeError::ZeroShards)
+        ));
     }
 
     #[test]

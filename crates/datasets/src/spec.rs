@@ -56,7 +56,7 @@ impl fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 /// The five evaluation datasets of the paper (Table I / Table II) plus the
-/// two small datasets the prior FPGA-TM literature used ([22], [23]).
+/// two small datasets the prior FPGA-TM literature used (\[22\], \[23\]).
 ///
 /// All are *synthetic stand-ins* generated with the real datasets'
 /// dimensions and class counts; see `DESIGN.md` §1 for the substitution

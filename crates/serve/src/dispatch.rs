@@ -1,33 +1,52 @@
 //! Deterministic request→shard assignment.
 //!
-//! Both policies are pure functions of the submission order and the
+//! Every policy is a pure function of the submission order and the
 //! per-shard load counters — never of wall-clock time or thread
 //! scheduling — so a batch dispatched over N shards produces bit-identical
 //! predictions for every N. Load is measured in cycle-equivalent units:
 //! the pool feeds in each shard's accumulated engine cycles and the plan
-//! adds `P` beats (bus cycles) per assigned datapoint, so `LeastQueued`
-//! levels total shard work across flushes, not just within one.
+//! adds that shard's `P` beats (bus cycles) per assigned datapoint, so
+//! `LeastQueued` levels total shard work across flushes, not just within
+//! one.
+//!
+//! ## Heterogeneous pools
+//!
+//! Shards need not share a design. Each shard planning input
+//! ([`ShardProfile`]) carries the feature width its design accepts, its
+//! own beats-per-datapoint cost and a static dispatch weight; requests
+//! carry their input width and are only ever assigned to shards whose
+//! width matches (admission has already rejected requests no shard can
+//! take). On a homogeneous pool every profile is identical, and every
+//! policy degenerates to its single-design behavior bit for bit.
 
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// How pending requests are spread over the shard pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DispatchPolicy {
     /// Cycle through shards in index order, continuing across flushes.
+    /// On a mixed-width pool the cursor skips shards that cannot take the
+    /// request, so each width class sees its own round-robin rotation.
     RoundRobin,
-    /// Assign each request to the shard with the least accumulated load
-    /// (engine cycles already run, plus beats planned so far this flush;
-    /// ties break toward the lowest shard index).
+    /// Assign each request to the compatible shard with the least
+    /// accumulated load (engine cycles already run, plus beats planned so
+    /// far this flush, divided by the shard's dispatch weight; ties break
+    /// toward the lowest shard index).
     LeastQueued,
-    /// Assign each request to the shard with the smallest estimated
-    /// drain time for the *current* flush: queued beats planned so far
-    /// this flush × the shard's observed steady-state II (result-to-
-    /// result cycles; the design's bandwidth-bound II for shards with no
-    /// steady-state history). Ties break toward the lowest shard index.
+    /// Assign each request to the compatible shard with the smallest
+    /// estimated drain time for the *current* flush: queued beats planned
+    /// so far this flush × the shard's observed steady-state II (result-
+    /// to-result cycles; the design's bandwidth-bound II for shards with
+    /// no steady-state history), divided by the shard's dispatch weight.
+    /// Ties break toward the lowest shard index.
     ///
     /// Unlike [`DispatchPolicy::LeastQueued`] it does not re-balance
     /// historical cycle counts, so a batch always drains as fast as the
-    /// current pool allows — history is a sunk cost, not pending work.
+    /// current pool allows — history is a sunk cost, not pending work. On
+    /// a heterogeneous pool the per-shard beat costs and observed IIs
+    /// make a fast narrow-II shard absorb more of the batch than a slow
+    /// one.
     LatencyAware,
 }
 
@@ -43,17 +62,56 @@ pub struct ShardLoad {
     pub ii_samples: u64,
 }
 
-/// Stateful dispatcher: carries the round-robin cursor across flushes.
+/// Everything the dispatcher knows about one shard of a (possibly
+/// heterogeneous) pool when planning a flush.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardProfile {
+    /// The shard's load snapshot.
+    pub load: ShardLoad,
+    /// Feature width (booleanized input bits) the shard's design accepts.
+    /// A request is only assignable to shards whose width matches.
+    pub width: usize,
+    /// Bus beats one datapoint costs on this shard — its design's
+    /// packets-per-datapoint. Differs across shards when bus widths do.
+    pub beats_per_request: u64,
+    /// Static dispatch weight (≥ 1): a shard with weight `w` counts its
+    /// load as `1/w` of nominal, absorbing proportionally more requests.
+    pub weight: u32,
+}
+
+impl ShardProfile {
+    /// A weight-1 profile for a shard of a homogeneous pool.
+    pub fn uniform(load: ShardLoad, width: usize, beats_per_request: u64) -> Self {
+        ShardProfile {
+            load,
+            width,
+            beats_per_request,
+            weight: 1,
+        }
+    }
+}
+
+/// Stateful dispatcher: carries the per-width round-robin cursors across
+/// flushes.
 #[derive(Debug, Clone)]
 pub struct Dispatcher {
     policy: DispatchPolicy,
-    rr_next: usize,
+    /// One round-robin cursor per feature width, counting assignments
+    /// within that width's compatible-shard rotation. Kept per width so
+    /// mixed-width traffic can never starve a shard: a single shared
+    /// cursor would let one width class's picks skip another's shards
+    /// indefinitely. Homogeneous pools use exactly one entry, reproducing
+    /// the classic single-cursor behavior.
+    rr_cursors: BTreeMap<usize, usize>,
 }
 
 impl Dispatcher {
     /// Creates a dispatcher with the given policy.
     pub fn new(policy: DispatchPolicy) -> Self {
-        Dispatcher { policy, rr_next: 0 }
+        Dispatcher {
+            policy,
+            rr_cursors: BTreeMap::new(),
+        }
     }
 
     /// The active policy.
@@ -62,8 +120,9 @@ impl Dispatcher {
     }
 
     /// Plans shard assignments for `requests` equal-cost requests of
-    /// `beats_per_request` beats each, given the shards' current load
-    /// snapshots. Returns one shard index per request, in request order.
+    /// `beats_per_request` beats each over a homogeneous pool, given the
+    /// shards' current load snapshots. Returns one shard index per
+    /// request, in request order.
     ///
     /// # Panics
     ///
@@ -74,24 +133,69 @@ impl Dispatcher {
         requests: usize,
         beats_per_request: u64,
     ) -> Vec<usize> {
-        assert!(!loads.is_empty(), "dispatcher needs at least one shard");
-        let shards = loads.len();
+        let profiles: Vec<ShardProfile> = loads
+            .iter()
+            .map(|&load| ShardProfile::uniform(load, 0, beats_per_request))
+            .collect();
+        self.plan_profiles(&profiles, &vec![0; requests])
+    }
+
+    /// Plans shard assignments over a (possibly heterogeneous) pool: one
+    /// profile per shard, one input width per request, in request order.
+    /// A request is only assigned to shards whose `width` matches its
+    /// own; the pool's admission layer guarantees at least one such shard
+    /// exists for every request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or some request's width matches no
+    /// shard (both are pool invariants, enforced at admission).
+    pub fn plan_profiles(
+        &mut self,
+        profiles: &[ShardProfile],
+        request_widths: &[usize],
+    ) -> Vec<usize> {
+        assert!(!profiles.is_empty(), "dispatcher needs at least one shard");
+        let shards = profiles.len();
+        let compatible = |s: usize, width: usize| profiles[s].width == width;
         match self.policy {
-            DispatchPolicy::RoundRobin => (0..requests)
-                .map(|_| {
-                    let s = self.rr_next;
-                    self.rr_next = (self.rr_next + 1) % shards;
-                    s
-                })
-                .collect(),
+            DispatchPolicy::RoundRobin => {
+                // One compatible-shard rotation per distinct width,
+                // built lazily once per plan (not per request).
+                let mut rotations: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                request_widths
+                    .iter()
+                    .map(|&width| {
+                        let compat = rotations.entry(width).or_insert_with(|| {
+                            (0..shards).filter(|&s| compatible(s, width)).collect()
+                        });
+                        assert!(
+                            !compat.is_empty(),
+                            "admission guarantees a compatible shard"
+                        );
+                        let cursor = self.rr_cursors.entry(width).or_insert(0);
+                        let s = compat[*cursor % compat.len()];
+                        *cursor = (*cursor + 1) % compat.len();
+                        s
+                    })
+                    .collect()
+            }
             DispatchPolicy::LeastQueued => {
-                let mut load: Vec<u64> = loads.iter().map(|l| l.cycles).collect();
-                (0..requests)
-                    .map(|_| {
+                let mut load: Vec<u64> = profiles.iter().map(|p| p.load.cycles).collect();
+                request_widths
+                    .iter()
+                    .map(|&width| {
                         let s = (0..shards)
-                            .min_by_key(|&s| (load[s], s))
-                            .expect("non-empty shard set");
-                        load[s] += beats_per_request;
+                            .filter(|&s| compatible(s, width))
+                            .min_by(|&a, &b| {
+                                // load[a]/w[a] vs load[b]/w[b], exactly,
+                                // by cross-multiplication in u128.
+                                let lhs = u128::from(load[a]) * u128::from(profiles[b].weight);
+                                let rhs = u128::from(load[b]) * u128::from(profiles[a].weight);
+                                lhs.cmp(&rhs).then(a.cmp(&b))
+                            })
+                            .expect("admission guarantees a compatible shard");
+                        load[s] += profiles[s].beats_per_request;
                         s
                     })
                     .collect()
@@ -100,23 +204,28 @@ impl Dispatcher {
                 // Estimated marginal cost per streamed beat on shard `s`:
                 // its observed steady-state II spread over the beats of a
                 // datapoint, defaulting to the bandwidth-bound 1 cycle /
-                // beat for shards with no steady-state history. IEEE
-                // arithmetic on these fixed inputs is deterministic, so
-                // the plan is a pure function of the snapshots.
-                let cost_per_beat: Vec<f64> = loads
+                // beat for shards with no steady-state history, scaled
+                // down by the shard's dispatch weight. IEEE arithmetic on
+                // these fixed inputs is deterministic, so the plan is a
+                // pure function of the profiles.
+                let cost_per_beat: Vec<f64> = profiles
                     .iter()
-                    .map(|l| {
-                        if l.ii_samples > 0 && beats_per_request > 0 {
-                            l.ii_cycles as f64 / (l.ii_samples * beats_per_request) as f64
+                    .map(|p| {
+                        let base = if p.load.ii_samples > 0 && p.beats_per_request > 0 {
+                            p.load.ii_cycles as f64
+                                / (p.load.ii_samples * p.beats_per_request) as f64
                         } else {
                             1.0
-                        }
+                        };
+                        base / f64::from(p.weight)
                     })
                     .collect();
                 let mut queued = vec![0u64; shards];
-                (0..requests)
-                    .map(|_| {
+                request_widths
+                    .iter()
+                    .map(|&width| {
                         let s = (0..shards)
+                            .filter(|&s| compatible(s, width))
                             .min_by(|&a, &b| {
                                 let score_a = queued[a] as f64 * cost_per_beat[a];
                                 let score_b = queued[b] as f64 * cost_per_beat[b];
@@ -125,8 +234,8 @@ impl Dispatcher {
                                     .expect("scores are finite")
                                     .then(a.cmp(&b))
                             })
-                            .expect("non-empty shard set");
-                        queued[s] += beats_per_request;
+                            .expect("admission guarantees a compatible shard");
+                        queued[s] += profiles[s].beats_per_request;
                         s
                     })
                     .collect()
@@ -262,6 +371,113 @@ mod tests {
             let plan_twice = || {
                 let mut d = Dispatcher::new(policy);
                 (d.plan(&a, 9, 4), d.plan(&b, 6, 4))
+            };
+            assert_eq!(plan_twice(), plan_twice());
+        }
+    }
+
+    /// A shared cursor would let width-16 picks skip past shard 1
+    /// forever on alternating traffic; the per-width cursors guarantee
+    /// every compatible shard of a width class gets its turn.
+    #[test]
+    fn round_robin_never_starves_a_shard_under_mixed_widths() {
+        let profiles: Vec<ShardProfile> = [(8usize, 2u64), (8, 2), (16, 4)]
+            .iter()
+            .map(|&(width, beats)| ShardProfile::uniform(ShardLoad::default(), width, beats))
+            .collect();
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        let plan = d.plan_profiles(&profiles, &[8, 16, 8, 16, 8, 16, 8, 16]);
+        assert_eq!(plan, vec![0, 2, 1, 2, 0, 2, 1, 2]);
+    }
+
+    /// Two widths, interleaved requests: each width class must rotate
+    /// round-robin over its own compatible shards only.
+    #[test]
+    fn round_robin_skips_incompatible_shards() {
+        let profiles: Vec<ShardProfile> = [(8usize, 2u64), (16, 4), (8, 2)]
+            .iter()
+            .map(|&(width, beats)| ShardProfile::uniform(ShardLoad::default(), width, beats))
+            .collect();
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        let plan = d.plan_profiles(&profiles, &[8, 16, 8, 8, 16, 8]);
+        assert_eq!(plan, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_queued_respects_widths_and_per_shard_beats() {
+        // Shard 0 (width 8) costs 4 beats/request, shard 1 (width 8)
+        // costs 1: least-queued load leveling sends ~4 requests to shard
+        // 1 per shard-0 request. Shard 2 takes every width-16 request.
+        let mk =
+            |width: usize, beats: u64| ShardProfile::uniform(ShardLoad::default(), width, beats);
+        let profiles = [mk(8, 4), mk(8, 1), mk(16, 2)];
+        let mut d = Dispatcher::new(DispatchPolicy::LeastQueued);
+        let plan = d.plan_profiles(&profiles, &[8, 8, 8, 8, 8, 16, 16]);
+        assert_eq!(plan[5..], [2, 2]);
+        let to_cheap = plan[..5].iter().filter(|&&s| s == 1).count();
+        assert_eq!(to_cheap, 4, "plan {plan:?}");
+    }
+
+    #[test]
+    fn weights_scale_load_in_both_stateful_policies() {
+        // Equal loads and beat costs; shard 1 has weight 3 → it absorbs
+        // ~3× the requests of shard 0 under both stateful policies.
+        for policy in [DispatchPolicy::LeastQueued, DispatchPolicy::LatencyAware] {
+            let mk = |weight: u32| ShardProfile {
+                load: ShardLoad::default(),
+                width: 8,
+                beats_per_request: 2,
+                weight,
+            };
+            let profiles = [mk(1), mk(3)];
+            let mut d = Dispatcher::new(policy);
+            let plan = d.plan_profiles(&profiles, &[8; 8]);
+            let to_heavy = plan.iter().filter(|&&s| s == 1).count();
+            assert_eq!(to_heavy, 6, "{policy:?} plan {plan:?}");
+        }
+    }
+
+    #[test]
+    fn latency_aware_prefers_fewer_beats_per_request() {
+        // Same feature width served by a wide bus (2 beats/datapoint) and
+        // a narrow bus (8 beats/datapoint), no history: the wide shard
+        // absorbs ~4× the requests.
+        let mk = |beats: u64| ShardProfile::uniform(ShardLoad::default(), 8, beats);
+        let profiles = [mk(8), mk(2)];
+        let mut d = Dispatcher::new(DispatchPolicy::LatencyAware);
+        let plan = d.plan_profiles(&profiles, &[8; 10]);
+        let to_wide = plan.iter().filter(|&&s| s == 1).count();
+        assert_eq!(to_wide, 8, "plan {plan:?}");
+    }
+
+    #[test]
+    fn profile_plans_are_deterministic() {
+        let profiles = [
+            ShardProfile {
+                load: ShardLoad {
+                    cycles: 9,
+                    ii_cycles: 40,
+                    ii_samples: 5,
+                },
+                width: 8,
+                beats_per_request: 2,
+                weight: 2,
+            },
+            ShardProfile::uniform(ShardLoad::default(), 16, 4),
+            ShardProfile::uniform(ShardLoad::default(), 8, 8),
+        ];
+        let widths = [8usize, 16, 8, 8, 16, 8, 8];
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastQueued,
+            DispatchPolicy::LatencyAware,
+        ] {
+            let plan_twice = || {
+                let mut d = Dispatcher::new(policy);
+                (
+                    d.plan_profiles(&profiles, &widths),
+                    d.plan_profiles(&profiles, &widths),
+                )
             };
             assert_eq!(plan_twice(), plan_twice());
         }

@@ -26,6 +26,20 @@ pub enum ServeError {
         /// Width of the rejected datapoint.
         got: usize,
     },
+    /// No shard of a heterogeneous pool accepts the submitted datapoint's
+    /// width — the pool serves other feature widths entirely.
+    NoCompatibleShard {
+        /// Width of the rejected datapoint.
+        got: usize,
+        /// Distinct feature widths the pool's shards do accept, ascending.
+        widths: Vec<usize>,
+    },
+    /// A heterogeneous shard was specified with dispatch weight zero — it
+    /// could never be assigned a request.
+    ZeroWeight {
+        /// Index of the offending shard spec.
+        shard: usize,
+    },
     /// A shard's cycle engine failed to drain (a hang on that shard).
     Shard {
         /// Index of the failing shard.
@@ -48,6 +62,17 @@ impl fmt::Display for ServeError {
                     f,
                     "datapoint width {got} does not match the accelerator's {expected} features"
                 )
+            }
+            ServeError::NoCompatibleShard { got, widths } => {
+                let widths: Vec<String> = widths.iter().map(|w| w.to_string()).collect();
+                write!(
+                    f,
+                    "no shard accepts datapoint width {got} (pool serves widths: {})",
+                    widths.join(", ")
+                )
+            }
+            ServeError::ZeroWeight { shard } => {
+                write!(f, "shard spec {shard} has dispatch weight zero")
             }
             ServeError::Shard { shard, error } => {
                 write!(f, "shard {shard} failed: {error}")
@@ -81,6 +106,15 @@ mod tests {
         };
         assert!(e.to_string().contains("784"));
         assert!(e.to_string().contains("10"));
+        let e = ServeError::NoCompatibleShard {
+            got: 12,
+            widths: vec![8, 16],
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("8, 16"));
+        assert!(ServeError::ZeroWeight { shard: 2 }
+            .to_string()
+            .contains("2"));
     }
 
     #[test]

@@ -2,9 +2,16 @@
 //!
 //! The serving layer of the reproduction: where `matador-sim` models *one*
 //! accelerator behind *one* AXI stream, this crate models the deployed
-//! system under load — N replicated engine shards over one shared
-//! compiled design, each behind its own independent AXI stream master,
-//! fed from a bounded request queue by a deterministic dispatcher.
+//! system under load — N engine shards, each behind its own independent
+//! AXI stream master, fed from a bounded request queue by a deterministic
+//! dispatcher. A pool is either **homogeneous** (one compiled design
+//! replicated over every shard) or **heterogeneous** (one [`ShardSpec`] —
+//! design, backend, dispatch weight — per shard, the way a real edge
+//! deployment serves several bespoke generated designs at once):
+//! requests are admitted and routed only to shards whose feature width
+//! matches, and the `LatencyAware` policy scores each shard's own
+//! beats-per-datapoint cost and observed II, so a fast wide-bus shard
+//! absorbs more of a batch than a slow narrow-bus one.
 //!
 //! Three guarantees are load-bearing:
 //!
@@ -13,8 +20,8 @@
 //!    count **and engine backend** ([`EngineBackend::CycleAccurate`] or
 //!    the bit-sliced [`EngineBackend::Turbo`], which also reproduces
 //!    cycle stamps analytically) — sharding and the backend are pure
-//!    throughput knobs. Locked in by `tests/serve_determinism.rs` at the
-//!    workspace root.
+//!    throughput knobs. Locked in by `tests/serve_determinism.rs` and
+//!    `tests/hetero_determinism.rs` at the workspace root.
 //! 2. **Typed backpressure.** The [`RequestQueue`] is bounded; admission
 //!    beyond the depth fails with [`ServeError::QueueFull`] instead of
 //!    unbounded buffering, and [`ShardPool::serve`] demonstrates the
@@ -57,11 +64,13 @@ pub mod pool;
 pub mod queue;
 pub mod report;
 pub mod session;
+pub mod spec;
 
-pub use dispatch::{DispatchPolicy, Dispatcher, ShardLoad};
+pub use dispatch::{DispatchPolicy, Dispatcher, ShardLoad, ShardProfile};
 pub use error::ServeError;
 pub use matador_sim::EngineBackend;
 pub use pool::{Prediction, ServeOptions, ShardPool};
 pub use queue::{Request, RequestQueue, DEFAULT_QUEUE_DEPTH};
 pub use report::{ShardStats, ThroughputReport};
 pub use session::ServeSession;
+pub use spec::ShardSpec;

@@ -1,26 +1,31 @@
-//! The shard pool: N independent cycle-accurate engines over one shared
-//! compiled design, executing batched prediction requests.
+//! The shard pool: N independent engines executing batched prediction
+//! requests — over one shared compiled design (the homogeneous
+//! constructors) or one design *per shard* (the heterogeneous path).
 //!
-//! Each shard owns a full [`SimEngine`] — its own AXI stream master,
-//! HCB register chain and pipeline — exactly as N replicated accelerator
-//! instances on the fabric would each sit behind an independent AXI
-//! stream. The pool adds the processor-side runtime around them: bounded
-//! admission ([`RequestQueue`]), deterministic dispatch ([`Dispatcher`])
+//! Each shard owns a full engine — its own AXI stream master, HCB
+//! register chain and pipeline — exactly as N accelerator instances on
+//! the fabric would each sit behind an independent AXI stream. The pool
+//! adds the processor-side runtime around them: bounded admission
+//! ([`RequestQueue`]), width-aware deterministic dispatch ([`Dispatcher`])
 //! and result reassembly in submission order.
 //!
 //! ## Determinism guarantee
 //!
-//! A request's classification depends only on the compiled design and the
-//! datapoint — never on which shard executed it, the shard count, the
+//! A request's classification depends only on the design of the shard
+//! that executed it and the datapoint — never on the shard count, the
 //! dispatch policy or the worker-thread count. The dispatcher itself is a
-//! pure function of submission order and queued-beat counters, so the
-//! *assignment* is also reproducible run-to-run. `tests/serve_determinism.rs`
-//! locks in bit-identical predictions and class sums across shard counts.
+//! pure function of submission order and per-shard load profiles, so the
+//! *assignment* is also reproducible run-to-run. On a heterogeneous pool
+//! every design sharing a feature width must implement the same model for
+//! predictions to stay shard-independent; `tests/serve_determinism.rs`
+//! and `tests/hetero_determinism.rs` lock in bit-identical predictions
+//! and class sums across shard counts, policies, threads and backends.
 
-use crate::dispatch::{DispatchPolicy, Dispatcher, ShardLoad};
+use crate::dispatch::{DispatchPolicy, Dispatcher, ShardLoad, ShardProfile};
 use crate::error::ServeError;
 use crate::queue::{RequestQueue, DEFAULT_QUEUE_DEPTH};
 use crate::report::{ShardStats, ThroughputReport};
+use crate::spec::ShardSpec;
 use matador_sim::{
     CompiledAccelerator, EngineBackend, SimEngine, SimError, SimResult, TurboEngine, TurboProgram,
 };
@@ -30,7 +35,8 @@ use tsetlin::bits::BitVec;
 /// Configuration of a serving runtime instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeOptions {
-    /// Engine shards in the pool (≥ 1).
+    /// Engine shards in the pool (≥ 1). Ignored on the heterogeneous
+    /// path, where the [`ShardSpec`] list sets the shard count.
     pub shards: usize,
     /// Request→shard assignment policy.
     pub policy: DispatchPolicy,
@@ -38,6 +44,8 @@ pub struct ServeOptions {
     /// [`ServeError::QueueFull`].
     pub queue_depth: usize,
     /// Whether shard engines model the two-stage (pipelined) class sum.
+    /// Ignored on the heterogeneous path, where each [`ShardSpec`]
+    /// carries its own design's choice.
     pub pipelined_sum: bool,
     /// Whether predictions carry the class sums behind each winner.
     pub capture_class_sums: bool,
@@ -47,7 +55,8 @@ pub struct ServeOptions {
     /// Execution engine behind each shard. [`EngineBackend::Turbo`]
     /// produces bit-identical predictions, class sums and cycle stamps
     /// via bit-sliced evaluation and analytic timing — the serving fast
-    /// path.
+    /// path. Ignored on the heterogeneous path, where each [`ShardSpec`]
+    /// picks its own backend.
     pub backend: EngineBackend,
 }
 
@@ -85,6 +94,18 @@ impl ServeOptions {
         if self.shards == 0 {
             return Err(ServeError::ZeroShards);
         }
+        self.validate_queue_depth()
+    }
+
+    /// The spec-independent half of [`ServeOptions::validate`]: the
+    /// heterogeneous constructors check shard count through
+    /// [`ShardSpec::validate_all`] (the `shards` field is superseded by
+    /// the spec list) but share this queue-depth check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ZeroQueueDepth`].
+    pub fn validate_queue_depth(&self) -> Result<(), ServeError> {
         if self.queue_depth == 0 {
             return Err(ServeError::ZeroQueueDepth);
         }
@@ -115,7 +136,7 @@ pub struct Prediction {
     pub class_sums: Option<Vec<i32>>,
 }
 
-/// A pool of engine shards serving batched requests over one design.
+/// A pool of engine shards serving batched requests.
 ///
 /// # Lifetime and memory
 ///
@@ -152,12 +173,18 @@ pub struct Prediction {
 /// ```
 #[derive(Debug)]
 pub struct ShardPool<'a> {
-    accel: &'a CompiledAccelerator,
+    /// One compiled design per shard (all identical on the homogeneous
+    /// path).
+    designs: Vec<&'a CompiledAccelerator>,
+    /// Per-shard static dispatch weights (all 1 on the homogeneous path).
+    weights: Vec<u32>,
     engines: Vec<PoolEngine<'a>>,
     dispatcher: Dispatcher,
     queue: RequestQueue,
     capture_sums: bool,
     threads: Option<usize>,
+    /// Distinct feature widths the pool admits, ascending.
+    widths: Vec<usize>,
     /// Per-request latency samples, pool lifetime.
     latencies: Vec<u64>,
 }
@@ -258,6 +285,7 @@ impl PoolEngine<'_> {
 /// One shard's slice of a flush, mutated on a worker thread.
 struct ShardRun<'e, 'a> {
     engine: &'e mut PoolEngine<'a>,
+    beats_per_request: u64,
     inputs: Vec<BitVec>,
     outcome: Result<ShardOutput, SimError>,
 }
@@ -272,7 +300,8 @@ impl<'a> ShardPool<'a> {
         Self::with_options(accel, ServeOptions::new(shards))
     }
 
-    /// Creates a pool from explicit [`ServeOptions`].
+    /// Creates a homogeneous pool — every shard runs `accel` — from
+    /// explicit [`ServeOptions`].
     ///
     /// # Errors
     ///
@@ -291,35 +320,123 @@ impl<'a> ShardPool<'a> {
             EngineBackend::Turbo => Some(TurboProgram::compile(accel)),
         };
         let engines = (0..options.shards)
-            .map(|_| match &program {
-                None => {
-                    let mut engine = SimEngine::new(accel);
-                    engine.set_pipelined_sum(options.pipelined_sum);
-                    engine.set_capture_class_sums(options.capture_class_sums);
-                    PoolEngine::Cycle(Box::new(engine))
-                }
-                Some(program) => {
-                    let mut engine = TurboEngine::from_program(program.clone());
-                    engine.set_pipelined_sum(options.pipelined_sum);
-                    engine.set_capture_class_sums(options.capture_class_sums);
-                    PoolEngine::Turbo(Box::new(engine))
-                }
+            .map(|_| {
+                Self::build_engine(
+                    accel,
+                    program.as_ref(),
+                    options.pipelined_sum,
+                    options.capture_class_sums,
+                )
             })
             .collect();
         Ok(ShardPool {
-            accel,
+            designs: vec![accel; options.shards],
+            weights: vec![1; options.shards],
             engines,
             dispatcher: Dispatcher::new(options.policy),
             queue,
             capture_sums: options.capture_class_sums,
             threads: options.threads,
+            widths: vec![accel.shape().features],
             latencies: Vec::new(),
         })
+    }
+
+    /// Creates a heterogeneous pool: one engine per [`ShardSpec`], each
+    /// owning its spec's design, backend, pipelining and dispatch weight.
+    /// The pool admits exactly the feature widths the specs cover;
+    /// requests are routed only to shards whose width matches. `options`
+    /// contributes the dispatch policy, queue depth, class-sum capture
+    /// and worker-thread count — its `shards`, `backend` and
+    /// `pipelined_sum` fields are superseded by the specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ZeroShards`] for an empty spec list,
+    /// [`ServeError::ZeroWeight`] for a zero-weight spec and
+    /// [`ServeError::ZeroQueueDepth`] for a zero queue depth.
+    pub fn heterogeneous(
+        specs: &'a [ShardSpec],
+        options: ServeOptions,
+    ) -> Result<Self, ServeError> {
+        ShardSpec::validate_all(specs)?;
+        let queue = RequestQueue::new(options.queue_depth)?;
+        // Each turbo spec compiles its own instruction tape: every spec
+        // owns its design, so there is no shared-design identity to
+        // dedupe on. Replicating one design across many turbo shards is
+        // the homogeneous path's job ([`ShardPool::with_options`]
+        // compiles once) — the heterogeneous path optimizes for specs
+        // that genuinely differ.
+        let engines = specs
+            .iter()
+            .map(|spec| {
+                let program = match spec.backend {
+                    EngineBackend::CycleAccurate => None,
+                    EngineBackend::Turbo => Some(TurboProgram::compile(&spec.design)),
+                };
+                Self::build_engine(
+                    &spec.design,
+                    program.as_ref(),
+                    spec.pipelined_sum,
+                    options.capture_class_sums,
+                )
+            })
+            .collect();
+        let mut widths: Vec<usize> = specs.iter().map(ShardSpec::width).collect();
+        widths.sort_unstable();
+        widths.dedup();
+        Ok(ShardPool {
+            designs: specs.iter().map(|s| &s.design).collect(),
+            weights: specs.iter().map(|s| s.weight).collect(),
+            engines,
+            dispatcher: Dispatcher::new(options.policy),
+            queue,
+            capture_sums: options.capture_class_sums,
+            threads: options.threads,
+            widths,
+            latencies: Vec::new(),
+        })
+    }
+
+    fn build_engine(
+        accel: &'a CompiledAccelerator,
+        program: Option<&TurboProgram>,
+        pipelined_sum: bool,
+        capture_class_sums: bool,
+    ) -> PoolEngine<'a> {
+        match program {
+            None => {
+                let mut engine = SimEngine::new(accel);
+                engine.set_pipelined_sum(pipelined_sum);
+                engine.set_capture_class_sums(capture_class_sums);
+                PoolEngine::Cycle(Box::new(engine))
+            }
+            Some(program) => {
+                let mut engine = TurboEngine::from_program(program.clone());
+                engine.set_pipelined_sum(pipelined_sum);
+                engine.set_capture_class_sums(capture_class_sums);
+                PoolEngine::Turbo(Box::new(engine))
+            }
+        }
     }
 
     /// Shard count.
     pub fn shards(&self) -> usize {
         self.engines.len()
+    }
+
+    /// The compiled design shard `shard` executes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn design(&self, shard: usize) -> &'a CompiledAccelerator {
+        self.designs[shard]
+    }
+
+    /// Distinct feature widths the pool admits, ascending.
+    pub fn widths(&self) -> &[usize] {
+        &self.widths
     }
 
     /// The active dispatch policy.
@@ -337,26 +454,40 @@ impl<'a> ShardPool<'a> {
         &self.latencies
     }
 
+    /// Checks a datapoint width against the pool's admitted widths.
+    fn check_width(&self, got: usize) -> Result<(), ServeError> {
+        if self.widths.binary_search(&got).is_ok() {
+            return Ok(());
+        }
+        // A single-width pool keeps the precise single-design diagnostic;
+        // a mixed pool reports the whole admission set.
+        if let [expected] = self.widths[..] {
+            Err(ServeError::WidthMismatch { expected, got })
+        } else {
+            Err(ServeError::NoCompatibleShard {
+                got,
+                widths: self.widths.clone(),
+            })
+        }
+    }
+
     /// Admits one request into the bounded queue, returning its id.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::WidthMismatch`] for a datapoint that does not
-    /// match the compiled design, and [`ServeError::QueueFull`] when the
-    /// depth bound is reached (typed backpressure — flush and retry).
+    /// match a single-width pool's design,
+    /// [`ServeError::NoCompatibleShard`] when no shard of a mixed pool
+    /// accepts the width, and [`ServeError::QueueFull`] when the depth
+    /// bound is reached (typed backpressure — flush and retry).
     pub fn submit(&mut self, input: &BitVec) -> Result<u64, ServeError> {
-        let expected = self.accel.shape().features;
-        if input.len() != expected {
-            return Err(ServeError::WidthMismatch {
-                expected,
-                got: input.len(),
-            });
-        }
+        self.check_width(input.len())?;
         self.queue.push(input.clone())
     }
 
-    /// Dispatches every pending request over the shard pool, runs the
-    /// shard engines (in parallel on up to `MATADOR_THREADS` workers) and
+    /// Dispatches every pending request over the shard pool (requests go
+    /// only to shards whose design accepts their width), runs the shard
+    /// engines (in parallel on up to `MATADOR_THREADS` workers) and
     /// returns predictions in submission order.
     ///
     /// # Errors
@@ -372,13 +503,26 @@ impl<'a> ShardPool<'a> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
-        let beats = self.accel.shape().num_packets() as u64;
-        // Load snapshots for the stateful policies: cumulative cycles
-        // (every flush drains its engines completely, so cumulative
-        // cycles are exactly what distinguishes shards *across* flushes)
-        // and observed-II statistics for latency-aware planning.
-        let loads: Vec<ShardLoad> = self.engines.iter().map(|e| e.load()).collect();
-        let assignment = self.dispatcher.plan(&loads, requests.len(), beats);
+        // Profile snapshots for the width-aware planner: cumulative
+        // cycles (every flush drains its engines completely, so
+        // cumulative cycles are exactly what distinguishes shards
+        // *across* flushes), observed-II statistics for latency-aware
+        // planning, and each shard's admitted width and per-datapoint
+        // beat cost.
+        let profiles: Vec<ShardProfile> = self
+            .engines
+            .iter()
+            .zip(&self.designs)
+            .zip(&self.weights)
+            .map(|((engine, design), &weight)| ShardProfile {
+                load: engine.load(),
+                width: design.shape().features,
+                beats_per_request: design.shape().num_packets() as u64,
+                weight,
+            })
+            .collect();
+        let request_widths: Vec<usize> = requests.iter().map(|r| r.input.len()).collect();
+        let assignment = self.dispatcher.plan_profiles(&profiles, &request_widths);
 
         // Per-shard work lists; order within a shard = submission order.
         let mut work: Vec<Vec<usize>> = vec![Vec::new(); self.engines.len()];
@@ -395,9 +539,11 @@ impl<'a> ShardPool<'a> {
         let mut runs: Vec<ShardRun<'_, 'a>> = self
             .engines
             .iter_mut()
+            .zip(&profiles)
             .zip(&work)
-            .map(|(engine, indices)| ShardRun {
+            .map(|((engine, profile), indices)| ShardRun {
                 engine,
+                beats_per_request: profile.beats_per_request,
                 inputs: indices
                     .iter()
                     .map(|&ri| {
@@ -419,7 +565,7 @@ impl<'a> ShardPool<'a> {
             if run.inputs.is_empty() {
                 return;
             }
-            run.outcome = run.engine.run(&run.inputs, beats);
+            run.outcome = run.engine.run(&run.inputs, run.beats_per_request);
         });
 
         // Reassemble into submission order, surfacing the lowest failing
@@ -460,17 +606,14 @@ impl<'a> ShardPool<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::WidthMismatch`] — checked for the *whole*
-    /// batch up front, before anything is flushed, so a malformed input
-    /// cannot strand already-classified predictions — and propagates
+    /// Returns [`ServeError::WidthMismatch`] /
+    /// [`ServeError::NoCompatibleShard`] — checked for the *whole* batch
+    /// up front, before anything is flushed, so a malformed input cannot
+    /// strand already-classified predictions — and propagates
     /// [`ServeError::Shard`] from flushing.
     pub fn serve(&mut self, inputs: &[BitVec]) -> Result<Vec<Prediction>, ServeError> {
-        let expected = self.accel.shape().features;
-        if let Some(bad) = inputs.iter().find(|x| x.len() != expected) {
-            return Err(ServeError::WidthMismatch {
-                expected,
-                got: bad.len(),
-            });
+        for input in inputs {
+            self.check_width(input.len())?;
         }
         let mut out = Vec::with_capacity(inputs.len());
         for input in inputs {
@@ -525,6 +668,51 @@ mod tests {
             Cube::from_lits([Lit::pos(0)]),
             Cube::one(),
         ];
+        CompiledAccelerator::from_window_cubes(shape, &[w0, w1], Sharing::Enabled)
+    }
+
+    /// The same boolean function as [`accel`], recompiled on a 2-bit bus:
+    /// 4 packets per datapoint instead of 2. Predictions agree with
+    /// `accel()` on every input; only the stream geometry differs.
+    fn narrow_accel() -> CompiledAccelerator {
+        let shape = AccelShape {
+            bus_width: 2,
+            features: 8,
+            classes: 2,
+            clauses_per_class: 2,
+        };
+        let w0 = vec![
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::from_lits([Lit::pos(1)]),
+            Cube::one(),
+            Cube::one(),
+        ];
+        let w1 = vec![
+            Cube::one(),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::from_lits([Lit::pos(1)]),
+        ];
+        let w2 = vec![
+            Cube::one(),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::one(),
+        ];
+        let w3 = vec![Cube::one(); 4];
+        CompiledAccelerator::from_window_cubes(shape, &[w0, w1, w2, w3], Sharing::Enabled)
+    }
+
+    /// A 6-feature design — a different width class entirely.
+    fn six_feature_accel() -> CompiledAccelerator {
+        let shape = AccelShape {
+            bus_width: 3,
+            features: 6,
+            classes: 2,
+            clauses_per_class: 1,
+        };
+        let w0 = vec![Cube::from_lits([Lit::pos(0)]), Cube::one()];
+        let w1 = vec![Cube::one(), Cube::from_lits([Lit::pos(0)])];
         CompiledAccelerator::from_window_cubes(shape, &[w0, w1], Sharing::Enabled)
     }
 
@@ -843,5 +1031,177 @@ mod tests {
         // schedules the batch itself evenly (4/4 → 11 cycles).
         assert_eq!(lq_makespan, 13);
         assert_eq!(la_makespan, 11);
+    }
+
+    // --- heterogeneous pools ---
+
+    fn hetero_specs() -> Vec<ShardSpec> {
+        vec![ShardSpec::new(accel()), ShardSpec::new(narrow_accel())]
+    }
+
+    #[test]
+    fn empty_spec_list_is_a_typed_error() {
+        let specs: Vec<ShardSpec> = Vec::new();
+        assert!(matches!(
+            ShardPool::heterogeneous(&specs, ServeOptions::new(1)).unwrap_err(),
+            ServeError::ZeroShards
+        ));
+    }
+
+    #[test]
+    fn zero_weight_spec_is_a_typed_error() {
+        let specs = vec![ShardSpec::new(accel()), ShardSpec::new(accel()).weight(0)];
+        assert_eq!(
+            ShardPool::heterogeneous(&specs, ServeOptions::new(1)).unwrap_err(),
+            ServeError::ZeroWeight { shard: 1 }
+        );
+    }
+
+    #[test]
+    fn mixed_bus_widths_agree_with_the_reference_on_every_request() {
+        // Same model compiled on a 4-bit and a 2-bit bus behind one pool:
+        // identical predictions regardless of which shard serves which
+        // request, under every policy.
+        let specs = hetero_specs();
+        let xs = inputs(13);
+        let expected: Vec<usize> = xs
+            .iter()
+            .map(|x| tsetlin::tm::argmax(&specs[0].design.reference_class_sums(x)))
+            .collect();
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastQueued,
+            DispatchPolicy::LatencyAware,
+        ] {
+            let mut options = ServeOptions::new(1);
+            options.policy = policy;
+            let mut pool = ShardPool::heterogeneous(&specs, options).expect("valid");
+            let preds = pool.serve(&xs).expect("drains");
+            let winners: Vec<usize> = preds.iter().map(|p| p.winner).collect();
+            assert_eq!(winners, expected, "{policy:?}");
+            // Both shards actually participated.
+            assert!(preds.iter().any(|p| p.shard == 0), "{policy:?}");
+            assert!(preds.iter().any(|p| p.shard == 1), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn no_compatible_shard_is_typed_not_a_panic() {
+        let specs = vec![ShardSpec::new(accel()), ShardSpec::new(six_feature_accel())];
+        let mut pool = ShardPool::heterogeneous(&specs, ServeOptions::new(1)).expect("valid");
+        assert_eq!(pool.widths(), &[6, 8]);
+        let err = pool.submit(&BitVec::zeros(5)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::NoCompatibleShard {
+                got: 5,
+                widths: vec![6, 8],
+            }
+        );
+        // The batched entry point rejects atomically too.
+        let err = pool
+            .serve(&[BitVec::zeros(8), BitVec::zeros(5)])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::NoCompatibleShard { got: 5, .. }));
+        assert_eq!(pool.report().datapoints, 0);
+    }
+
+    #[test]
+    fn mixed_widths_route_only_to_compatible_shards() {
+        let specs = vec![ShardSpec::new(accel()), ShardSpec::new(six_feature_accel())];
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastQueued,
+            DispatchPolicy::LatencyAware,
+        ] {
+            let mut options = ServeOptions::new(1);
+            options.policy = policy;
+            let mut pool = ShardPool::heterogeneous(&specs, options).expect("valid");
+            let batch = vec![
+                BitVec::from_indices(8, &[0]),
+                BitVec::from_indices(6, &[0]),
+                BitVec::from_indices(8, &[4]),
+                BitVec::from_indices(6, &[3]),
+            ];
+            let preds = pool.serve(&batch).expect("drains");
+            let shards: Vec<usize> = preds.iter().map(|p| p.shard).collect();
+            // Width 8 → shard 0 only; width 6 → shard 1 only.
+            assert_eq!(shards, vec![0, 1, 0, 1], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn latency_aware_sends_more_to_the_wide_bus_shard() {
+        // Shard 0: 2 beats/datapoint (4-bit bus). Shard 1: 4
+        // beats/datapoint (2-bit bus). LatencyAware levels queued beats,
+        // so the wide shard absorbs ~2× the requests; RoundRobin
+        // alternates blindly and drains slower.
+        let specs = hetero_specs();
+        let makespan = |policy: DispatchPolicy| {
+            let mut options = ServeOptions::new(1);
+            options.policy = policy;
+            let mut pool = ShardPool::heterogeneous(&specs, options).expect("valid");
+            let preds = pool.serve(&inputs(12)).expect("drains");
+            let wide = preds.iter().filter(|p| p.shard == 0).count();
+            (wide, pool.report().pool_cycles)
+        };
+        let (rr_wide, rr_cycles) = makespan(DispatchPolicy::RoundRobin);
+        let (la_wide, la_cycles) = makespan(DispatchPolicy::LatencyAware);
+        assert_eq!(rr_wide, 6);
+        assert!(la_wide > rr_wide, "LatencyAware wide-shard share {la_wide}");
+        assert!(
+            la_cycles < rr_cycles,
+            "LatencyAware {la_cycles} !< RoundRobin {rr_cycles}"
+        );
+    }
+
+    #[test]
+    fn weights_bias_dispatch_on_equal_designs() {
+        let specs = vec![ShardSpec::new(accel()), ShardSpec::new(accel()).weight(3)];
+        let mut options = ServeOptions::new(1);
+        options.policy = DispatchPolicy::LeastQueued;
+        let mut pool = ShardPool::heterogeneous(&specs, options).expect("valid");
+        let preds = pool.serve(&inputs(8)).expect("drains");
+        let to_heavy = preds.iter().filter(|p| p.shard == 1).count();
+        assert_eq!(to_heavy, 6, "weight-3 shard absorbs 3/4 of the batch");
+    }
+
+    #[test]
+    fn heterogeneous_per_shard_backends_are_bit_identical() {
+        // One cycle-accurate shard and one turbo shard of the *same*
+        // design in one pool: every prediction, class sum, latency and
+        // report entry matches a fully cycle-accurate pool.
+        let xs = inputs(17);
+        let run = |backends: [EngineBackend; 2]| {
+            let specs = vec![
+                ShardSpec::new(accel()).backend(backends[0]),
+                ShardSpec::new(accel()).backend(backends[1]),
+            ];
+            let mut options = ServeOptions::new(1);
+            options.capture_class_sums = true;
+            let mut pool = ShardPool::heterogeneous(&specs, options).expect("valid");
+            let preds = pool.serve(&xs).expect("drains");
+            (preds, pool.report())
+        };
+        let all_cycle = run([EngineBackend::CycleAccurate, EngineBackend::CycleAccurate]);
+        let mixed = run([EngineBackend::CycleAccurate, EngineBackend::Turbo]);
+        let all_turbo = run([EngineBackend::Turbo, EngineBackend::Turbo]);
+        assert_eq!(mixed, all_cycle);
+        assert_eq!(all_turbo, all_cycle);
+    }
+
+    #[test]
+    fn heterogeneous_replicated_design_matches_homogeneous_pool() {
+        // Two specs replicating one design == the homogeneous 2-shard
+        // pool, observation for observation.
+        let a = accel();
+        let xs = inputs(9);
+        let mut homo = ShardPool::new(&a, 2).expect("valid");
+        let homo_preds = homo.serve(&xs).expect("drains");
+        let specs = vec![ShardSpec::new(a.clone()), ShardSpec::new(a.clone())];
+        let mut hetero = ShardPool::heterogeneous(&specs, ServeOptions::new(2)).expect("valid");
+        let hetero_preds = hetero.serve(&xs).expect("drains");
+        assert_eq!(hetero_preds, homo_preds);
+        assert_eq!(hetero.report(), homo.report());
     }
 }

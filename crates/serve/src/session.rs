@@ -1,24 +1,40 @@
 //! An owning serving session: the handle `MatadorFlow` hands back.
 //!
-//! [`crate::ShardPool`] borrows its [`CompiledAccelerator`] (engines hold
-//! references into the design), which is the right shape for drivers that
-//! manage the design's lifetime themselves. A [`ServeSession`] instead
-//! *owns* the compiled design and aggregates statistics across batches:
-//! each [`ServeSession::serve`] call runs a fresh pool — engines start
+//! [`crate::ShardPool`] borrows its designs (engines hold references into
+//! them), which is the right shape for drivers that manage design
+//! lifetimes themselves. A [`ServeSession`] instead *owns* the compiled
+//! designs and aggregates statistics across batches: each
+//! [`ServeSession::serve`] call runs a fresh pool — engines start
 //! post-reset, as a batch streamed to the board would — and folds the
 //! batch's per-shard stream stats and latency samples into the session's
 //! cumulative [`ThroughputReport`].
+//!
+//! A session is either **homogeneous** ([`ServeSession::new`]: one design
+//! replicated over `options.shards` engines) or **heterogeneous**
+//! ([`ServeSession::heterogeneous`]: one [`ShardSpec`] — design, backend,
+//! weight — per shard, width-aware admission and dispatch).
 
 use crate::error::ServeError;
 use crate::pool::{Prediction, ServeOptions, ShardPool};
 use crate::report::{ShardStats, ThroughputReport};
+use crate::spec::ShardSpec;
 use matador_sim::CompiledAccelerator;
 use tsetlin::bits::BitVec;
 
-/// An owning, multi-batch serving runtime over one compiled design.
+/// The designs behind a session's shards.
+#[derive(Debug)]
+enum SessionShards {
+    /// One design replicated over every shard.
+    Shared(CompiledAccelerator),
+    /// One spec (design, backend, weight) per shard.
+    PerShard(Vec<ShardSpec>),
+}
+
+/// An owning, multi-batch serving runtime over one or more compiled
+/// designs.
 #[derive(Debug)]
 pub struct ServeSession {
-    accel: CompiledAccelerator,
+    shards: SessionShards,
     options: ServeOptions,
     /// Cumulative per-shard statistics across batches.
     stats: Vec<ShardStats>,
@@ -30,7 +46,8 @@ pub struct ServeSession {
 }
 
 impl ServeSession {
-    /// Creates a session serving `accel` with the given options.
+    /// Creates a homogeneous session serving `accel` with the given
+    /// options.
     ///
     /// # Errors
     ///
@@ -40,7 +57,7 @@ impl ServeSession {
         options.validate()?;
         let stats = (0..options.shards).map(ShardStats::idle).collect();
         Ok(ServeSession {
-            accel,
+            shards: SessionShards::Shared(accel),
             options,
             stats,
             latencies: Vec::new(),
@@ -48,9 +65,47 @@ impl ServeSession {
         })
     }
 
-    /// The compiled design being served.
-    pub fn accel(&self) -> &CompiledAccelerator {
-        &self.accel
+    /// Creates a heterogeneous session: one shard per [`ShardSpec`], each
+    /// owning its design, backend and dispatch weight. `options`
+    /// contributes the dispatch policy, queue depth, class-sum capture
+    /// and worker-thread count; its `backend` and `pipelined_sum` fields
+    /// are superseded by the specs (see [`ShardPool::heterogeneous`]) and
+    /// its `shards` field is normalized to the spec count, so
+    /// [`ServeSession::options`] never contradicts the actual pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ZeroShards`] for an empty spec list,
+    /// [`ServeError::ZeroWeight`] for a zero-weight spec and
+    /// [`ServeError::ZeroQueueDepth`] for a zero queue depth.
+    pub fn heterogeneous(
+        specs: Vec<ShardSpec>,
+        mut options: ServeOptions,
+    ) -> Result<Self, ServeError> {
+        ShardSpec::validate_all(&specs)?;
+        options.validate_queue_depth()?;
+        options.shards = specs.len();
+        let stats = (0..specs.len()).map(ShardStats::idle).collect();
+        Ok(ServeSession {
+            shards: SessionShards::PerShard(specs),
+            options,
+            stats,
+            latencies: Vec::new(),
+            next_request_id: 0,
+        })
+    }
+
+    /// The compiled designs being served, one per shard.
+    pub fn designs(&self) -> Vec<&CompiledAccelerator> {
+        match &self.shards {
+            SessionShards::Shared(accel) => vec![accel; self.options.shards],
+            SessionShards::PerShard(specs) => specs.iter().map(|s| &s.design).collect(),
+        }
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.stats.len()
     }
 
     /// The session's serving options.
@@ -66,7 +121,10 @@ impl ServeSession {
     ///
     /// Propagates every [`ServeError`] the underlying pool can produce.
     pub fn serve(&mut self, inputs: &[BitVec]) -> Result<Vec<Prediction>, ServeError> {
-        let mut pool = ShardPool::with_options(&self.accel, self.options)?;
+        let mut pool = match &self.shards {
+            SessionShards::Shared(accel) => ShardPool::with_options(accel, self.options)?,
+            SessionShards::PerShard(specs) => ShardPool::heterogeneous(specs, self.options)?,
+        };
         let mut predictions = pool.serve(inputs)?;
         // Each batch's pool numbers requests from 0; rebase onto the
         // session counter so ids never collide across batches.
@@ -117,6 +175,19 @@ mod tests {
         CompiledAccelerator::from_window_cubes(shape, &[w0, w1], Sharing::Enabled)
     }
 
+    /// A 6-feature design for mixed-width sessions.
+    fn six_feature_accel() -> CompiledAccelerator {
+        let shape = AccelShape {
+            bus_width: 3,
+            features: 6,
+            classes: 2,
+            clauses_per_class: 1,
+        };
+        let w0 = vec![Cube::from_lits([Lit::pos(0)]), Cube::one()];
+        let w1 = vec![Cube::one(), Cube::from_lits([Lit::pos(0)])];
+        CompiledAccelerator::from_window_cubes(shape, &[w0, w1], Sharing::Enabled)
+    }
+
     #[test]
     fn session_accumulates_across_batches() {
         let mut session = ServeSession::new(accel(), ServeOptions::new(2)).expect("valid");
@@ -158,5 +229,71 @@ mod tests {
         let mut pool = ShardPool::with_options(&a, ServeOptions::new(3)).expect("valid");
         let from_pool = pool.serve(&batch).expect("drains");
         assert_eq!(from_session, from_pool);
+    }
+
+    #[test]
+    fn heterogeneous_session_serves_mixed_widths_across_batches() {
+        let specs = vec![ShardSpec::new(accel()), ShardSpec::new(six_feature_accel())];
+        let mut session = ServeSession::heterogeneous(specs, ServeOptions::new(1)).expect("valid");
+        assert_eq!(session.shards(), 2);
+        // The options are normalized to the spec count, so the accessor
+        // never contradicts the actual pool.
+        assert_eq!(session.options().shards, 2);
+        assert_eq!(session.designs().len(), 2);
+        let batch = vec![
+            BitVec::from_indices(8, &[0]),
+            BitVec::from_indices(6, &[0]),
+            BitVec::from_indices(8, &[4]),
+        ];
+        let first = session.serve(&batch).expect("drains");
+        let second = session.serve(&batch).expect("drains");
+        // Monotonic ids across batches, width-aware routing within each.
+        let ids: Vec<u64> = first.iter().chain(&second).map(|p| p.request).collect();
+        assert_eq!(ids, (0..6).collect::<Vec<u64>>());
+        for preds in [&first, &second] {
+            assert_eq!(
+                preds.iter().map(|p| p.shard).collect::<Vec<_>>(),
+                vec![0, 1, 0]
+            );
+        }
+        let report = session.report();
+        assert_eq!(report.datapoints, 6);
+        // Shard 0: 2 datapoints × 2 packets × 2 batches; shard 1: 1 × 2 × 2.
+        assert_eq!(report.shards[0].transfers, 8);
+        assert_eq!(report.shards[1].transfers, 4);
+    }
+
+    #[test]
+    fn heterogeneous_session_rejects_degenerate_specs() {
+        assert!(matches!(
+            ServeSession::heterogeneous(Vec::new(), ServeOptions::new(1)).unwrap_err(),
+            ServeError::ZeroShards
+        ));
+        let specs = vec![ShardSpec::new(accel()).weight(0)];
+        assert_eq!(
+            ServeSession::heterogeneous(specs, ServeOptions::new(1)).unwrap_err(),
+            ServeError::ZeroWeight { shard: 0 }
+        );
+        let specs = vec![ShardSpec::new(accel())];
+        let mut opts = ServeOptions::new(1);
+        opts.queue_depth = 0;
+        assert!(matches!(
+            ServeSession::heterogeneous(specs, opts).unwrap_err(),
+            ServeError::ZeroQueueDepth
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_session_rejects_unservable_widths() {
+        let specs = vec![ShardSpec::new(accel()), ShardSpec::new(six_feature_accel())];
+        let mut session = ServeSession::heterogeneous(specs, ServeOptions::new(1)).expect("valid");
+        let err = session.serve(&[BitVec::zeros(7)]).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::NoCompatibleShard {
+                got: 7,
+                widths: vec![6, 8],
+            }
+        );
     }
 }

@@ -1,0 +1,172 @@
+//! Per-shard design specification for heterogeneous pools.
+//!
+//! MATADOR's premise is that every model compiles to a bespoke
+//! accelerator whose bus width and II the design-space wizard picks per
+//! workload — so a realistic edge deployment serves *several different*
+//! generated designs at once. A [`ShardSpec`] describes one shard of such
+//! a deployment: the compiled design it runs, the execution backend
+//! simulating it, and a static dispatch weight. A `Vec<ShardSpec>` stands
+//! up a mixed pool via [`crate::ShardPool::heterogeneous`] or an owning
+//! [`crate::ServeSession::heterogeneous`].
+
+use crate::error::ServeError;
+use matador_sim::{CompiledAccelerator, EngineBackend};
+
+/// One shard of a heterogeneous pool: its own compiled design, engine
+/// backend and dispatch weight.
+///
+/// # Examples
+///
+/// ```
+/// use matador_logic::cube::{Cube, Lit};
+/// use matador_logic::dag::Sharing;
+/// use matador_serve::ShardSpec;
+/// use matador_sim::{AccelShape, CompiledAccelerator, EngineBackend};
+///
+/// let shape = AccelShape { bus_width: 4, features: 4, classes: 2, clauses_per_class: 2 };
+/// let cubes = vec![vec![
+///     Cube::from_lits([Lit::pos(0)]),
+///     Cube::one(),
+///     Cube::from_lits([Lit::pos(1)]),
+///     Cube::one(),
+/// ]];
+/// let accel = CompiledAccelerator::from_window_cubes(shape, &cubes, Sharing::Enabled);
+/// let spec = ShardSpec::new(accel).backend(EngineBackend::Turbo).weight(2);
+/// assert_eq!(spec.width(), 4);
+/// assert_eq!(spec.beats_per_request(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// The compiled design this shard executes.
+    pub design: CompiledAccelerator,
+    /// Execution engine behind this shard ([`EngineBackend::Turbo`] is
+    /// bit-identical to [`EngineBackend::CycleAccurate`], only faster on
+    /// the host).
+    pub backend: EngineBackend,
+    /// Static dispatch weight (≥ 1): the stateful policies count this
+    /// shard's load as `1/weight` of nominal, so a weight-2 shard absorbs
+    /// roughly twice the requests of a weight-1 peer with equal load.
+    pub weight: u32,
+    /// Whether the shard's engine models the two-stage (pipelined) class
+    /// sum — per design, since pipelining is a generation-time choice.
+    pub pipelined_sum: bool,
+}
+
+impl ShardSpec {
+    /// A weight-1, cycle-accurate, non-pipelined spec for `design`.
+    pub fn new(design: CompiledAccelerator) -> Self {
+        ShardSpec {
+            design,
+            backend: EngineBackend::CycleAccurate,
+            weight: 1,
+            pipelined_sum: false,
+        }
+    }
+
+    /// Sets the execution backend.
+    #[must_use]
+    pub fn backend(mut self, backend: EngineBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the static dispatch weight.
+    #[must_use]
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets whether the shard models the pipelined class sum.
+    #[must_use]
+    pub fn pipelined_sum(mut self, pipelined: bool) -> Self {
+        self.pipelined_sum = pipelined;
+        self
+    }
+
+    /// Feature width (booleanized input bits) this shard accepts.
+    pub fn width(&self) -> usize {
+        self.design.shape().features
+    }
+
+    /// Bus beats one datapoint costs on this shard.
+    pub fn beats_per_request(&self) -> u64 {
+        self.design.shape().num_packets() as u64
+    }
+
+    /// Validates a whole spec list — the single source of truth for both
+    /// [`crate::ShardPool::heterogeneous`] and
+    /// [`crate::ServeSession::heterogeneous`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ZeroShards`] for an empty list and
+    /// [`ServeError::ZeroWeight`] for a spec with dispatch weight zero.
+    pub fn validate_all(specs: &[ShardSpec]) -> Result<(), ServeError> {
+        if specs.is_empty() {
+            return Err(ServeError::ZeroShards);
+        }
+        if let Some(shard) = specs.iter().position(|s| s.weight == 0) {
+            return Err(ServeError::ZeroWeight { shard });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matador_logic::cube::{Cube, Lit};
+    use matador_logic::dag::Sharing;
+    use matador_sim::AccelShape;
+
+    fn accel(bus_width: usize, features: usize) -> CompiledAccelerator {
+        let shape = AccelShape {
+            bus_width,
+            features,
+            classes: 2,
+            clauses_per_class: 1,
+        };
+        let window = vec![Cube::from_lits([Lit::pos(0)]), Cube::one()];
+        let windows = vec![window; shape.num_packets()];
+        CompiledAccelerator::from_window_cubes(shape, &windows, Sharing::Enabled)
+    }
+
+    #[test]
+    fn spec_exposes_design_geometry() {
+        let spec = ShardSpec::new(accel(4, 12));
+        assert_eq!(spec.width(), 12);
+        assert_eq!(spec.beats_per_request(), 3);
+        assert_eq!(spec.weight, 1);
+        assert_eq!(spec.backend, EngineBackend::CycleAccurate);
+        assert!(!spec.pipelined_sum);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let spec = ShardSpec::new(accel(4, 8))
+            .backend(EngineBackend::Turbo)
+            .weight(3)
+            .pipelined_sum(true);
+        assert_eq!(spec.backend, EngineBackend::Turbo);
+        assert_eq!(spec.weight, 3);
+        assert!(spec.pipelined_sum);
+    }
+
+    #[test]
+    fn validation_catches_degenerate_lists() {
+        assert!(matches!(
+            ShardSpec::validate_all(&[]).unwrap_err(),
+            ServeError::ZeroShards
+        ));
+        let specs = vec![
+            ShardSpec::new(accel(4, 8)),
+            ShardSpec::new(accel(4, 8)).weight(0),
+        ];
+        assert_eq!(
+            ShardSpec::validate_all(&specs).unwrap_err(),
+            ServeError::ZeroWeight { shard: 1 }
+        );
+        assert!(ShardSpec::validate_all(&specs[..1]).is_ok());
+    }
+}

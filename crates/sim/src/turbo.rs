@@ -5,7 +5,7 @@
 //! boolean at a time. Nothing about the *answer* needs that: the paper's
 //! architecture is fully feed-forward, so each window's combinational
 //! content can be flattened once into a topologically-ordered instruction
-//! tape ([`WindowProgram`] inside [`TurboProgram`]) and evaluated over
+//! tape (`WindowProgram` inside [`TurboProgram`]) and evaluated over
 //! `u64` words where **bit `l` is datapoint `l`** — 64 independent
 //! classifications advance per AND/NOT instruction. Class sums follow
 //! from a 64×64 bit transpose of the fired-clause lane words and two

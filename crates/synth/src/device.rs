@@ -32,7 +32,7 @@ impl Device {
     }
 
     /// Zynq XC7Z045 as on the ZC706 — the board the BNN-r/f reference
-    /// designs of [3] ran on at 200 MHz.
+    /// designs of \[3\] ran on at 200 MHz.
     pub fn zc706() -> Device {
         Device {
             name: "XC7Z045 (ZC706)".into(),

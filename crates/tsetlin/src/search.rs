@@ -2,7 +2,7 @@
 //!
 //! MATADOR's GUI walks the user through a small design-space exploration:
 //! the dominant knob is clauses-per-class, which trades accuracy against
-//! logic footprint (the paper cites MILEAGE [17] for automated clause
+//! logic footprint (the paper cites MILEAGE \[17\] for automated clause
 //! search). This module provides the programmatic sweep behind that step.
 
 use crate::params::{InvalidParamsError, TmParams};

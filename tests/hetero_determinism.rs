@@ -1,0 +1,187 @@
+//! Heterogeneous-pool determinism: mixing per-shard designs is a pure
+//! throughput knob, exactly like sharding itself.
+//!
+//! For two seeds × two dataset kinds, one trained model is compiled onto
+//! two different bus widths and served behind a single mixed pool. The
+//! pool must produce **bit-identical winners and class sums** —
+//! independent of dispatch policy, worker-thread count and per-shard
+//! engine backend (including pools mixing a cycle-accurate shard with a
+//! turbo shard) — and every prediction must equal the software model's
+//! inference, mirroring `serve_determinism.rs` for the heterogeneous
+//! serving path.
+
+use matador_repro::datasets::{generate, DatasetKind, SplitSizes};
+use matador_repro::matador::config::MatadorConfig;
+use matador_repro::matador::design::AcceleratorDesign;
+use matador_repro::serve::{DispatchPolicy, EngineBackend, ServeOptions, ShardPool, ShardSpec};
+use matador_repro::tsetlin::bits::BitVec;
+use matador_repro::tsetlin::model::TrainedModel;
+use matador_repro::tsetlin::params::TmParams;
+use matador_repro::tsetlin::MultiClassTm;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SEEDS: [u64; 2] = [3, 17];
+const KINDS: [DatasetKind; 2] = [DatasetKind::NoisyXor, DatasetKind::Iris];
+const BUS_WIDTHS: [usize; 2] = [8, 2];
+const SIZES: SplitSizes = SplitSizes {
+    train: 80,
+    test: 40,
+};
+
+fn train_model(kind: DatasetKind, seed: u64) -> TrainedModel {
+    let data = generate(kind, SIZES, seed);
+    let params = TmParams::builder(kind.features(), kind.classes())
+        .clauses_per_class(12)
+        .threshold(5)
+        .specificity(4.0)
+        .build()
+        .expect("valid params");
+    let mut tm = MultiClassTm::new(params);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    tm.fit_with_threads(&data.train, 4, &mut rng, 1);
+    tm.to_model()
+}
+
+/// One design per bus width, all implementing `model`.
+fn designs(model: &TrainedModel) -> Vec<AcceleratorDesign> {
+    BUS_WIDTHS
+        .iter()
+        .map(|&bus_width| {
+            let config = MatadorConfig::builder()
+                .design_name(format!("hetero_determinism_w{bus_width}"))
+                .bus_width(bus_width)
+                .build()
+                .expect("valid config");
+            AcceleratorDesign::generate(model.clone(), config)
+        })
+        .collect()
+}
+
+fn serve_mixed(
+    designs: &[AcceleratorDesign],
+    backends: &[EngineBackend],
+    inputs: &[BitVec],
+    policy: DispatchPolicy,
+    threads: usize,
+) -> Vec<(usize, Vec<i32>)> {
+    let specs: Vec<ShardSpec> = designs
+        .iter()
+        .zip(backends)
+        .map(|(design, &backend)| ShardSpec::new(design.compile_for_sim()).backend(backend))
+        .collect();
+    let mut options = ServeOptions::new(specs.len());
+    options.policy = policy;
+    options.capture_class_sums = true;
+    options.threads = Some(threads);
+    let mut pool = ShardPool::heterogeneous(&specs, options).expect("valid specs");
+    // Two batches exercise the cumulative shard clocks (and observed-II
+    // statistics) the stateful policies dispatch on.
+    let mid = inputs.len() / 2;
+    let mut predictions = pool.serve(&inputs[..mid]).expect("engines drain");
+    predictions.extend(pool.serve(&inputs[mid..]).expect("engines drain"));
+    predictions
+        .into_iter()
+        .map(|p| {
+            (
+                p.winner,
+                p.class_sums.expect("capture_class_sums was enabled"),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn mixed_pools_are_bit_identical_across_policies_threads_and_backends() {
+    // Per-shard backend assignments under test: all cycle-accurate, all
+    // turbo, and a genuinely mixed pool (one of each).
+    const BACKENDS: [[EngineBackend; 2]; 3] = [
+        [EngineBackend::CycleAccurate, EngineBackend::CycleAccurate],
+        [EngineBackend::Turbo, EngineBackend::Turbo],
+        [EngineBackend::CycleAccurate, EngineBackend::Turbo],
+    ];
+    for kind in KINDS {
+        for seed in SEEDS {
+            let model = train_model(kind, seed);
+            let designs = designs(&model);
+            let inputs: Vec<BitVec> = generate(kind, SIZES, seed)
+                .test
+                .iter()
+                .map(|s| s.input.clone())
+                .collect();
+
+            let reference = serve_mixed(
+                &designs,
+                &BACKENDS[0],
+                &inputs,
+                DispatchPolicy::RoundRobin,
+                1,
+            );
+            // The mixed pool agrees with software inference (winners) and
+            // the model's class sums, bit for bit — on every request, no
+            // matter which design served it.
+            for (x, (winner, sums)) in inputs.iter().zip(&reference) {
+                assert_eq!(*winner, model.predict(x), "{kind} seed {seed}");
+                assert_eq!(sums, &model.class_sums(x), "{kind} seed {seed}");
+            }
+
+            for policy in [
+                DispatchPolicy::RoundRobin,
+                DispatchPolicy::LeastQueued,
+                DispatchPolicy::LatencyAware,
+            ] {
+                for threads in [1, 8] {
+                    for backends in BACKENDS {
+                        let served = serve_mixed(&designs, &backends, &inputs, policy, threads);
+                        assert_eq!(
+                            served, reference,
+                            "{kind} seed {seed}: {policy:?} threads={threads} \
+                             {backends:?} diverged from the reference pool"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn latency_aware_never_drains_slower_than_round_robin_on_mixed_iis() {
+    // The dispatch half of the contract (the `hetero-scaling` CI gate
+    // asserts the same on hetero_sweep's full-size designs): with one
+    // fast wide-bus shard and one slow narrow-bus shard, LatencyAware
+    // finishes a batch in no more pool cycles than blind RoundRobin —
+    // and sends the wide shard the larger share.
+    let kind = DatasetKind::NoisyXor;
+    let seed = SEEDS[0];
+    let model = train_model(kind, seed);
+    let designs = designs(&model);
+    let inputs: Vec<BitVec> = generate(kind, SIZES, seed)
+        .test
+        .iter()
+        .map(|s| s.input.clone())
+        .collect();
+
+    let run = |policy: DispatchPolicy| {
+        let specs: Vec<ShardSpec> = designs
+            .iter()
+            .map(|d| ShardSpec::new(d.compile_for_sim()))
+            .collect();
+        let mut options = ServeOptions::new(specs.len());
+        options.policy = policy;
+        let mut pool = ShardPool::heterogeneous(&specs, options).expect("valid specs");
+        let predictions = pool.serve(&inputs).expect("engines drain");
+        let to_wide = predictions.iter().filter(|p| p.shard == 0).count();
+        (to_wide, pool.report().pool_cycles)
+    };
+    let (rr_wide, rr_cycles) = run(DispatchPolicy::RoundRobin);
+    let (la_wide, la_cycles) = run(DispatchPolicy::LatencyAware);
+    assert!(
+        la_cycles <= rr_cycles,
+        "LatencyAware {la_cycles} cycles > RoundRobin {rr_cycles}"
+    );
+    assert!(
+        la_wide > rr_wide,
+        "LatencyAware wide-shard share {la_wide} !> RoundRobin's {rr_wide}"
+    );
+}

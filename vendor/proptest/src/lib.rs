@@ -178,7 +178,7 @@ pub mod collection {
     use rand::rngs::SmallRng;
     use rand::Rng;
 
-    /// Sizes accepted by [`vec`]: a fixed length or a range of lengths.
+    /// Sizes accepted by [`vec()`]: a fixed length or a range of lengths.
     pub trait VecLen {
         /// Draws a concrete length.
         fn pick(&self, rng: &mut SmallRng) -> usize;
