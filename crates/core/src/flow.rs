@@ -495,7 +495,14 @@ mod tests {
         let batch: Vec<_> = test.iter().map(|s| s.input.clone()).collect();
 
         let mut cycle = outcome.serve(3).expect("valid session");
-        let mut turbo = outcome.serve_turbo(3).expect("valid session");
+        // Consolidation would route this small batch to one turbo shard
+        // (a better schedule, but a different one) — disable it so the
+        // comparison covers shard assignment and per-shard stats too.
+        let mut turbo_options = *outcome.serve_turbo(3).expect("valid session").options();
+        turbo_options.consolidate = false;
+        let mut turbo = outcome
+            .serve_with_options(turbo_options)
+            .expect("valid session");
         let from_cycle = cycle.serve(&batch).expect("drains");
         let from_turbo = turbo.serve(&batch).expect("infallible");
         // Same predictions, latencies and per-shard stream statistics —

@@ -101,6 +101,12 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    // A 0/1-item map never spawns, so don't even resolve the thread
+    // count (an env read) — small fan-outs stay allocation- and
+    // syscall-free on the calling thread.
+    if items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
     par_map_with(configured_threads(), items, f)
 }
 
@@ -126,6 +132,11 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    // Trivial fan-outs skip thread-count resolution (an env read) and
+    // run inline — see [`par_map`].
+    if items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
     par_map_indexed_with(configured_threads(), items, f)
 }
 
@@ -197,6 +208,14 @@ where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
 {
+    // Trivial fan-outs skip thread-count resolution (an env read) and
+    // run inline — see [`par_map`].
+    if items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
     par_map_mut_with(configured_threads(), items, f)
 }
 
@@ -293,6 +312,24 @@ mod tests {
         let mut one = [5u8];
         par_map_mut_with(8, &mut one, |_, x| *x = 6);
         assert_eq!(one, [6]);
+    }
+
+    #[test]
+    fn trivial_fan_outs_run_on_the_calling_thread() {
+        // 0/1-item maps and explicit threads=1 must never spawn: the
+        // closure observes the caller's thread id.
+        let caller = std::thread::current().id();
+        let one = [7u8];
+        let ids = par_map(&one, |_| std::thread::current().id());
+        assert_eq!(ids, vec![caller]);
+        let ids = par_map_indexed(&one, |_, _| std::thread::current().id());
+        assert_eq!(ids, vec![caller]);
+        let mut slot = [None];
+        par_map_mut(&mut slot, |_, s| *s = Some(std::thread::current().id()));
+        assert_eq!(slot, [Some(caller)]);
+        let many = [0u8; 9];
+        let ids = par_map_with(1, &many, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
     }
 
     #[test]

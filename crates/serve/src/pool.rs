@@ -23,7 +23,7 @@
 
 use crate::dispatch::{DispatchPolicy, Dispatcher, ShardLoad, ShardProfile};
 use crate::error::ServeError;
-use crate::queue::{RequestQueue, DEFAULT_QUEUE_DEPTH};
+use crate::queue::{Request, RequestQueue, DEFAULT_QUEUE_DEPTH};
 use crate::report::{ShardStats, ThroughputReport};
 use crate::spec::ShardSpec;
 use matador_sim::{
@@ -52,6 +52,25 @@ pub struct ServeOptions {
     /// Worker threads for shard execution (`None` = the
     /// `MATADOR_THREADS`/available-parallelism default).
     pub threads: Option<usize>,
+    /// Whether a homogeneous all-turbo pool may consolidate a small flush
+    /// onto a single shard. Every turbo shard runs the same immutable
+    /// instruction tape, so when a flush carries less work than one chunk
+    /// threshold per shard (see
+    /// [`matador_sim::configured_chunk_threshold`]), spreading it only
+    /// buys per-shard dispatch overhead — the pool sends the whole flush
+    /// to the least-loaded shard instead. Winners, class sums and
+    /// latencies are unaffected (every shard computes identical results);
+    /// only the shard *assignment* changes. Disable to force the
+    /// configured dispatch policy even for tiny flushes (e.g. when
+    /// comparing shard assignments against a cycle-accurate pool).
+    pub consolidate: bool,
+    /// Chunk-fan-out threshold override for turbo shards (tape-work cost
+    /// below which a batch stays serial; see
+    /// [`matador_sim::TurboProgram::plan_workers`]). `None` reads the
+    /// `MATADOR_CHUNK_THRESHOLD` environment default at pool
+    /// construction. Purely a performance knob — results are bit-identical
+    /// at any value.
+    pub chunk_threshold: Option<u64>,
     /// Execution engine behind each shard. [`EngineBackend::Turbo`]
     /// produces bit-identical predictions, class sums and cycle stamps
     /// via bit-sliced evaluation and analytic timing — the serving fast
@@ -72,6 +91,8 @@ impl ServeOptions {
             pipelined_sum: false,
             capture_class_sums: false,
             threads: None,
+            consolidate: true,
+            chunk_threshold: None,
             backend: EngineBackend::CycleAccurate,
         }
     }
@@ -187,6 +208,16 @@ pub struct ShardPool<'a> {
     widths: Vec<usize>,
     /// Per-request latency samples, pool lifetime.
     latencies: Vec<u64>,
+    /// Cost of one lane word on the shared turbo tape — `Some` exactly
+    /// when every shard runs the same compiled [`TurboProgram`]
+    /// (homogeneous turbo pools), which is what makes shard assignment
+    /// result-invisible and consolidation sound.
+    shared_chunk_cost: Option<u64>,
+    /// Chunk-parallelism cost threshold, resolved once at construction.
+    chunk_threshold: u64,
+    /// Whether small flushes may consolidate onto one shard
+    /// ([`ServeOptions::consolidate`]).
+    consolidate: bool,
 }
 
 /// One engine shard behind either execution backend. Both variants expose
@@ -319,6 +350,14 @@ impl<'a> ShardPool<'a> {
             EngineBackend::CycleAccurate => None,
             EngineBackend::Turbo => Some(TurboProgram::compile(accel)),
         };
+        // Turbo shards in an all-turbo pool run serially in flush() —
+        // each one fans its slice out across the worker budget instead
+        // (chunk parallelism composes better than shard parallelism for
+        // identical tapes), so they inherit the pool's thread setting.
+        let shared_chunk_cost = program.as_ref().map(TurboProgram::chunk_cost);
+        let chunk_threshold = options
+            .chunk_threshold
+            .unwrap_or_else(matador_sim::configured_chunk_threshold);
         let engines = (0..options.shards)
             .map(|_| {
                 Self::build_engine(
@@ -326,6 +365,8 @@ impl<'a> ShardPool<'a> {
                     program.as_ref(),
                     options.pipelined_sum,
                     options.capture_class_sums,
+                    options.threads,
+                    chunk_threshold,
                 )
             })
             .collect();
@@ -339,6 +380,9 @@ impl<'a> ShardPool<'a> {
             threads: options.threads,
             widths: vec![accel.shape().features],
             latencies: Vec::new(),
+            shared_chunk_cost,
+            chunk_threshold,
+            consolidate: options.consolidate,
         })
     }
 
@@ -367,6 +411,13 @@ impl<'a> ShardPool<'a> {
         // the homogeneous path's job ([`ShardPool::with_options`]
         // compiles once) — the heterogeneous path optimizes for specs
         // that genuinely differ.
+        // Heterogeneous shards execute under the pool's shard-level
+        // fan-out, so turbo engines pin their intra-batch chunking to the
+        // calling worker — shard- and chunk-level parallelism must not
+        // multiply.
+        let chunk_threshold = options
+            .chunk_threshold
+            .unwrap_or_else(matador_sim::configured_chunk_threshold);
         let engines = specs
             .iter()
             .map(|spec| {
@@ -379,6 +430,8 @@ impl<'a> ShardPool<'a> {
                     program.as_ref(),
                     spec.pipelined_sum,
                     options.capture_class_sums,
+                    Some(1),
+                    chunk_threshold,
                 )
             })
             .collect();
@@ -395,6 +448,9 @@ impl<'a> ShardPool<'a> {
             threads: options.threads,
             widths,
             latencies: Vec::new(),
+            shared_chunk_cost: None,
+            chunk_threshold,
+            consolidate: options.consolidate,
         })
     }
 
@@ -403,6 +459,8 @@ impl<'a> ShardPool<'a> {
         program: Option<&TurboProgram>,
         pipelined_sum: bool,
         capture_class_sums: bool,
+        chunk_threads: Option<usize>,
+        chunk_threshold: u64,
     ) -> PoolEngine<'a> {
         match program {
             None => {
@@ -415,6 +473,8 @@ impl<'a> ShardPool<'a> {
                 let mut engine = TurboEngine::from_program(program.clone());
                 engine.set_pipelined_sum(pipelined_sum);
                 engine.set_capture_class_sums(capture_class_sums);
+                engine.set_chunk_threads(chunk_threads);
+                engine.set_chunk_threshold(chunk_threshold);
                 PoolEngine::Turbo(Box::new(engine))
             }
         }
@@ -503,6 +563,14 @@ impl<'a> ShardPool<'a> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        // Single-executor fast path: a one-shard pool, or a small flush
+        // on a homogeneous turbo pool (consolidation — every shard runs
+        // the same tape, so assignment is result-invisible and spreading
+        // work that is below one chunk threshold per shard only buys
+        // dispatch overhead). Skips planning and reassembly entirely.
+        if let Some(shard) = self.single_executor(requests.len()) {
+            return self.flush_to_shard(shard, requests);
+        }
         // Profile snapshots for the width-aware planner: cumulative
         // cycles (every flush drains its engines completely, so
         // cumulative cycles are exactly what distinguishes shards
@@ -560,13 +628,29 @@ impl<'a> ShardPool<'a> {
             })
             .collect();
 
-        let threads = self.threads.unwrap_or_else(matador_par::configured_threads);
-        matador_par::par_map_mut_with(threads, &mut runs, |_, run| {
-            if run.inputs.is_empty() {
-                return;
+        // All-turbo pools run their shards serially on the caller: each
+        // shard's engine fans its own slice out across the full worker
+        // budget (intra-shard chunk parallelism), which beats one thread
+        // per shard for identical tapes and never oversubscribes. Pools
+        // with cycle-accurate shards keep the shard-level fan-out — a
+        // cycle engine is single-threaded by nature, and any turbo
+        // engines beside it were pinned to their worker at construction.
+        if self.shared_chunk_cost.is_some() {
+            for run in &mut runs {
+                if run.inputs.is_empty() {
+                    continue;
+                }
+                run.outcome = run.engine.run(&run.inputs, run.beats_per_request);
             }
-            run.outcome = run.engine.run(&run.inputs, run.beats_per_request);
-        });
+        } else {
+            let threads = self.threads.unwrap_or_else(matador_par::configured_threads);
+            matador_par::par_map_mut_with(threads, &mut runs, |_, run| {
+                if run.inputs.is_empty() {
+                    return;
+                }
+                run.outcome = run.engine.run(&run.inputs, run.beats_per_request);
+            });
+        }
 
         // Reassemble into submission order, surfacing the lowest failing
         // shard as a typed error.
@@ -597,12 +681,116 @@ impl<'a> ShardPool<'a> {
         Ok(predictions)
     }
 
+    /// The shard a flush of `pending` requests should run on when one
+    /// shard can take it whole: the only shard of a one-shard pool, or —
+    /// on a homogeneous turbo pool with consolidation enabled — the
+    /// least-loaded shard (tie → lowest index) when the flush carries
+    /// less than one chunk threshold of tape work per shard.
+    fn single_executor(&self, pending: usize) -> Option<usize> {
+        if self.engines.len() == 1 {
+            return Some(0);
+        }
+        let chunk_cost = self.shared_chunk_cost?;
+        if !self.consolidate {
+            return None;
+        }
+        let lane_words = pending.div_ceil(matador_sim::LANES) as u64;
+        let spread_floor = self
+            .chunk_threshold
+            .saturating_mul(self.engines.len() as u64);
+        if chunk_cost.saturating_mul(lane_words) >= spread_floor {
+            return None;
+        }
+        self.engines
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, e)| (e.load().cycles, *i))
+            .map(|(i, _)| i)
+    }
+
+    /// Runs one whole flush on `shard`, inline on the caller — the
+    /// fast path behind [`ShardPool::flush`]: no dispatch planning, no
+    /// cross-shard reassembly, predictions built in submission order
+    /// directly. The dispatcher's round-robin cursors are deliberately
+    /// left untouched: a consolidated flush never rotates them, which
+    /// keeps the assignment deterministic for any flush sequence.
+    fn flush_to_shard(
+        &mut self,
+        shard: usize,
+        requests: Vec<Request>,
+    ) -> Result<Vec<Prediction>, ServeError> {
+        let beats = self.designs[shard].shape().num_packets() as u64;
+        let mut ids = Vec::with_capacity(requests.len());
+        let mut inputs = Vec::with_capacity(requests.len());
+        for r in requests {
+            ids.push(r.id);
+            inputs.push(r.input);
+        }
+        let output = self.engines[shard]
+            .run(&inputs, beats)
+            .map_err(|error| ServeError::Shard { shard, error })?;
+        debug_assert_eq!(output.results.len(), ids.len());
+        let predictions: Vec<Prediction> = ids
+            .into_iter()
+            .enumerate()
+            .map(|(j, request)| Prediction {
+                request,
+                winner: output.results[j].winner,
+                shard,
+                latency_cycles: output.results[j].cycle - output.first_beats[j] + 1,
+                class_sums: self.capture_sums.then(|| output.class_sums[j].clone()),
+            })
+            .collect();
+        self.latencies
+            .extend(predictions.iter().map(|p| p.latency_cycles));
+        Ok(predictions)
+    }
+
+    /// Runs one serve window on `shard` straight from the caller's
+    /// borrowed slice — the zero-copy twin of
+    /// [`ShardPool::flush_to_shard`] for inputs that never entered the
+    /// FIFO. Request ids are the contiguous block starting at
+    /// `first_id` (from [`RequestQueue::admit_block`]).
+    fn run_shard_window(
+        &mut self,
+        shard: usize,
+        first_id: u64,
+        inputs: &[BitVec],
+    ) -> Result<Vec<Prediction>, ServeError> {
+        let beats = self.designs[shard].shape().num_packets() as u64;
+        let output = self.engines[shard]
+            .run(inputs, beats)
+            .map_err(|error| ServeError::Shard { shard, error })?;
+        debug_assert_eq!(output.results.len(), inputs.len());
+        let predictions: Vec<Prediction> = output
+            .results
+            .iter()
+            .enumerate()
+            .map(|(j, result)| Prediction {
+                request: first_id + j as u64,
+                winner: result.winner,
+                shard,
+                latency_cycles: result.cycle - output.first_beats[j] + 1,
+                class_sums: self.capture_sums.then(|| output.class_sums[j].clone()),
+            })
+            .collect();
+        self.latencies
+            .extend(predictions.iter().map(|p| p.latency_cycles));
+        Ok(predictions)
+    }
+
     /// Serves a whole batch: submits each datapoint, flushing whenever
     /// the bounded queue fills, and once more at the end. Returns
     /// predictions in input order. The queue's depth bound is respected
     /// by flushing *before* it would overflow, so the backpressure
     /// counter ([`RequestQueue::rejected`]) only ever reflects real
     /// external rejections, never this loop's own batching.
+    ///
+    /// When the queue starts empty and a window lands on a single shard
+    /// (a one-shard pool, or a consolidated flush on a homogeneous turbo
+    /// pool), the window runs zero-copy from the borrowed slice with
+    /// block-admitted ids — identical results, ids, latencies, and
+    /// admission counters to the submit/flush path, minus the clones.
     ///
     /// # Errors
     ///
@@ -616,6 +804,25 @@ impl<'a> ShardPool<'a> {
             self.check_width(input.len())?;
         }
         let mut out = Vec::with_capacity(inputs.len());
+        if self.queue.is_empty() {
+            // Zero-copy path: with nothing pending, each flush window is
+            // exactly a queue-capacity chunk of the caller's slice. Any
+            // window a single shard can take whole runs straight off the
+            // borrowed inputs — ids come from a block admission, and the
+            // datapoints are never cloned into the FIFO.
+            for window in inputs.chunks(self.queue.capacity()) {
+                if let Some(shard) = self.single_executor(window.len()) {
+                    let first_id = self.queue.admit_block(window.len())?;
+                    out.extend(self.run_shard_window(shard, first_id, window)?);
+                } else {
+                    for input in window {
+                        self.queue.push(input.clone())?;
+                    }
+                    out.extend(self.flush()?);
+                }
+            }
+            return Ok(out);
+        }
         for input in inputs {
             if self.queue.len() >= self.queue.capacity() {
                 out.extend(self.flush()?);
@@ -957,6 +1164,9 @@ mod tests {
                     options.policy = policy;
                     options.capture_class_sums = true;
                     options.backend = backend;
+                    // Shard *assignments* must match the cycle pool too,
+                    // so keep the turbo pool on the configured policy.
+                    options.consolidate = false;
                     let mut pool = ShardPool::with_options(&a, options).expect("valid");
                     // Two batches exercise the cumulative shard clocks the
                     // stateful policies dispatch on.
@@ -969,6 +1179,38 @@ mod tests {
                 assert_eq!(turbo, cycle, "shards={shards} {policy:?}");
             }
         }
+    }
+
+    #[test]
+    fn small_turbo_flushes_consolidate_onto_the_least_loaded_shard() {
+        let a = accel();
+        let xs = inputs(12);
+        // Well below one chunk threshold of work per shard: the default
+        // round-robin policy would spread, consolidation sends the whole
+        // flush to one shard instead.
+        let mut pool = ShardPool::with_options(&a, ServeOptions::turbo(4)).expect("valid");
+        let first = pool.serve(&xs).expect("infallible");
+        assert!(first.iter().all(|p| p.shard == 0), "fresh pool → shard 0");
+        // The next flush finds shard 0 loaded and picks an idle shard.
+        let second = pool.serve(&xs).expect("infallible");
+        assert!(second.iter().all(|p| p.shard == 1), "tie → lowest idle");
+        // Winners and latencies are exactly the single-shard answers.
+        let mut single = ShardPool::with_options(&a, ServeOptions::turbo(1)).expect("valid");
+        let alone = single.serve(&xs).expect("infallible");
+        for (p, q) in first.iter().zip(&alone) {
+            assert_eq!((p.winner, p.latency_cycles), (q.winner, q.latency_cycles));
+        }
+    }
+
+    #[test]
+    fn consolidation_off_spreads_even_tiny_turbo_flushes() {
+        let a = accel();
+        let mut options = ServeOptions::turbo(4);
+        options.consolidate = false;
+        let mut pool = ShardPool::with_options(&a, options).expect("valid");
+        let preds = pool.serve(&inputs(8)).expect("infallible");
+        let shards: Vec<usize> = preds.iter().map(|p| p.shard).collect();
+        assert_eq!(shards, vec![0, 1, 2, 3, 0, 1, 2, 3], "round-robin kept");
     }
 
     #[test]

@@ -86,6 +86,35 @@ impl RequestQueue {
         Ok(id)
     }
 
+    /// Admits `n` requests at once without storing their inputs,
+    /// returning the first id of the contiguous block `first..first + n`.
+    ///
+    /// This is the zero-copy admission path for batch serving: the caller
+    /// keeps ownership of the inputs and executes them immediately, so
+    /// nothing needs to sit in the FIFO. Admission counters and id
+    /// assignment advance exactly as if each input had been [`push`]ed
+    /// and drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] when the block would exceed the
+    /// depth bound on top of what is already pending; the rejection is
+    /// counted once.
+    ///
+    /// [`push`]: RequestQueue::push
+    pub fn admit_block(&mut self, n: usize) -> Result<u64, ServeError> {
+        if self.pending.len() + n > self.capacity {
+            self.rejected += 1;
+            return Err(ServeError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let first = self.next_id;
+        self.next_id += n as u64;
+        self.accepted += n as u64;
+        Ok(first)
+    }
+
     /// Removes and returns every pending request, oldest first.
     pub fn drain(&mut self) -> Vec<Request> {
         self.pending.drain(..).collect()
@@ -152,6 +181,23 @@ mod tests {
         q.drain();
         q.push(BitVec::zeros(2)).expect("admitted after drain");
         assert_eq!(q.accepted(), 2);
+    }
+
+    #[test]
+    fn admit_block_matches_push_id_and_counter_semantics() {
+        let mut q = RequestQueue::new(4).expect("valid");
+        q.push(BitVec::zeros(2)).expect("admitted");
+        // Block ids continue the same monotonic sequence.
+        let first = q.admit_block(3).expect("fits");
+        assert_eq!(first, 1);
+        assert_eq!(q.accepted(), 4);
+        // Blocks respect the depth bound on top of pending requests.
+        let err = q.admit_block(4).unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { capacity: 4 });
+        assert_eq!(q.rejected(), 1);
+        // Nothing was stored: the FIFO still holds only the pushed input.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.push(BitVec::zeros(2)).expect("admitted"), 4);
     }
 
     #[test]

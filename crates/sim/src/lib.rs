@@ -36,4 +36,7 @@ pub mod turbo;
 
 pub use accel::{AccelShape, CompiledAccelerator, WindowScratch};
 pub use engine::{CycleTrace, LatencyReport, SimEngine, SimError, SimResult};
-pub use turbo::{EngineBackend, TurboEngine, TurboProgram};
+pub use turbo::{
+    configured_chunk_threshold, EngineBackend, TurboEngine, TurboProgram, BLOCK_LANES, BLOCK_WORDS,
+    CHUNK_THRESHOLD_ENV, DEFAULT_CHUNK_THRESHOLD, LANES,
+};

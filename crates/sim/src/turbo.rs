@@ -1,5 +1,5 @@
 //! The bit-sliced turbo inference backend: 64 datapoints per instruction
-//! pass.
+//! pass, blocked 4-word strips, and work-sized intra-batch parallelism.
 //!
 //! The cycle engine re-walks every window DAG one datapoint and one
 //! boolean at a time. Nothing about the *answer* needs that: the paper's
@@ -11,6 +11,28 @@
 //! from a 64×64 bit transpose of the fired-clause lane words and two
 //! popcounts per class block.
 //!
+//! Two layers of batch-level amortization sit on top of the original
+//! word-parallel scheme:
+//!
+//! - **Blocked tape dispatch.** Instructions are not fetched once per
+//!   (instruction × lane word): each tape visit evaluates a *strip* of up
+//!   to [`BLOCK_WORDS`] lane words (256 datapoints), monomorphized per
+//!   strip width so a full strip does 4× the work per op decode and a
+//!   ragged final chunk narrows to exactly the words it needs — batch
+//!   work is proportional to `⌈n / 64⌉` lane words at every batch size.
+//! - **Chunk fan-out** ([`TurboProgram::class_sums_chunked`]). Large
+//!   batches split their lane-word blocks across `matador-par` workers,
+//!   governed by a cost model (tape instructions × lane words per
+//!   worker, see [`TurboProgram::batch_cost`]): batches below
+//!   [`configured_chunk_threshold`] per worker stay serial on the caller
+//!   so small flushes never pay thread overhead. Lanes are independent,
+//!   so the split is bit-invisible — outputs are identical at any worker
+//!   count.
+//!
+//! All evaluation goes through a reusable scratch arena (`TurboScratch`):
+//! a warmed [`TurboEngine`] classifies whole batches without touching the
+//! allocator (`crates/sim/tests/no_alloc.rs`).
+//!
 //! Timing needs no simulation either. A drained engine streaming `n`
 //! datapoints back-to-back is fully analytic (the same derivation as
 //! `SimEngine::drain_bound`): datapoint `i`'s first packet is accepted at
@@ -18,8 +40,9 @@
 //! pipelined)`, and the engine drains at `base + n·P + 3 (+1)`. The
 //! [`TurboEngine`] therefore reproduces the cycle engine's winners, class
 //! sums **and** `SimResult::cycle` stamps bit-for-bit — locked in by
-//! `crates/sim/tests/turbo_equivalence.rs` — while doing ~64× less logic
-//! work per batch.
+//! `crates/sim/tests/turbo_equivalence.rs` and
+//! `turbo_chunk_equivalence.rs` — while doing ~64× less logic work per
+//! batch.
 
 use crate::accel::{AccelShape, CompiledAccelerator};
 use crate::engine::{SimError, SimResult};
@@ -27,10 +50,40 @@ use matador_logic::dag::{LogicDag, Node};
 use tsetlin::bits::BitVec;
 use tsetlin::tm::argmax;
 
-/// Number of bit-slice lanes per instruction pass (one per `u64` bit).
+/// Number of bit-slice lanes per lane word (one per `u64` bit).
 pub const LANES: usize = 64;
 
-/// One instruction of a flattened window tape, operating on 64-lane words.
+/// Lane words evaluated per instruction visit at full strip width.
+pub const BLOCK_WORDS: usize = 4;
+
+/// Datapoints per fully-populated evaluation block (one strip).
+pub const BLOCK_LANES: usize = LANES * BLOCK_WORDS;
+
+/// Environment variable overriding the chunk-parallelism threshold.
+pub const CHUNK_THRESHOLD_ENV: &str = "MATADOR_CHUNK_THRESHOLD";
+
+/// Default minimum [`TurboProgram::batch_cost`] (tape instructions ×
+/// lane words) per worker before a batch fans out over `matador-par`.
+///
+/// At roughly one tape instruction per nanosecond this is ~1 ms of work
+/// per worker — comfortably above scoped-thread-spawn overhead, so the
+/// fan-out only triggers when it can pay for itself. Tunable per machine
+/// with `infer_bench --sweep-chunk` and [`CHUNK_THRESHOLD_ENV`].
+pub const DEFAULT_CHUNK_THRESHOLD: u64 = 1 << 20;
+
+/// The effective chunk-parallelism threshold: the [`CHUNK_THRESHOLD_ENV`]
+/// override when set to an unsigned integer (0 means "always fan out"),
+/// otherwise [`DEFAULT_CHUNK_THRESHOLD`]. Re-read on every call, like
+/// `matador_par::configured_threads`.
+pub fn configured_chunk_threshold() -> u64 {
+    match std::env::var(CHUNK_THRESHOLD_ENV) {
+        Ok(v) => v.trim().parse::<u64>().unwrap_or(DEFAULT_CHUNK_THRESHOLD),
+        Err(_) => DEFAULT_CHUNK_THRESHOLD,
+    }
+}
+
+/// One instruction of a flattened window tape, operating on lane-word
+/// strips.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Op {
     /// All lanes 0.
@@ -77,59 +130,162 @@ impl WindowProgram {
         WindowProgram { ops, outputs }
     }
 
-    /// Runs the tape: `inputs[b]` carries window bit `b` of 64 datapoints,
-    /// `out[c]` receives clause `c`'s 64 lane results.
-    fn eval_lanes(&self, inputs: &[u64], nodes: &mut [u64], out: &mut [u64]) {
+    /// Runs the tape over a strip of `W` lane words per slot:
+    /// `inputs[b*W..b*W+W]` carries window bit `b` of up to `W·64`
+    /// datapoints, `nodes` receives every slot's strip at the same
+    /// stride. Monomorphized per strip width so the per-instruction word
+    /// loop unrolls — one op decode advances `W` lane words.
+    fn eval_strip<const W: usize>(&self, inputs: &[u64], nodes: &mut [u64]) {
+        debug_assert!(nodes.len() >= self.ops.len() * W);
         for (i, op) in self.ops.iter().enumerate() {
-            nodes[i] = match *op {
-                Op::Const0 => 0,
-                Op::Const1 => !0,
-                Op::Input(b) => inputs[b as usize],
-                Op::NotInput(b) => !inputs[b as usize],
-                Op::And(a, b) => nodes[a as usize] & nodes[b as usize],
-            };
-        }
-        for (o, &s) in out.iter_mut().zip(&self.outputs) {
-            *o = nodes[s as usize];
+            let o = i * W;
+            match *op {
+                Op::Const0 => nodes[o..o + W].fill(0),
+                Op::Const1 => nodes[o..o + W].fill(!0),
+                Op::Input(b) => {
+                    let s = b as usize * W;
+                    nodes[o..o + W].copy_from_slice(&inputs[s..s + W]);
+                }
+                Op::NotInput(b) => {
+                    let s = b as usize * W;
+                    for w in 0..W {
+                        nodes[o + w] = !inputs[s + w];
+                    }
+                }
+                Op::And(a, b) => {
+                    let (a, b) = (a as usize * W, b as usize * W);
+                    for w in 0..W {
+                        nodes[o + w] = nodes[a + w] & nodes[b + w];
+                    }
+                }
+            }
         }
     }
 }
 
 /// In-place transpose of a 64×64 bit matrix: `a[r]` bit `b` becomes
-/// `a[b]` bit `r` (LSB-first row/column convention) — the lane↔clause
-/// pivot between window evaluation and per-datapoint class sums.
+/// `a[b]` bit `r` (LSB-first row/column convention) — the pivot between
+/// datapoint-major and lane-major bit layouts on both ends of the
+/// datapath (input bit-slicing and count-plane extraction).
 fn transpose_64x64(a: &mut [u64]) {
     debug_assert_eq!(a.len(), LANES);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just confirmed at runtime and the
+            // slice holds exactly `LANES` words (asserted above).
+            unsafe { avx2::transpose_64x64_avx2(a) };
+            return;
+        }
+    }
+    transpose_64x64_scalar(a);
+}
+
+/// Portable transpose kernel: six butterfly stages over swap anchors.
+fn transpose_64x64_scalar(a: &mut [u64]) {
     let mut j = 32usize;
     let mut m: u64 = 0x0000_0000_FFFF_FFFF;
     while j != 0 {
+        // `(k + j + 1) & !j` steps straight to the next index with bit
+        // `j` clear, visiting only the 32 swap anchors per stage.
         let mut k = 0usize;
         while k < LANES {
-            if k & j == 0 {
-                let t = ((a[k] >> j) ^ a[k | j]) & m;
-                a[k] ^= t << j;
-                a[k | j] ^= t;
-            }
-            k += 1;
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k] ^= t << j;
+            a[k | j] ^= t;
+            k = (k + j + 1) & !j;
         }
         j >>= 1;
         m ^= m << j;
     }
 }
 
-/// Reusable lane-word scratch for a [`TurboProgram`]; all buffers warm to
-/// their final size on the first chunk.
+/// AVX2 transpose kernel: the same butterfly network, four rows per
+/// vector. Stages `j >= 4` swap whole vectors; `j = 2` pairs 128-bit
+/// halves via `vperm2i128`; `j = 1` pairs adjacent quadwords via
+/// `vpunpck{l,h}qdq` (unpacking permutes rows within a vector, but the
+/// butterfly is element-wise so the inverse unpack restores row order).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::LANES;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn transpose_64x64_avx2(a: &mut [u64]) {
+        assert_eq!(a.len(), LANES);
+        let p = a.as_mut_ptr();
+        // Stages j = 32, 16, 8, 4: partners are >= 4 rows apart, so each
+        // 4-row vector swaps against the vector `j` rows below it.
+        macro_rules! stage {
+            ($j:literal, $m:literal) => {
+                let mv = _mm256_set1_epi64x($m as u64 as i64);
+                let mut base = 0usize;
+                while base < LANES {
+                    let mut k = base;
+                    while k < base + $j {
+                        let px = p.add(k) as *mut __m256i;
+                        let py = p.add(k + $j) as *mut __m256i;
+                        let x = _mm256_loadu_si256(px);
+                        let y = _mm256_loadu_si256(py);
+                        let t =
+                            _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi64::<$j>(x), y), mv);
+                        _mm256_storeu_si256(px, _mm256_xor_si256(x, _mm256_slli_epi64::<$j>(t)));
+                        _mm256_storeu_si256(py, _mm256_xor_si256(y, t));
+                        k += 4;
+                    }
+                    base += 2 * $j;
+                }
+            };
+        }
+        stage!(32, 0x0000_0000_FFFF_FFFFu64);
+        stage!(16, 0x0000_FFFF_0000_FFFFu64);
+        stage!(8, 0x00FF_00FF_00FF_00FFu64);
+        stage!(4, 0x0F0F_0F0F_0F0F_0F0Fu64);
+        // Stages j = 2 and j = 1: partners live inside an 8-row group.
+        let m2 = _mm256_set1_epi64x(0x3333_3333_3333_3333u64 as i64);
+        let m1 = _mm256_set1_epi64x(0x5555_5555_5555_5555u64 as i64);
+        let mut g = 0usize;
+        while g < LANES {
+            let p0 = p.add(g) as *mut __m256i;
+            let p1 = p.add(g + 4) as *mut __m256i;
+            let v0 = _mm256_loadu_si256(p0); // rows g+0..g+3
+            let v1 = _mm256_loadu_si256(p1); // rows g+4..g+7
+                                             // j = 2: anchors [r0 r1 r4 r5] against partners [r2 r3 r6 r7].
+            let x = _mm256_permute2x128_si256::<0x20>(v0, v1);
+            let y = _mm256_permute2x128_si256::<0x31>(v0, v1);
+            let t = _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi64::<2>(x), y), m2);
+            let x = _mm256_xor_si256(x, _mm256_slli_epi64::<2>(t));
+            let y = _mm256_xor_si256(y, t);
+            let v0 = _mm256_permute2x128_si256::<0x20>(x, y);
+            let v1 = _mm256_permute2x128_si256::<0x31>(x, y);
+            // j = 1: even rows [r0 r4 r2 r6] against odd rows [r1 r5 r3 r7].
+            let x = _mm256_unpacklo_epi64(v0, v1);
+            let y = _mm256_unpackhi_epi64(v0, v1);
+            let t = _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi64::<1>(x), y), m1);
+            let x = _mm256_xor_si256(x, _mm256_slli_epi64::<1>(t));
+            let y = _mm256_xor_si256(y, t);
+            _mm256_storeu_si256(p0, _mm256_unpacklo_epi64(x, y));
+            _mm256_storeu_si256(p1, _mm256_unpackhi_epi64(x, y));
+            g += 8;
+        }
+    }
+}
+
+/// Reusable lane-word scratch arena for a [`TurboProgram`]; every buffer
+/// warms to its final (full-strip) size on the first block and is reused
+/// for the life of the owner — evaluation itself never allocates.
 #[derive(Debug, Clone, Default)]
-struct TurboScratch {
-    /// Bit-sliced window input: one word per window bit.
+pub(crate) struct TurboScratch {
+    /// Bit-sliced window input, strip-major: bit `b`'s words at
+    /// `[b*BLOCK_WORDS..]`.
     lane_inputs: Vec<u64>,
-    /// Tape slot values.
+    /// Tape slot strips.
     nodes: Vec<u64>,
-    /// Current window's clause lanes.
-    window_out: Vec<u64>,
-    /// Fired-clause lanes accumulated (ANDed) across windows.
+    /// Fired-clause strips accumulated (ANDed) across windows.
     acc: Vec<u64>,
-    /// Transposed per-lane clause words, block-major (`[block][lane]`).
+    /// Transposed per-lane clause words for one lane-word column,
+    /// block-major (`[block][lane]`).
     lanes: Vec<u64>,
 }
 
@@ -164,8 +320,12 @@ pub struct TurboProgram {
     /// Per class: `(block, +1-vote mask, −1-vote mask)` over 64-clause
     /// blocks of the fired-clause vector.
     class_votes: Vec<Vec<(usize, u64, u64)>>,
+    /// 64-clause blocks in the fired-clause vector.
     blocks: usize,
     max_slots: usize,
+    /// Total tape instructions across windows — the cost-model unit for
+    /// one lane word of evaluation.
+    tape_len: usize,
 }
 
 impl TurboProgram {
@@ -176,6 +336,7 @@ impl TurboProgram {
         let windows: Vec<WindowProgram> =
             accel.windows().iter().map(WindowProgram::compile).collect();
         let max_slots = windows.iter().map(|w| w.ops.len()).max().unwrap_or(0);
+        let tape_len = windows.iter().map(|w| w.ops.len()).sum();
         let c = shape.total_clauses();
         let blocks = c.div_ceil(LANES).max(1);
         let cpc = shape.clauses_per_class;
@@ -204,6 +365,7 @@ impl TurboProgram {
             class_votes,
             blocks,
             max_slots,
+            tape_len,
         }
     }
 
@@ -212,103 +374,264 @@ impl TurboProgram {
         &self.shape
     }
 
+    /// Tape instructions executed per 64-datapoint lane word — the
+    /// per-unit cost in the chunk-parallelism model.
+    pub fn chunk_cost(&self) -> u64 {
+        self.tape_len as u64
+    }
+
+    /// Cost-model estimate for an `n`-datapoint batch: tape instructions
+    /// × lane words. A batch fans out over `t` workers only when this is
+    /// at least `t ×` the chunk threshold, so every worker gets a
+    /// thread-spawn-amortizing amount of work.
+    pub fn batch_cost(&self, n: usize) -> u64 {
+        self.chunk_cost().saturating_mul(n.div_ceil(LANES) as u64)
+    }
+
+    /// Worker count the cost model picks for an `n`-datapoint batch under
+    /// a `threads` budget: at most one worker per evaluation block, and
+    /// at most [`TurboProgram::batch_cost`]` / threshold` so each worker
+    /// clears the serial-spawn break-even. `1` means "stay on the
+    /// caller".
+    pub fn plan_workers(&self, n: usize, threads: usize, threshold: u64) -> usize {
+        let blocks = n.div_ceil(BLOCK_LANES);
+        if threads <= 1 || blocks <= 1 {
+            return 1;
+        }
+        let by_cost = self.batch_cost(n) / threshold.max(1);
+        usize::try_from(by_cost)
+            .unwrap_or(usize::MAX)
+            .min(threads)
+            .min(blocks)
+            .max(1)
+    }
+
     /// Class sums for a whole batch, in input order — bit-identical to
     /// `reference_class_sums` per datapoint. Lane padding is invisible:
-    /// a final ragged chunk evaluates its unused lanes as all-zero
-    /// datapoints and discards them.
+    /// a final ragged chunk evaluates only the lane words it needs and
+    /// treats unused lanes as all-zero datapoints that are never read
+    /// back. Fans out over `matador_par::configured_threads` workers when
+    /// the batch clears [`configured_chunk_threshold`] per worker.
     ///
     /// # Panics
     ///
     /// Panics if any input's width differs from the shape's `features`.
     pub fn class_sums(&self, inputs: &[BitVec]) -> Vec<Vec<i32>> {
-        let mut scratch = TurboScratch::default();
-        let mut out = Vec::with_capacity(inputs.len());
-        for chunk in inputs.chunks(LANES) {
-            self.chunk_class_sums(chunk, &mut scratch, &mut out);
-        }
-        out
+        self.class_sums_chunked(inputs, matador_par::configured_threads())
     }
 
-    /// Winners for a whole batch (argmax over [`TurboProgram::class_sums`]).
+    /// [`TurboProgram::class_sums`] with an explicit worker budget
+    /// (`1` runs serially on the caller); the chunk threshold still
+    /// resolves via [`configured_chunk_threshold`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width differs from the shape's `features`.
+    pub fn class_sums_chunked(&self, inputs: &[BitVec], threads: usize) -> Vec<Vec<i32>> {
+        self.class_sums_chunked_with(inputs, threads, configured_chunk_threshold())
+    }
+
+    /// [`TurboProgram::class_sums_chunked`] with an explicit cost
+    /// threshold — the fully-parameterized entry point (property tests
+    /// pin both knobs; `0` forces maximal fan-out, `u64::MAX` forces the
+    /// serial path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width differs from the shape's `features`.
+    pub fn class_sums_chunked_with(
+        &self,
+        inputs: &[BitVec],
+        threads: usize,
+        threshold: u64,
+    ) -> Vec<Vec<i32>> {
+        let mut scratches = Vec::new();
+        let mut flat = Vec::new();
+        self.class_sums_flat_into(inputs, threads, threshold, &mut scratches, &mut flat);
+        flat.chunks(self.shape.classes.max(1))
+            .map(<[i32]>::to_vec)
+            .collect()
+    }
+
+    /// Winners for a whole batch (argmax over [`TurboProgram::class_sums`]),
+    /// without materializing per-datapoint sum vectors.
     ///
     /// # Panics
     ///
     /// Panics if any input's width differs from the shape's `features`.
     pub fn classify(&self, inputs: &[BitVec]) -> Vec<usize> {
-        self.class_sums(inputs)
-            .iter()
-            .map(|sums| argmax(sums))
-            .collect()
+        let mut scratches = Vec::new();
+        let mut flat = Vec::new();
+        self.class_sums_flat_into(
+            inputs,
+            matador_par::configured_threads(),
+            configured_chunk_threshold(),
+            &mut scratches,
+            &mut flat,
+        );
+        flat.chunks(self.shape.classes.max(1)).map(argmax).collect()
     }
 
-    /// Evaluates one ≤64-datapoint chunk, appending one sums vector per
-    /// datapoint to `out`.
-    fn chunk_class_sums(
+    /// The allocation-free core: class sums for the whole batch, flat
+    /// (`out[i*classes..][..classes]` is datapoint `i`), into
+    /// caller-owned buffers. `scratches` grows to one arena per worker on
+    /// first use and is reused thereafter; warmed callers (the
+    /// [`TurboEngine`] serial path) touch the allocator zero times.
+    pub(crate) fn class_sums_flat_into(
+        &self,
+        inputs: &[BitVec],
+        threads: usize,
+        threshold: u64,
+        scratches: &mut Vec<TurboScratch>,
+        out: &mut Vec<i32>,
+    ) {
+        let n = inputs.len();
+        let classes = self.shape.classes;
+        out.clear();
+        out.resize(n * classes, 0);
+        if n == 0 || classes == 0 {
+            return;
+        }
+        let workers = self.plan_workers(n, threads, threshold);
+        if scratches.len() < workers {
+            scratches.resize_with(workers, TurboScratch::default);
+        }
+        if workers <= 1 {
+            let scratch = &mut scratches[0];
+            for (chunk, o) in inputs
+                .chunks(BLOCK_LANES)
+                .zip(out.chunks_mut(BLOCK_LANES * classes))
+            {
+                self.chunk_class_sums_into(chunk, scratch, o);
+            }
+            return;
+        }
+        // Contiguous, block-aligned spans — one scratch arena per worker.
+        // Lanes are independent, so the partition is invisible in `out`.
+        let blocks = n.div_ceil(BLOCK_LANES);
+        let span = blocks.div_ceil(workers) * BLOCK_LANES;
+        struct Span<'s, 'x> {
+            scratch: &'s mut TurboScratch,
+            inputs: &'x [BitVec],
+            out: &'x mut [i32],
+        }
+        let mut tasks: Vec<Span<'_, '_>> = scratches
+            .iter_mut()
+            .zip(inputs.chunks(span))
+            .zip(out.chunks_mut(span * classes))
+            .map(|((scratch, inputs), out)| Span {
+                scratch,
+                inputs,
+                out,
+            })
+            .collect();
+        matador_par::par_map_mut_with(workers, &mut tasks, |_, span| {
+            for (chunk, o) in span
+                .inputs
+                .chunks(BLOCK_LANES)
+                .zip(span.out.chunks_mut(BLOCK_LANES * classes))
+            {
+                self.chunk_class_sums_into(chunk, span.scratch, o);
+            }
+        });
+    }
+
+    /// Evaluates one ≤[`BLOCK_LANES`]-datapoint chunk at the narrowest
+    /// strip width that covers it, writing `chunk.len() × classes` sums
+    /// into `out`.
+    fn chunk_class_sums_into(&self, chunk: &[BitVec], scratch: &mut TurboScratch, out: &mut [i32]) {
+        match chunk.len().div_ceil(LANES) {
+            0 => {}
+            1 => self.block_class_sums::<1>(chunk, scratch, out),
+            2 => self.block_class_sums::<2>(chunk, scratch, out),
+            3 => self.block_class_sums::<3>(chunk, scratch, out),
+            _ => self.block_class_sums::<4>(chunk, scratch, out),
+        }
+    }
+
+    /// Strip-width-`W` blocked evaluation of one chunk: bit-slice the
+    /// inputs, run every window tape over `W`-word strips, accumulate
+    /// fired clauses, then transpose one lane-word column at a time into
+    /// per-datapoint class sums.
+    fn block_class_sums<const W: usize>(
         &self,
         chunk: &[BitVec],
         scratch: &mut TurboScratch,
-        out: &mut Vec<Vec<i32>>,
+        out: &mut [i32],
     ) {
-        debug_assert!(chunk.len() <= LANES);
+        debug_assert!(chunk.len() <= W * LANES);
         let w = self.shape.bus_width;
         let c = self.shape.total_clauses();
-        scratch.lane_inputs.resize(w, 0);
-        scratch.nodes.resize(self.max_slots, 0);
-        scratch.window_out.resize(c, 0);
-        scratch.acc.resize(c, 0);
+        let classes = self.shape.classes;
+        debug_assert_eq!(out.len(), chunk.len() * classes);
+        // Buffers warm to full-strip size once; narrower strips borrow a
+        // prefix, so re-running at any width never reallocates.
+        scratch.lane_inputs.resize(w * BLOCK_WORDS, 0);
+        scratch.nodes.resize(self.max_slots * BLOCK_WORDS, 0);
+        scratch.acc.resize(c * BLOCK_WORDS, 0);
         scratch.lanes.resize(self.blocks * LANES, 0);
 
+        for x in chunk {
+            assert_eq!(x.len(), self.shape.features, "input width mismatch");
+        }
+        let acc = &mut scratch.acc[..c * W];
         // Empty clauses fire until a window vetoes them.
-        scratch.acc.fill(!0);
+        acc.fill(!0);
         for (k, program) in self.windows.iter().enumerate() {
-            // Bit-slice the chunk: lane word `b` collects window bit `b`
-            // of every datapoint. Unused lanes stay zero (an all-zero
-            // phantom datapoint) and are never read back.
-            scratch.lane_inputs.fill(0);
-            for (l, x) in chunk.iter().enumerate() {
-                assert_eq!(x.len(), self.shape.features, "input width mismatch");
-                let mut word = x.extract_word(k * w, w);
-                while word != 0 {
-                    let b = word.trailing_zeros() as usize;
-                    scratch.lane_inputs[b] |= 1u64 << l;
-                    word &= word - 1;
+            // Bit-slice the chunk one lane-word column at a time: gather
+            // up to 64 datapoints' window words and pivot them with one
+            // 64×64 transpose, so bit `b`'s strip holds window bit `b` of
+            // every datapoint (datapoint `l` → word `l/64`, bit `l%64`).
+            // Unused lanes stay zero (all-zero phantom datapoints) and
+            // are never read back.
+            let lane_inputs = &mut scratch.lane_inputs[..w * W];
+            for wi in 0..W {
+                let col = wi * LANES;
+                let mut gather = [0u64; LANES];
+                for (g, x) in gather.iter_mut().zip(&chunk[col.min(chunk.len())..]) {
+                    *g = x.extract_word(k * w, w);
+                }
+                transpose_64x64(&mut gather);
+                for (b, &word) in gather[..w].iter().enumerate() {
+                    lane_inputs[b * W + wi] = word;
                 }
             }
-            program.eval_lanes(
-                &scratch.lane_inputs,
-                &mut scratch.nodes,
-                &mut scratch.window_out,
-            );
-            for (a, o) in scratch.acc.iter_mut().zip(&scratch.window_out) {
-                *a &= *o;
+            let nodes = &mut scratch.nodes[..program.ops.len() * W];
+            program.eval_strip::<W>(lane_inputs, nodes);
+            for (cl, &s) in program.outputs.iter().enumerate() {
+                let s = s as usize * W;
+                for wd in 0..W {
+                    acc[cl * W + wd] &= nodes[s + wd];
+                }
             }
         }
 
-        // Pivot clause-major lane words into lane-major clause words.
-        for t in 0..self.blocks {
-            let dst = &mut scratch.lanes[t * LANES..(t + 1) * LANES];
-            for (j, d) in dst.iter_mut().enumerate() {
-                let cc = t * LANES + j;
-                *d = if cc < c { scratch.acc[cc] } else { 0 };
+        // One lane-word column (64 datapoints) at a time: pivot
+        // clause-major strips into lane-major clause words, then sum.
+        for wi in 0..W {
+            let col = wi * LANES;
+            if col >= chunk.len() {
+                break;
             }
-            transpose_64x64(dst);
-        }
-
-        for l in 0..chunk.len() {
-            let sums: Vec<i32> = self
-                .class_votes
-                .iter()
-                .map(|votes| {
-                    votes
-                        .iter()
-                        .map(|&(t, pos, neg)| {
-                            let word = scratch.lanes[t * LANES + l];
-                            (word & pos).count_ones() as i32 - (word & neg).count_ones() as i32
-                        })
-                        .sum()
-                })
-                .collect();
-            out.push(sums);
+            for t in 0..self.blocks {
+                let dst = &mut scratch.lanes[t * LANES..(t + 1) * LANES];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    let cc = t * LANES + j;
+                    *d = if cc < c { acc[cc * W + wi] } else { 0 };
+                }
+                transpose_64x64(dst);
+            }
+            for l in 0..(chunk.len() - col).min(LANES) {
+                let o = (col + l) * classes;
+                for (cls, votes) in self.class_votes.iter().enumerate() {
+                    let mut sum = 0i32;
+                    for &(t, pos, neg) in votes {
+                        let word = scratch.lanes[t * LANES + l];
+                        sum += (word & pos).count_ones() as i32 - (word & neg).count_ones() as i32;
+                    }
+                    out[o + cls] = sum;
+                }
+            }
         }
     }
 }
@@ -331,14 +654,29 @@ pub enum EngineBackend {
 /// counter, datapoint/transfer counts and observed-II statistics — from
 /// the architecture's closed-form timing.
 ///
+/// The engine owns its scratch arenas and flat sum buffer: once warmed it
+/// classifies batches allocation-free on the serial path
+/// ([`TurboEngine::run_datapoints_into`]; locked by
+/// `crates/sim/tests/no_alloc.rs`), and fans large batches out over
+/// `matador-par` according to the chunk cost model (see
+/// [`TurboEngine::set_chunk_threads`]).
+///
 /// Deliberately *not* modelled: per-cycle traces, stall injection and
 /// mid-stream pipeline state (the engine is always between drained
 /// states). Drivers needing those belong on the cycle-accurate backend.
 #[derive(Debug, Clone)]
 pub struct TurboEngine {
     program: TurboProgram,
-    /// Lane-word scratch reused across runs (grows once, on the first).
-    scratch: TurboScratch,
+    /// Scratch arenas reused across runs, one per chunk worker (grow
+    /// once, on first use at each worker count).
+    scratches: Vec<TurboScratch>,
+    /// Flat per-batch class sums (`classes` per datapoint), reused.
+    sums_flat: Vec<i32>,
+    /// Worker budget for intra-batch chunk fan-out (`None` = resolve
+    /// `matador_par::configured_threads` per run).
+    chunk_threads: Option<usize>,
+    /// Cost threshold per chunk worker, resolved once at construction.
+    chunk_threshold: u64,
     pipelined_sum: bool,
     capture_sums: bool,
     cycle: u64,
@@ -364,7 +702,10 @@ impl TurboEngine {
     pub fn from_program(program: TurboProgram) -> Self {
         TurboEngine {
             program,
-            scratch: TurboScratch::default(),
+            scratches: Vec::new(),
+            sums_flat: Vec::new(),
+            chunk_threads: None,
+            chunk_threshold: configured_chunk_threshold(),
             pipelined_sum: false,
             capture_sums: false,
             cycle: 0,
@@ -377,6 +718,11 @@ impl TurboEngine {
         }
     }
 
+    /// The compiled program this engine evaluates.
+    pub fn program(&self) -> &TurboProgram {
+        &self.program
+    }
+
     /// Models the two-stage (pipelined) class sum — one extra latency
     /// cycle per datapoint, exactly as on the cycle engine.
     pub fn set_pipelined_sum(&mut self, pipelined: bool) {
@@ -384,8 +730,35 @@ impl TurboEngine {
     }
 
     /// Enables capture of the class sums behind every subsequent result.
+    /// Capture copies each datapoint's sums into the log, so it is the
+    /// one engine feature that allocates per datapoint.
     pub fn set_capture_class_sums(&mut self, capture: bool) {
         self.capture_sums = capture;
+    }
+
+    /// Sets the worker budget for intra-batch chunk fan-out. `None`
+    /// (the default) resolves `matador_par::configured_threads` per run;
+    /// `Some(1)` pins the serial path — what a [`ShardPool`] running its
+    /// shards on worker threads sets, so shard- and chunk-level fan-out
+    /// never multiply.
+    ///
+    /// Results are bit-identical at every setting; this is purely a
+    /// scheduling knob.
+    ///
+    /// [`ShardPool`]: https://docs.rs/matador-serve
+    pub fn set_chunk_threads(&mut self, threads: Option<usize>) {
+        self.chunk_threads = threads;
+    }
+
+    /// Overrides the chunk cost threshold resolved at construction (see
+    /// [`configured_chunk_threshold`]).
+    pub fn set_chunk_threshold(&mut self, threshold: u64) {
+        self.chunk_threshold = threshold;
+    }
+
+    /// The chunk cost threshold in effect.
+    pub fn chunk_threshold(&self) -> u64 {
+        self.chunk_threshold
     }
 
     /// Class sums captured while capture was enabled, in result order.
@@ -406,8 +779,40 @@ impl TurboEngine {
     ///
     /// Panics if any input's width differs from the design's features.
     pub fn run_datapoints(&mut self, inputs: &[BitVec]) -> Result<Vec<SimResult>, SimError> {
+        let before = self.results.len();
+        self.run_datapoints_extend(inputs)?;
+        Ok(self.results[before..].to_vec())
+    }
+
+    /// [`TurboEngine::run_datapoints`] appending into a caller-owned
+    /// buffer instead of returning a fresh `Vec` — with `out` at
+    /// capacity and a warmed engine this performs zero heap allocations
+    /// (`crates/sim/tests/no_alloc.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; typed as [`SimError`] so drivers stay
+    /// backend-agnostic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width differs from the design's features.
+    pub fn run_datapoints_into(
+        &mut self,
+        inputs: &[BitVec],
+        out: &mut Vec<SimResult>,
+    ) -> Result<(), SimError> {
+        let before = self.results.len();
+        self.run_datapoints_extend(inputs)?;
+        out.extend_from_slice(&self.results[before..]);
+        Ok(())
+    }
+
+    /// The shared core: classifies `inputs` and appends to the engine's
+    /// own result log.
+    fn run_datapoints_extend(&mut self, inputs: &[BitVec]) -> Result<(), SimError> {
         if inputs.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let p = self.program.shape().num_packets() as u64;
         let base = self.cycle;
@@ -415,19 +820,24 @@ impl TurboEngine {
         // class sum (+ popcount stage) + argmax + output register),
         // steady-state II of P.
         let first_result = base + p + 2 + u64::from(self.pipelined_sum);
-        let before = self.results.len();
-        let mut sums_batch = Vec::with_capacity(inputs.len());
-        for chunk in inputs.chunks(LANES) {
-            self.program
-                .chunk_class_sums(chunk, &mut self.scratch, &mut sums_batch);
-        }
-        for (i, sums) in sums_batch.into_iter().enumerate() {
+        let threads = self
+            .chunk_threads
+            .unwrap_or_else(matador_par::configured_threads);
+        self.program.class_sums_flat_into(
+            inputs,
+            threads,
+            self.chunk_threshold,
+            &mut self.scratches,
+            &mut self.sums_flat,
+        );
+        let classes = self.program.shape().classes.max(1);
+        for (i, sums) in self.sums_flat.chunks(classes).enumerate() {
             self.results.push(SimResult {
-                winner: argmax(&sums),
+                winner: argmax(sums),
                 cycle: first_result + i as u64 * p,
             });
             if self.capture_sums {
-                self.sums_log.push(sums);
+                self.sums_log.push(sums.to_vec());
             }
         }
         let n = inputs.len() as u64;
@@ -440,7 +850,7 @@ impl TurboEngine {
         // II anchor).
         self.ii_cycles += (n - 1) * p;
         self.ii_samples += n - 1;
-        Ok(self.results[before..].to_vec())
+        Ok(())
     }
 
     /// Cycle at which datapoint `i` of a run started *now* would have its
@@ -545,10 +955,36 @@ mod tests {
         assert_eq!(t, m);
     }
 
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_transpose_matches_scalar() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return; // Nothing to compare on this host.
+        }
+        let mut s = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..32 {
+            let mut m = [0u64; 64];
+            for w in &mut m {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *w = s;
+            }
+            let mut scalar = m;
+            transpose_64x64_scalar(&mut scalar);
+            let mut vector = m;
+            // SAFETY: AVX2 was detected above; the array has 64 words.
+            unsafe { avx2::transpose_64x64_avx2(&mut vector) };
+            assert_eq!(scalar, vector);
+        }
+    }
+
     #[test]
     fn batch_sums_match_reference_across_chunk_boundaries() {
         let a = accel();
-        for n in [0usize, 1, 2, 63, 64, 65, 130] {
+        // Straddles every strip width (1–4 lane words) and the block
+        // boundary at 256.
+        for n in [0usize, 1, 2, 63, 64, 65, 130, 255, 256, 257, 300] {
             let xs = inputs(n);
             let sums = a.batch_class_sums(&xs);
             assert_eq!(sums.len(), n);
@@ -560,6 +996,33 @@ mod tests {
                 assert_eq!(*w, argmax(s));
             }
         }
+    }
+
+    #[test]
+    fn chunked_fan_out_is_bit_identical_at_any_worker_count() {
+        let a = accel();
+        let program = TurboProgram::compile(&a);
+        let xs = inputs(1000);
+        let serial = program.class_sums_chunked_with(&xs, 1, u64::MAX);
+        for threads in [2usize, 3, 8] {
+            // Threshold 0 forces maximal fan-out for the thread budget.
+            let par = program.class_sums_chunked_with(&xs, threads, 0);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_plan_respects_cost_threshold_and_block_count() {
+        let a = accel();
+        let program = TurboProgram::compile(&a);
+        assert!(program.chunk_cost() > 0);
+        // Below one threshold of work: serial no matter the budget.
+        assert_eq!(program.plan_workers(64, 16, u64::MAX), 1);
+        // Single block: serial.
+        assert_eq!(program.plan_workers(BLOCK_LANES, 16, 0), 1);
+        // Zero threshold: bounded by blocks and the thread budget.
+        assert_eq!(program.plan_workers(4 * BLOCK_LANES, 16, 0), 4);
+        assert_eq!(program.plan_workers(64 * BLOCK_LANES, 3, 0), 3);
     }
 
     #[test]
@@ -587,6 +1050,26 @@ mod tests {
             assert_eq!(turbo.observed_ii_cycles(), cycle.observed_ii_cycles());
             assert_eq!(turbo.observed_ii_samples(), cycle.observed_ii_samples());
         }
+    }
+
+    #[test]
+    fn run_datapoints_into_matches_run_datapoints() {
+        let a = accel();
+        let mut by_value = TurboEngine::new(&a);
+        let mut by_buffer = TurboEngine::new(&a);
+        by_buffer.set_chunk_threads(Some(1));
+        let mut out = Vec::new();
+        for n in [5usize, 64, 130] {
+            let xs = inputs(n);
+            let expected = by_value.run_datapoints(&xs).expect("infallible");
+            out.clear();
+            by_buffer
+                .run_datapoints_into(&xs, &mut out)
+                .expect("infallible");
+            assert_eq!(out, expected, "n={n}");
+        }
+        assert_eq!(by_buffer.results(), by_value.results());
+        assert_eq!(by_buffer.cycle(), by_value.cycle());
     }
 
     #[test]

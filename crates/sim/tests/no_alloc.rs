@@ -9,7 +9,7 @@
 
 use matador_logic::cube::{Cube, Lit};
 use matador_logic::dag::Sharing;
-use matador_sim::{AccelShape, CompiledAccelerator, SimEngine};
+use matador_sim::{AccelShape, CompiledAccelerator, SimEngine, SimResult, TurboEngine};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use tsetlin::bits::BitVec;
@@ -105,4 +105,34 @@ fn warmed_engine_steps_without_allocating() {
         );
         assert_eq!(sim.results().len(), 608, "all datapoints classified");
     }
+
+    // The turbo engine holds the same invariant on its blocked batch
+    // path: once the scratch arena and the caller's result vector have
+    // warmed, repeated whole-batch runs perform no heap allocation.
+    // Chunk fan-out is pinned serial — spawning worker threads allocates
+    // by necessity, which is exactly why the fan-out plan keeps small
+    // batches on the calling thread.
+    let mut turbo = TurboEngine::new(&a);
+    turbo.set_chunk_threads(Some(1));
+    // Warm as above: 600 datapoints push the engine's cumulative result
+    // log far from its next capacity doubling, so the measured runs
+    // (4 × 64 = 256 more results) append without reallocating.
+    let mut results: Vec<SimResult> = Vec::new();
+    turbo
+        .run_datapoints_into(&batch(600), &mut results)
+        .expect("infallible");
+    let xs = batch(64);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..4 {
+        results.clear();
+        turbo
+            .run_datapoints_into(&xs, &mut results)
+            .expect("infallible");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(after - before, 0, "warmed turbo batch run allocated");
+    assert_eq!(results.len(), 64, "all datapoints classified");
+    assert_eq!(turbo.datapoints(), 600 + 4 * 64);
 }

@@ -1,0 +1,167 @@
+//! Chunk fan-out equivalence: the blocked, chunk-parallel turbo
+//! evaluation must be bit-identical to the per-datapoint software
+//! reference at *any* worker count and *any* chunk threshold — across
+//! random architectural shapes (bus widths 4–64, ragged last windows)
+//! and batch sizes that straddle the 64-datapoint lane boundary and the
+//! 256-datapoint block boundary.
+//!
+//! Worker counts are passed explicitly through
+//! [`TurboProgram::class_sums_chunked_with`] rather than via the
+//! `MATADOR_THREADS` environment variable: the `_with` variant is the
+//! exact code path the environment default feeds into, and explicit
+//! arguments keep the test sound under cargo's parallel test execution.
+
+use matador_logic::dag::Sharing;
+use matador_sim::{AccelShape, CompiledAccelerator, TurboEngine, TurboProgram};
+use proptest::prelude::*;
+use tsetlin::bits::BitVec;
+use tsetlin::model::{IncludeMask, TrainedModel};
+use tsetlin::tm::argmax;
+
+fn arb_bitvec(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(BitVec::from_bools)
+}
+
+/// Arbitrary model over an arbitrary architecture: bus width 4..=64,
+/// 2..=4 classes, 1..=3 packets with a ragged (partially-filled) last
+/// window allowed.
+fn arb_model_and_bus() -> impl Strategy<Value = (TrainedModel, usize)> {
+    (4usize..=64, 2usize..=4, 1usize..3, 1usize..4).prop_flat_map(
+        |(bus, classes, half_clauses, packets)| {
+            let cpc = 2 * half_clauses;
+            // Last window ragged: anywhere from 1 bit to a full bus.
+            (1usize..=bus).prop_flat_map(move |last| {
+                let features = bus * (packets - 1) + last;
+                proptest::collection::vec(
+                    (arb_bitvec(features), arb_bitvec(features)),
+                    classes * cpc,
+                )
+                .prop_map(move |masks| {
+                    let includes = masks
+                        .into_iter()
+                        .map(|(pos, raw_neg)| IncludeMask {
+                            neg: raw_neg.and(&pos.not()),
+                            pos,
+                        })
+                        .collect();
+                    (
+                        TrainedModel::from_masks(features, classes, cpc, includes),
+                        bus,
+                    )
+                })
+            })
+        },
+    )
+}
+
+fn compile(model: &TrainedModel, bus: usize) -> CompiledAccelerator {
+    let shape = AccelShape {
+        bus_width: bus,
+        features: model.num_features(),
+        classes: model.num_classes(),
+        clauses_per_class: model.clauses_per_class(),
+    };
+    let windows = matador_logic::share::window_cubes(model, bus);
+    CompiledAccelerator::from_window_cubes(shape, &windows, Sharing::Enabled)
+}
+
+fn inputs(model: &TrainedModel, seed: u64, n: usize) -> Vec<BitVec> {
+    (0..n)
+        .map(|i| {
+            let s = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            BitVec::from_bools(
+                (0..model.num_features()).map(|b| (s.rotate_left(b as u32) >> (b % 64)) & 1 == 1),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every (worker count × chunk threshold) combination produces the
+    /// same class sums as the per-datapoint reference. Threshold 0
+    /// forces maximal fan-out; `u64::MAX` forces the serial blocked
+    /// path; 1 and 8 workers bracket the fan-out plan.
+    #[test]
+    fn chunked_sums_match_reference_at_any_plan(
+        (model, bus) in arb_model_and_bus(),
+        seed in any::<u64>(),
+        n_choice in 0usize..6,
+    ) {
+        // Straddle the 64-datapoint lane boundary and the 256-datapoint
+        // (four lane word) block boundary from both sides.
+        let n = [63usize, 64, 65, 255, 256, 257][n_choice];
+        let accel = compile(&model, bus);
+        let program = TurboProgram::compile(&accel);
+        let xs = inputs(&model, seed, n);
+        let reference: Vec<Vec<i32>> =
+            xs.iter().map(|x| accel.reference_class_sums(x)).collect();
+        for threads in [1usize, 8] {
+            for threshold in [0u64, u64::MAX] {
+                let sums = program.class_sums_chunked_with(&xs, threads, threshold);
+                prop_assert_eq!(&sums, &reference, "threads={} threshold={}", threads, threshold);
+            }
+        }
+        let winners = program.classify(&xs);
+        for (w, r) in winners.iter().zip(&reference) {
+            prop_assert_eq!(*w, argmax(r));
+        }
+    }
+
+    /// The engine's blocked path under a forced fan-out plan agrees with
+    /// the serial engine on results *and* analytic cycle stamps — the
+    /// plan may split a batch across workers, but timing is defined by
+    /// submission order alone.
+    #[test]
+    fn engine_fan_out_preserves_results_and_clock(
+        (model, bus) in arb_model_and_bus(),
+        seed in any::<u64>(),
+    ) {
+        let accel = compile(&model, bus);
+        let xs = inputs(&model, seed, 130);
+        let mut serial = TurboEngine::new(&accel);
+        serial.set_chunk_threads(Some(1));
+        let mut fanned = TurboEngine::new(&accel);
+        fanned.set_chunk_threads(Some(8));
+        fanned.set_chunk_threshold(0);
+        let from_serial = serial.run_datapoints(&xs).expect("infallible");
+        let from_fanned = fanned.run_datapoints(&xs).expect("infallible");
+        prop_assert_eq!(from_fanned, from_serial);
+        prop_assert_eq!(fanned.cycle(), serial.cycle());
+        prop_assert_eq!(fanned.observed_ii_cycles(), serial.observed_ii_cycles());
+    }
+}
+
+/// A full 1024-datapoint batch — four 256-lane blocks — fanned out at
+/// several worker counts, against the serial plan. Deterministic (not
+/// proptest): the batch is big enough that one case is the budget.
+#[test]
+fn large_batch_fan_out_matches_serial() {
+    let features = 100; // ragged: 100 = 32 * 3 + 4
+    let classes = 3;
+    let cpc = 4;
+    let includes: Vec<IncludeMask> = (0..classes * cpc)
+        .map(|c| {
+            let pos = BitVec::from_bools((0..features).map(|b| (b * 7 + c * 13) % 11 == 0));
+            let neg = BitVec::from_bools((0..features).map(|b| (b * 5 + c * 3) % 13 == 0));
+            IncludeMask {
+                neg: neg.and(&pos.not()),
+                pos,
+            }
+        })
+        .collect();
+    let model = TrainedModel::from_masks(features, classes, cpc, includes);
+    let accel = compile(&model, 32);
+    let program = TurboProgram::compile(&accel);
+    let xs = inputs(&model, 0xC0FF_EE00_D15E_A5E5, 1024);
+    let serial = program.class_sums_chunked_with(&xs, 1, u64::MAX);
+    assert_eq!(serial[0], accel.reference_class_sums(&xs[0]));
+    for threads in [2usize, 4, 8, 16] {
+        assert_eq!(
+            program.class_sums_chunked_with(&xs, threads, 0),
+            serial,
+            "threads={threads}"
+        );
+    }
+}
