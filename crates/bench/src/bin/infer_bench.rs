@@ -7,10 +7,12 @@
 //! backend exists to multiply. One KWS-6 model is trained (or
 //! cache-loaded), its accelerator generated (or cache-loaded), and every
 //! `backend × shard-count` cell serves the same batch on a warmed pool;
-//! the cell reports the best of several timed serves (sub-millisecond
-//! turbo runs are noise-dominated, and the best-of floor is the stable
-//! statistic). Winners are asserted bit-identical across all cells on
-//! every run.
+//! the cell reports the best of several timed repeats, and each repeat
+//! loops enough serves to cover at least 50 ms of wall-clock (recorded
+//! as `iters_per_repeat` in the artifact) — a single sub-millisecond
+//! turbo serve is timer-quantization noise, and the best-of floor over
+//! ≥50 ms windows is the stable statistic. Winners are asserted
+//! bit-identical across all cells on every run.
 //!
 //! ```text
 //! cargo run -p matador-bench --bin infer_bench --release -- \
@@ -135,8 +137,16 @@ struct Cell {
     shards: usize,
     wall_s: f64,
     inf_s: f64,
+    iters_per_repeat: usize,
     winners: Vec<usize>,
 }
+
+/// Minimum wall-clock one timed repeat must cover. Steady-state turbo
+/// serves finish in hundreds of microseconds — the same order as timer
+/// quantization and scheduler jitter — so a single serve per repeat
+/// measures noise. Each repeat loops enough serves to cross this floor
+/// and reports the mean per serve.
+const MIN_REPEAT_WALL_S: f64 = 0.050;
 
 fn backend_slug(backend: EngineBackend) -> &'static str {
     match backend {
@@ -160,13 +170,24 @@ fn measure(
     repeats: usize,
 ) -> Cell {
     let mut pool = ShardPool::with_options(accel, options).expect("positive shard count");
+    // The warming serve doubles as the calibration sample: its wall-clock
+    // sets how many serves one timed repeat must loop to cover
+    // `MIN_REPEAT_WALL_S`. (An upper clamp bounds calibration error from
+    // an anomalously fast warm-up.)
+    let start = Instant::now();
     pool.serve(batch).expect("engines drain");
+    let warm_wall_s = start.elapsed().as_secs_f64();
+    let iters_per_repeat =
+        ((MIN_REPEAT_WALL_S / warm_wall_s.max(1e-9)).ceil() as usize).clamp(1, 4096);
     let mut best_wall = f64::INFINITY;
     let mut winners = Vec::new();
     for _ in 0..repeats {
         let start = Instant::now();
+        for _ in 0..iters_per_repeat - 1 {
+            pool.serve(batch).expect("engines drain");
+        }
         let predictions = pool.serve(batch).expect("engines drain");
-        let wall_s = start.elapsed().as_secs_f64();
+        let wall_s = start.elapsed().as_secs_f64() / iters_per_repeat as f64;
         if wall_s < best_wall {
             best_wall = wall_s;
         }
@@ -177,6 +198,7 @@ fn measure(
         shards: options.shards,
         wall_s: best_wall,
         inf_s: batch.len() as f64 / best_wall.max(1e-9),
+        iters_per_repeat,
         winners,
     }
 }
@@ -234,11 +256,12 @@ fn run() -> Result<bool, matador::Error> {
             };
             let cell = measure(&accel, options, &batch, repeats);
             println!(
-                "  {:>14} shards={:<2} {:>12.0} inf/s  ({:.3}s)",
+                "  {:>14} shards={:<2} {:>12.0} inf/s  ({:.3}s, x{} serves/repeat)",
                 backend_slug(cell.backend),
                 cell.shards,
                 cell.inf_s,
-                cell.wall_s
+                cell.wall_s,
+                cell.iters_per_repeat
             );
             cells.push(cell);
         }
@@ -261,7 +284,7 @@ fn run() -> Result<bool, matador::Error> {
     // is the only parallelism in play, so these rows isolate how the
     // intra-shard path scales with `ServeOptions::threads`.
     println!();
-    let mut thread_rows: Vec<(usize, f64)> = Vec::new();
+    let mut thread_rows: Vec<(usize, f64, usize)> = Vec::new();
     for t in [1usize, 2, 4, 8] {
         let options = ServeOptions {
             threads: Some(t),
@@ -269,17 +292,17 @@ fn run() -> Result<bool, matador::Error> {
         };
         let cell = measure(&accel, options, &batch, args.repeats);
         println!(
-            "  turbo shards=1 threads={t:<2} {:>12.0} inf/s  ({:.3}s)",
-            cell.inf_s, cell.wall_s
+            "  turbo shards=1 threads={t:<2} {:>12.0} inf/s  ({:.3}s, x{})",
+            cell.inf_s, cell.wall_s, cell.iters_per_repeat
         );
         assert_eq!(cell.winners, cells[0].winners, "thread scaling diverged");
-        thread_rows.push((t, cell.inf_s));
+        thread_rows.push((t, cell.inf_s, cell.iters_per_repeat));
     }
 
     // Optional chunk-threshold sweep: single-shard turbo across a ladder
     // of thresholds. Low thresholds fan small batches out aggressively;
     // `u64::MAX` forces the serial path at any batch size.
-    let mut sweep_rows: Vec<(u64, f64)> = Vec::new();
+    let mut sweep_rows: Vec<(u64, f64, usize)> = Vec::new();
     if args.sweep_chunk {
         println!();
         for threshold in [1u64 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, u64::MAX] {
@@ -293,7 +316,7 @@ fn run() -> Result<bool, matador::Error> {
                 cell.inf_s
             );
             assert_eq!(cell.winners, cells[0].winners, "chunk sweep diverged");
-            sweep_rows.push((threshold, cell.inf_s));
+            sweep_rows.push((threshold, cell.inf_s, cell.iters_per_repeat));
         }
     }
 
@@ -322,24 +345,26 @@ fn run() -> Result<bool, matador::Error> {
     for c in &cells {
         artifact.push_row(format!(
             "{{\"backend\": \"{}\", \"shards\": {}, \"wall_s\": {:.6}, \
-             \"inf_s\": {:.1}, \"speedup_vs_baseline\": {:.2}}}",
+             \"inf_s\": {:.1}, \"speedup_vs_baseline\": {:.2}, \"iters_per_repeat\": {}}}",
             backend_slug(c.backend),
             c.shards,
             c.wall_s,
             c.inf_s,
-            c.inf_s / baseline
+            c.inf_s / baseline,
+            c.iters_per_repeat
         ));
     }
-    for &(t, inf_s) in &thread_rows {
+    for &(t, inf_s, iters) in &thread_rows {
         artifact.push_row(format!(
             "{{\"sweep\": \"thread_scaling\", \"backend\": \"turbo\", \"shards\": 1, \
-             \"threads\": {t}, \"inf_s\": {inf_s:.1}}}"
+             \"threads\": {t}, \"inf_s\": {inf_s:.1}, \"iters_per_repeat\": {iters}}}"
         ));
     }
-    for &(threshold, inf_s) in &sweep_rows {
+    for &(threshold, inf_s, iters) in &sweep_rows {
         artifact.push_row(format!(
             "{{\"sweep\": \"chunk_threshold\", \"backend\": \"turbo\", \"shards\": 1, \
-             \"chunk_threshold\": {threshold}, \"inf_s\": {inf_s:.1}}}"
+             \"chunk_threshold\": {threshold}, \"inf_s\": {inf_s:.1}, \
+             \"iters_per_repeat\": {iters}}}"
         ));
     }
     artifact.write(&args.out).map_err(matador::Error::other)?;

@@ -46,6 +46,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+pub mod reactor;
+
 /// Name of the environment variable overriding the worker count.
 pub const THREADS_ENV: &str = "MATADOR_THREADS";
 

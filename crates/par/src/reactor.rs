@@ -1,0 +1,214 @@
+//! Minimal reactor primitives for event-driven serving loops.
+//!
+//! The vendored-stub build environment has no async runtime, and the
+//! workspace's determinism contract rules out wall-clock-driven control
+//! flow anyway. This module provides the two pieces an open-submission
+//! serving front-end actually needs, in the same dependency-free idiom as
+//! the thread pool:
+//!
+//! - [`TimerWheel`]: a deterministic deadline queue over an abstract
+//!   monotonic tick (virtual cycles in the serving runtime). Arming,
+//!   expiry order and tie-breaking are pure functions of the armed
+//!   `(tick, token)` pairs — never of insertion timing or threads — so a
+//!   reactor built on it replays bit-identically from a recorded trace.
+//! - [`Parker`]: a Mutex+Condvar thread-parking primitive for *real-time*
+//!   drivers that sleep between submissions. It carries no notion of what
+//!   time it is — callers park until a notification or a timeout and then
+//!   consult their own clock — so the deterministic virtual-time path
+//!   never touches it.
+//!
+//! ```
+//! use matador_par::reactor::TimerWheel;
+//!
+//! let mut timers = TimerWheel::new();
+//! timers.arm(30, 1);
+//! timers.arm(10, 2);
+//! timers.arm(10, 1);
+//! assert_eq!(timers.next_deadline(), Some(10));
+//! // Expiry is (tick, token)-ordered: deterministic under ties.
+//! assert_eq!(timers.pop_expired(10), vec![(10, 1), (10, 2)]);
+//! assert_eq!(timers.next_deadline(), Some(30));
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A deterministic deadline queue: `(tick, token)` pairs expire in
+/// ascending `(tick, token)` order.
+///
+/// Tokens are caller-defined event identities (e.g. *idle flush* vs
+/// *deadline check*). The wheel does not deduplicate: arming the same
+/// token twice yields two expiries, which is what lazy cancellation
+/// wants — a reactor re-arms freely and discards stale expiries by
+/// checking them against its current state.
+#[derive(Debug, Default, Clone)]
+pub struct TimerWheel {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel::default()
+    }
+
+    /// Arms `token` to expire at `tick`.
+    pub fn arm(&mut self, tick: u64, token: u64) {
+        self.heap.push(Reverse((tick, token)));
+    }
+
+    /// The earliest armed tick, if any timer is pending.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((tick, _))| *tick)
+    }
+
+    /// Pops every timer with `tick <= now`, in ascending `(tick, token)`
+    /// order.
+    pub fn pop_expired(&mut self, now: u64) -> Vec<(u64, u64)> {
+        let mut expired = Vec::new();
+        while let Some(Reverse((tick, token))) = self.heap.peek().copied() {
+            if tick > now {
+                break;
+            }
+            self.heap.pop();
+            expired.push((tick, token));
+        }
+        expired
+    }
+
+    /// Number of armed timers (stale re-arms included).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no timers are armed.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Shared notification state behind a [`Parker`]/[`Unparker`] pair.
+#[derive(Debug, Default)]
+struct ParkState {
+    notified: Mutex<bool>,
+    condvar: Condvar,
+}
+
+/// The waiting half of a park/unpark pair: blocks the serving thread
+/// between submissions without spinning.
+///
+/// Notifications are sticky — an [`Unparker::unpark`] that lands while
+/// the parker is running makes the *next* park return immediately, so a
+/// submission can never slip between "queue checked empty" and "thread
+/// parked".
+#[derive(Debug, Default)]
+pub struct Parker {
+    state: Arc<ParkState>,
+}
+
+/// The waking half of a [`Parker`]; cheap to clone into submitting
+/// threads.
+#[derive(Debug, Clone)]
+pub struct Unparker {
+    state: Arc<ParkState>,
+}
+
+impl Parker {
+    /// A fresh parker with no pending notification.
+    pub fn new() -> Self {
+        Parker::default()
+    }
+
+    /// A waker handle for this parker.
+    pub fn unparker(&self) -> Unparker {
+        Unparker {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Blocks until an unpark arrives or `timeout` elapses. Returns
+    /// `true` when woken by an unpark (consumed), `false` on timeout.
+    pub fn park_timeout(&self, timeout: Duration) -> bool {
+        let mut notified = self
+            .state
+            .notified
+            .lock()
+            .expect("parker mutex never poisons: no panics while held");
+        if !*notified {
+            let (guard, _) = self
+                .state
+                .condvar
+                .wait_timeout(notified, timeout)
+                .expect("parker mutex never poisons: no panics while held");
+            notified = guard;
+        }
+        std::mem::take(&mut *notified)
+    }
+}
+
+impl Unparker {
+    /// Wakes the parked thread (or makes its next park return
+    /// immediately).
+    pub fn unpark(&self) {
+        let mut notified = self
+            .state
+            .notified
+            .lock()
+            .expect("parker mutex never poisons: no panics while held");
+        *notified = true;
+        self.state.condvar.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_expire_in_tick_then_token_order() {
+        let mut wheel = TimerWheel::new();
+        wheel.arm(5, 9);
+        wheel.arm(3, 2);
+        wheel.arm(5, 1);
+        wheel.arm(8, 0);
+        assert_eq!(wheel.next_deadline(), Some(3));
+        assert_eq!(wheel.pop_expired(5), vec![(3, 2), (5, 1), (5, 9)]);
+        assert_eq!(wheel.next_deadline(), Some(8));
+        assert_eq!(wheel.pop_expired(7), vec![]);
+        assert_eq!(wheel.pop_expired(100), vec![(8, 0)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn duplicate_arms_both_expire() {
+        let mut wheel = TimerWheel::new();
+        wheel.arm(4, 7);
+        wheel.arm(2, 7);
+        assert_eq!(wheel.len(), 2);
+        assert_eq!(wheel.pop_expired(4), vec![(2, 7), (4, 7)]);
+    }
+
+    #[test]
+    fn unpark_before_park_is_sticky() {
+        let parker = Parker::new();
+        parker.unparker().unpark();
+        assert!(parker.park_timeout(Duration::from_secs(0)));
+        // The notification was consumed: the next park times out.
+        assert!(!parker.park_timeout(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn unpark_wakes_a_parked_thread() {
+        let parker = Parker::new();
+        let unparker = parker.unparker();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                unparker.unpark();
+            });
+            assert!(parker.park_timeout(Duration::from_secs(5)));
+        });
+    }
+}

@@ -40,6 +40,25 @@ pub enum ServeError {
         /// Index of the offending shard spec.
         shard: usize,
     },
+    /// A tenant's token bucket is empty: the front-end's per-tenant rate
+    /// limit rejected the submission. Typed backpressure, like
+    /// [`ServeError::QueueFull`], but scoped to one tenant — other
+    /// tenants keep being admitted.
+    QuotaExceeded {
+        /// The rate-limited tenant.
+        tenant: u32,
+        /// Cycles until the bucket has refilled enough for one request.
+        retry_cycles: u64,
+    },
+    /// A submission's deadline already lies inside the pool's minimum
+    /// service latency — no schedule could meet it, so the front-end
+    /// rejects at admission instead of accepting a guaranteed miss.
+    DeadlineUnmeetable {
+        /// The requested absolute deadline (cycles).
+        deadline: u64,
+        /// The earliest cycle a reply could possibly be delivered.
+        earliest: u64,
+    },
     /// A shard's cycle engine failed to drain (a hang on that shard).
     Shard {
         /// Index of the failing shard.
@@ -73,6 +92,21 @@ impl fmt::Display for ServeError {
             }
             ServeError::ZeroWeight { shard } => {
                 write!(f, "shard spec {shard} has dispatch weight zero")
+            }
+            ServeError::QuotaExceeded {
+                tenant,
+                retry_cycles,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant} quota exhausted: retry in {retry_cycles} cycles"
+                )
+            }
+            ServeError::DeadlineUnmeetable { deadline, earliest } => {
+                write!(
+                    f,
+                    "deadline {deadline} is unmeetable: earliest possible delivery is {earliest}"
+                )
             }
             ServeError::Shard { shard, error } => {
                 write!(f, "shard {shard} failed: {error}")
@@ -115,6 +149,18 @@ mod tests {
         assert!(ServeError::ZeroWeight { shard: 2 }
             .to_string()
             .contains("2"));
+        let e = ServeError::QuotaExceeded {
+            tenant: 7,
+            retry_cycles: 640,
+        };
+        assert!(e.to_string().contains("tenant 7"));
+        assert!(e.to_string().contains("640"));
+        let e = ServeError::DeadlineUnmeetable {
+            deadline: 100,
+            earliest: 105,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("105"));
     }
 
     #[test]

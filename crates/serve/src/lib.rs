@@ -60,6 +60,7 @@
 
 pub mod dispatch;
 pub mod error;
+pub mod front;
 pub mod pool;
 pub mod queue;
 pub mod report;
@@ -68,9 +69,12 @@ pub mod spec;
 
 pub use dispatch::{DispatchPolicy, Dispatcher, ShardLoad, ShardProfile};
 pub use error::ServeError;
+pub use front::{
+    BatchRecord, FlushTrigger, Front, FrontOptions, Reply, TenantQuota, MILLITOKENS_PER_REQUEST,
+};
 pub use matador_sim::EngineBackend;
 pub use pool::{Prediction, ServeOptions, ShardPool};
 pub use queue::{Request, RequestQueue, DEFAULT_QUEUE_DEPTH};
-pub use report::{ShardStats, ThroughputReport};
+pub use report::{percentile_per_mille, ShardStats, ThroughputReport};
 pub use session::ServeSession;
 pub use spec::ShardSpec;

@@ -152,6 +152,11 @@ pub struct Prediction {
     pub shard: usize,
     /// First packet acceptance → `result_valid`, inclusive, on that shard.
     pub latency_cycles: u64,
+    /// Shard-local cycle at which `result_valid` asserted (cumulative
+    /// over the shard's lifetime, not per flush). Together with `shard`
+    /// this orders completions *within* a flush deterministically — the
+    /// key the front-end's reorder stage sequences replies by.
+    pub completed_at_cycle: u64,
     /// Class sums behind the winner, when
     /// [`ServeOptions::capture_class_sums`] is set.
     pub class_sums: Option<Vec<i32>>,
@@ -206,6 +211,9 @@ pub struct ShardPool<'a> {
     threads: Option<usize>,
     /// Distinct feature widths the pool admits, ascending.
     widths: Vec<usize>,
+    /// Whether each shard models the two-stage (pipelined) class sum —
+    /// one extra cycle of result latency on that shard.
+    pipelined: Vec<bool>,
     /// Per-request latency samples, pool lifetime.
     latencies: Vec<u64>,
     /// Cost of one lane word on the shared turbo tape — `Some` exactly
@@ -379,6 +387,7 @@ impl<'a> ShardPool<'a> {
             capture_sums: options.capture_class_sums,
             threads: options.threads,
             widths: vec![accel.shape().features],
+            pipelined: vec![options.pipelined_sum; options.shards],
             latencies: Vec::new(),
             shared_chunk_cost,
             chunk_threshold,
@@ -447,6 +456,7 @@ impl<'a> ShardPool<'a> {
             capture_sums: options.capture_class_sums,
             threads: options.threads,
             widths,
+            pipelined: specs.iter().map(|s| s.pipelined_sum).collect(),
             latencies: Vec::new(),
             shared_chunk_cost: None,
             chunk_threshold,
@@ -514,8 +524,91 @@ impl<'a> ShardPool<'a> {
         &self.latencies
     }
 
+    /// Each shard's cumulative engine cycle count, shard-index order —
+    /// the time base [`Prediction::completed_at_cycle`] stamps live on.
+    /// A snapshot taken before a flush turns those stamps into per-flush
+    /// completion offsets, which is how the front-end maps shard-local
+    /// cycles onto its own clock.
+    pub fn shard_cycles(&self) -> Vec<u64> {
+        self.engines.iter().map(|e| e.load().cycles).collect()
+    }
+
+    /// The pool's minimum possible request latency in cycles: the fastest
+    /// shard's first-packet→result time for a lone request on an idle
+    /// engine (`P` packet beats + 3 fixed stages, +1 when that shard's
+    /// class sum is pipelined). No admission schedule can deliver a reply
+    /// sooner, so a deadline inside this floor is unmeetable by
+    /// construction.
+    pub fn latency_floor_cycles(&self) -> u64 {
+        self.designs
+            .iter()
+            .zip(&self.pipelined)
+            .map(|(design, &pipelined)| {
+                design.shape().num_packets() as u64 + 3 + u64::from(pipelined)
+            })
+            .min()
+            .expect("a pool always has at least one shard")
+    }
+
+    /// Modeled steady-state cycles per result on one shard: the pooled
+    /// observed result-to-result gap when any shard has history, else the
+    /// bandwidth-bound fallback (the widest design's beats per datapoint —
+    /// a deliberately conservative cold-start estimate). This is the drain
+    /// model behind deadline-aware batch coalescing.
+    pub fn modeled_ii_cycles(&self) -> u64 {
+        let (cycles, samples) = self
+            .engines
+            .iter()
+            .map(PoolEngine::load)
+            .fold((0u64, 0u64), |(c, n), load| {
+                (c + load.ii_cycles, n + load.ii_samples)
+            });
+        if samples > 0 {
+            cycles.div_ceil(samples)
+        } else {
+            self.designs
+                .iter()
+                .map(|d| d.shape().num_packets() as u64)
+                .max()
+                .expect("a pool always has at least one shard")
+        }
+    }
+
+    /// Shards a flush of `pending` requests would actually execute on:
+    /// 1 when the pool's flush-consolidation heuristic would run the
+    /// whole flush on a single shard, the full shard count otherwise.
+    /// The front-end's drain model divides by this, not the raw shard
+    /// count — a consolidated flush drains serially, and pretending it
+    /// spreads would fire deadline-pressure flushes far too late.
+    pub fn flush_spread(&self, pending: usize) -> usize {
+        if pending > 0 && self.single_executor(pending).is_some() {
+            1
+        } else {
+            self.engines.len()
+        }
+    }
+
+    /// Bus beats one datapoint of `width` features costs on the cheapest
+    /// compatible shard — the unit the front-end's fair queueing charges
+    /// per request. Falls back to 1 for widths the pool does not admit
+    /// (admission rejects those before any costing happens).
+    pub fn beats_for_width(&self, width: usize) -> u64 {
+        self.designs
+            .iter()
+            .filter(|d| d.shape().features == width)
+            .map(|d| d.shape().num_packets() as u64)
+            .min()
+            .unwrap_or(1)
+    }
+
     /// Checks a datapoint width against the pool's admitted widths.
-    fn check_width(&self, got: usize) -> Result<(), ServeError> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WidthMismatch`] (single-width pool) or
+    /// [`ServeError::NoCompatibleShard`] (mixed pool) for a width no
+    /// shard accepts.
+    pub fn check_width(&self, got: usize) -> Result<(), ServeError> {
         if self.widths.binary_search(&got).is_ok() {
             return Ok(());
         }
@@ -668,6 +761,7 @@ impl<'a> ShardPool<'a> {
                     winner: output.results[j].winner,
                     shard,
                     latency_cycles: latency,
+                    completed_at_cycle: output.results[j].cycle,
                     class_sums: self.capture_sums.then(|| output.class_sums[j].clone()),
                 });
             }
@@ -685,7 +779,18 @@ impl<'a> ShardPool<'a> {
     /// shard can take it whole: the only shard of a one-shard pool, or —
     /// on a homogeneous turbo pool with consolidation enabled — the
     /// least-loaded shard (tie → lowest index) when the flush carries
-    /// less than one chunk threshold of tape work per shard.
+    /// less than one consolidation floor of tape work per shard.
+    ///
+    /// The floor is the chunk threshold *clamped to the built-in default*:
+    /// `chunk_threshold` is an intra-shard fan-out knob whose `u64::MAX`
+    /// sentinel means "never chunk", and before the clamp that sentinel
+    /// leaked into this decision — `spread_floor` saturated to `u64::MAX`
+    /// and every flush, however large, consolidated onto a single shard,
+    /// silently turning a multi-shard pool into one shard. Clamping keeps
+    /// the two knobs decoupled: threshold `0` still disables consolidation
+    /// (every flush spreads), the default passes through unchanged, and
+    /// `u64::MAX` disables chunking only, leaving consolidation at the
+    /// default floor.
     fn single_executor(&self, pending: usize) -> Option<usize> {
         if self.engines.len() == 1 {
             return Some(0);
@@ -695,10 +800,8 @@ impl<'a> ShardPool<'a> {
             return None;
         }
         let lane_words = pending.div_ceil(matador_sim::LANES) as u64;
-        let spread_floor = self
-            .chunk_threshold
-            .saturating_mul(self.engines.len() as u64);
-        if chunk_cost.saturating_mul(lane_words) >= spread_floor {
+        let batch_cost = chunk_cost.saturating_mul(lane_words);
+        if !Self::flush_consolidates(batch_cost, self.chunk_threshold, self.engines.len() as u64) {
             return None;
         }
         self.engines
@@ -706,6 +809,22 @@ impl<'a> ShardPool<'a> {
             .enumerate()
             .min_by_key(|(i, e)| (e.load().cycles, *i))
             .map(|(i, _)| i)
+    }
+
+    /// Whether a flush of `batch_cost` tape work (chunk cost × lane
+    /// words) may consolidate onto one shard of a `shards`-shard pool.
+    ///
+    /// The per-shard floor is `chunk_threshold` clamped to
+    /// [`matador_sim::DEFAULT_CHUNK_THRESHOLD`]: the threshold's
+    /// `u64::MAX` sentinel ("never chunk") must not leak into the
+    /// consolidation decision, where it would saturate the floor and
+    /// consolidate *every* flush — see [`ShardPool::single_executor`].
+    /// Threshold `0` keeps its "always spread" meaning for both knobs.
+    fn flush_consolidates(batch_cost: u64, chunk_threshold: u64, shards: u64) -> bool {
+        let spread_floor = chunk_threshold
+            .min(matador_sim::DEFAULT_CHUNK_THRESHOLD)
+            .saturating_mul(shards);
+        batch_cost < spread_floor
     }
 
     /// Runs one whole flush on `shard`, inline on the caller — the
@@ -738,6 +857,7 @@ impl<'a> ShardPool<'a> {
                 winner: output.results[j].winner,
                 shard,
                 latency_cycles: output.results[j].cycle - output.first_beats[j] + 1,
+                completed_at_cycle: output.results[j].cycle,
                 class_sums: self.capture_sums.then(|| output.class_sums[j].clone()),
             })
             .collect();
@@ -771,6 +891,7 @@ impl<'a> ShardPool<'a> {
                 winner: result.winner,
                 shard,
                 latency_cycles: result.cycle - output.first_beats[j] + 1,
+                completed_at_cycle: result.cycle,
                 class_sums: self.capture_sums.then(|| output.class_sums[j].clone()),
             })
             .collect();
@@ -1202,6 +1323,67 @@ mod tests {
         }
     }
 
+    /// Pins the consolidation decision at the three interesting
+    /// thresholds. The `u64::MAX` rows are the regression for the
+    /// sentinel-overflow bug: pre-fix, `spread_floor` saturated to
+    /// `u64::MAX` and a flush of *any* cost consolidated, so a
+    /// multi-shard pool sweeping `chunk_threshold = u64::MAX` (the
+    /// documented "disable chunk fan-out" sentinel) silently served every
+    /// flush from one shard.
+    #[test]
+    fn consolidation_floor_is_decoupled_from_the_chunk_sentinel() {
+        use matador_sim::DEFAULT_CHUNK_THRESHOLD as DEFAULT;
+        let consolidates =
+            |cost: u64, threshold: u64| ShardPool::flush_consolidates(cost, threshold, 4);
+        // Threshold 0: consolidation disabled, every flush spreads.
+        assert!(!consolidates(0, 0));
+        assert!(!consolidates(1, 0));
+        // Default threshold: small flushes consolidate, big ones spread.
+        assert!(consolidates(4 * DEFAULT - 1, DEFAULT));
+        assert!(!consolidates(4 * DEFAULT, DEFAULT));
+        // u64::MAX sentinel: chunking is disabled, but consolidation must
+        // keep the *default* floor — a batch past it still spreads over
+        // the shards. Pre-fix both asserts below failed.
+        assert!(!consolidates(4 * DEFAULT, u64::MAX));
+        assert!(!consolidates(u64::MAX, u64::MAX));
+        // ... while genuinely small flushes still consolidate at MAX,
+        // exactly as they do at the default.
+        assert!(consolidates(4 * DEFAULT - 1, u64::MAX));
+        // In-between thresholds below the default pass through unclamped.
+        assert!(consolidates(4 * 100 - 1, 100));
+        assert!(!consolidates(4 * 100, 100));
+    }
+
+    #[test]
+    fn chunk_sentinel_pool_still_consolidates_small_flushes() {
+        // Pool-level companion to the pure-function regression: with the
+        // sentinel threshold a small flush behaves exactly as it does at
+        // the default — consolidated onto the least-loaded shard — and a
+        // zero threshold spreads even a tiny flush round-robin.
+        let a = accel();
+        let serve_shards = |threshold: u64| {
+            let mut options = ServeOptions::turbo(4);
+            options.chunk_threshold = Some(threshold);
+            let mut pool = ShardPool::with_options(&a, options).expect("valid");
+            pool.serve(&inputs(8))
+                .expect("drains")
+                .iter()
+                .map(|p| p.shard)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(serve_shards(u64::MAX), vec![0; 8], "sentinel consolidates");
+        assert_eq!(
+            serve_shards(matador_sim::DEFAULT_CHUNK_THRESHOLD),
+            vec![0; 8],
+            "default consolidates"
+        );
+        assert_eq!(
+            serve_shards(0),
+            vec![0, 1, 2, 3, 0, 1, 2, 3],
+            "threshold 0 spreads round-robin"
+        );
+    }
+
     #[test]
     fn consolidation_off_spreads_even_tiny_turbo_flushes() {
         let a = accel();
@@ -1273,6 +1455,51 @@ mod tests {
         // schedules the batch itself evenly (4/4 → 11 cycles).
         assert_eq!(lq_makespan, 13);
         assert_eq!(la_makespan, 11);
+    }
+
+    #[test]
+    fn drain_model_accessors_reflect_the_designs() {
+        let a = accel(); // 2 packets/datapoint
+        let mut pool = ShardPool::new(&a, 2).expect("valid");
+        assert_eq!(pool.latency_floor_cycles(), 2 + 3);
+        assert_eq!(pool.beats_for_width(8), 2);
+        assert_eq!(pool.beats_for_width(99), 1, "unserved width falls back");
+        // No steady-state history yet: the bandwidth-bound fallback.
+        assert_eq!(pool.modeled_ii_cycles(), 2);
+        assert_eq!(pool.shard_cycles(), vec![0, 0]);
+        pool.serve(&inputs(8)).expect("drains");
+        assert!(pool.shard_cycles().iter().all(|&c| c > 0));
+        // Back-to-back streaming observes the bandwidth-bound II.
+        assert_eq!(pool.modeled_ii_cycles(), 2);
+        // A pipelined class sum raises the floor by its extra cycle.
+        let mut opts = ServeOptions::new(1);
+        opts.pipelined_sum = true;
+        let pool = ShardPool::with_options(&a, opts).expect("valid");
+        assert_eq!(pool.latency_floor_cycles(), 2 + 4);
+    }
+
+    #[test]
+    fn completion_stamps_match_shard_clocks() {
+        let a = accel();
+        let mut pool = ShardPool::new(&a, 2).expect("valid");
+        let before = pool.shard_cycles();
+        let preds = pool.serve(&inputs(6)).expect("drains");
+        let after = pool.shard_cycles();
+        for p in &preds {
+            // Stamps live on the shard-local clock, inside this flush.
+            assert!(p.completed_at_cycle > before[p.shard], "{p:?}");
+            assert!(p.completed_at_cycle <= after[p.shard], "{p:?}");
+        }
+        // Within one shard, stamps are strictly increasing in
+        // submission order — the reorder stage's ordering key.
+        for shard in 0..2 {
+            let stamps: Vec<u64> = preds
+                .iter()
+                .filter(|p| p.shard == shard)
+                .map(|p| p.completed_at_cycle)
+                .collect();
+            assert!(stamps.windows(2).all(|w| w[0] < w[1]), "{stamps:?}");
+        }
     }
 
     // --- heterogeneous pools ---

@@ -103,7 +103,7 @@ impl RequestQueue {
     ///
     /// [`push`]: RequestQueue::push
     pub fn admit_block(&mut self, n: usize) -> Result<u64, ServeError> {
-        if self.pending.len() + n > self.capacity {
+        if self.pending.len().saturating_add(n) > self.capacity {
             self.rejected += 1;
             return Err(ServeError::QueueFull {
                 capacity: self.capacity,

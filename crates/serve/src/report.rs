@@ -5,6 +5,21 @@
 //! clocked together, so the pool finishes when its *slowest* shard
 //! finishes — pool cycles are the maximum over shard cycles, not the sum —
 //! while datapoints, transfers and stalls add across shards.
+//!
+//! ## Latency time base
+//!
+//! Every latency sample entering [`ThroughputReport::merge`] is a
+//! **duration** in cycles, not a timestamp: first-packet acceptance →
+//! `result_valid`, measured on the executing shard's own clock. Durations
+//! are origin-free, which is what makes cross-batch aggregation sound —
+//! a [`crate::ServeSession`] runs each batch on a fresh pool whose shard
+//! clocks restart at zero, and concatenating *timestamps* across batches
+//! would silently mix incomparable origins. The front-end's per-request
+//! samples are durations on a different span (admission → delivery on the
+//! front's virtual clock, so they include queueing, batching and reorder
+//! wait); both spans quote the same clock, so their percentiles are
+//! directly comparable — the front-end's are an upper bound on the pool's
+//! service-only numbers.
 
 use serde::{Deserialize, Serialize};
 
@@ -59,11 +74,16 @@ pub struct ThroughputReport {
     pub latency_p95_cycles: u64,
     /// 99th-percentile per-request latency in cycles.
     pub latency_p99_cycles: u64,
+    /// 99.9th-percentile per-request latency in cycles — the tail the
+    /// serving front-end's SLO gate rides on.
+    pub latency_p999_cycles: u64,
 }
 
 impl ThroughputReport {
     /// Merges per-shard statistics and the pool-wide per-request latency
-    /// samples into one report. `latencies` need not be sorted.
+    /// samples into one report. `latencies` need not be sorted; each
+    /// sample must be a cycle *duration* (see the module docs on the
+    /// latency time base).
     pub fn merge(shards: Vec<ShardStats>, latencies: &[u64]) -> ThroughputReport {
         let pool_cycles = shards.iter().map(|s| s.cycles).max().unwrap_or(0);
         let datapoints = shards.iter().map(|s| s.datapoints).sum();
@@ -73,9 +93,10 @@ impl ThroughputReport {
             shards,
             pool_cycles,
             datapoints,
-            latency_p50_cycles: percentile(&sorted, 50),
-            latency_p95_cycles: percentile(&sorted, 95),
-            latency_p99_cycles: percentile(&sorted, 99),
+            latency_p50_cycles: percentile_per_mille(&sorted, 500),
+            latency_p95_cycles: percentile_per_mille(&sorted, 950),
+            latency_p99_cycles: percentile_per_mille(&sorted, 990),
+            latency_p999_cycles: percentile_per_mille(&sorted, 999),
         }
     }
 
@@ -106,12 +127,17 @@ impl ThroughputReport {
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample set (0 when
-/// empty) — deterministic, no interpolation.
-fn percentile(sorted: &[u64], pct: u32) -> u64 {
+/// empty), expressed in per-mille so sub-percent tails (p99.9 = 999‰)
+/// stay in integer arithmetic — deterministic, no interpolation.
+/// Shared by [`ThroughputReport::merge`] and the load generator's
+/// tail-latency artifact so both quote the same statistic.
+pub fn percentile_per_mille(sorted: &[u64], per_mille: u32) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = (sorted.len() as u64 * u64::from(pct)).div_ceil(100).max(1);
+    let rank = (sorted.len() as u64 * u64::from(per_mille))
+        .div_ceil(1_000)
+        .max(1);
     sorted[(rank - 1) as usize]
 }
 
@@ -154,10 +180,17 @@ mod tests {
         assert_eq!(r.latency_p50_cycles, 50);
         assert_eq!(r.latency_p95_cycles, 95);
         assert_eq!(r.latency_p99_cycles, 99);
+        // 100 samples cannot resolve a 1-in-1000 tail: nearest rank for
+        // p99.9 is ceil(100 * 999 / 1000) = 100, the maximum.
+        assert_eq!(r.latency_p999_cycles, 100);
+        let lat: Vec<u64> = (1..=2_000).collect();
+        let r = ThroughputReport::merge(vec![stats(0, 1, 1)], &lat);
+        assert_eq!(r.latency_p999_cycles, 1_998);
         // Singleton and empty sample sets stay well-defined.
         let single = ThroughputReport::merge(vec![stats(0, 1, 1)], &[42]);
         assert_eq!(single.latency_p50_cycles, 42);
         assert_eq!(single.latency_p99_cycles, 42);
+        assert_eq!(single.latency_p999_cycles, 42);
         let empty = ThroughputReport::merge(vec![stats(0, 0, 0)], &[]);
         assert_eq!(empty.latency_p50_cycles, 0);
         assert_eq!(empty.throughput_inf_s(50.0), 0.0);

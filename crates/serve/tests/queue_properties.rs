@@ -1,0 +1,112 @@
+//! Property tests for the bounded request queue's admission control:
+//! a rejected [`RequestQueue::admit_block`] must be a pure no-op on the
+//! queue's state — same pending contents, same id sequence, same
+//! accepted count — no matter what interleaving of pushes, blocks and
+//! drains preceded it, and no matter how absurd the rejected block size
+//! is (up to `usize::MAX`, which must not overflow the depth check).
+//! Only the rejection counter moves, by exactly one: that is the
+//! documented backpressure accounting.
+
+use matador_serve::queue::RequestQueue;
+use matador_serve::ServeError;
+use proptest::prelude::*;
+use tsetlin::bits::BitVec;
+
+/// Replays a random op sequence to land the queue in an arbitrary
+/// reachable state. Ops: 0 = push, 1 = small admit_block, 2 = drain.
+fn build_queue(capacity: usize, ops: &[usize]) -> RequestQueue {
+    let mut q = RequestQueue::new(capacity).expect("positive depth");
+    for &op in ops {
+        match op % 3 {
+            0 => {
+                let _ = q.push(BitVec::zeros(4));
+            }
+            1 => {
+                let _ = q.admit_block(2);
+            }
+            _ => {
+                q.drain();
+            }
+        }
+    }
+    q
+}
+
+proptest! {
+    #[test]
+    fn rejected_admit_block_is_a_pure_no_op(
+        capacity in 1usize..32,
+        ops in proptest::collection::vec(0usize..3, 0..48),
+        // 1..8 exercises ordinary overshoot; the top value maps to
+        // usize::MAX so the depth check is also proven overflow-safe.
+        overshoot in (1usize..9).prop_map(|x| if x == 8 { usize::MAX } else { x }),
+    ) {
+        let mut q = build_queue(capacity, &ops);
+        let free = capacity - q.len();
+        let n = free.saturating_add(overshoot);
+        let before = q.clone();
+
+        let err = q.admit_block(n).expect_err("block exceeds the free depth");
+        prop_assert_eq!(err, ServeError::QueueFull { capacity });
+
+        // Observable state is untouched: pending count, depth bound and
+        // admission count are exactly the pre-rejection values, and the
+        // rejection counter moved by exactly one.
+        prop_assert_eq!(q.len(), before.len());
+        prop_assert_eq!(q.capacity(), before.capacity());
+        prop_assert_eq!(q.accepted(), before.accepted());
+        prop_assert_eq!(q.rejected(), before.rejected() + 1);
+
+        // The id sequence did not advance: the next admission on the
+        // rejected queue hands out the same id the pre-rejection queue
+        // would have.
+        if free > 0 {
+            let mut a = q.clone();
+            let mut b = before.clone();
+            prop_assert_eq!(
+                a.push(BitVec::zeros(4)).expect("free depth"),
+                b.push(BitVec::zeros(4)).expect("free depth")
+            );
+        } else {
+            let mut a = q.clone();
+            let mut b = before.clone();
+            prop_assert_eq!(
+                a.admit_block(0).expect("empty block always fits"),
+                b.admit_block(0).expect("empty block always fits")
+            );
+        }
+
+        // The pending FIFO is bit-identical, ids and inputs both.
+        let mut before = before;
+        prop_assert_eq!(q.drain(), before.drain());
+    }
+
+    #[test]
+    fn admitted_block_matches_push_semantics(
+        capacity in 1usize..32,
+        ops in proptest::collection::vec(0usize..3, 0..48),
+        fraction in 0u32..=100,
+    ) {
+        let mut q = build_queue(capacity, &ops);
+        let free = capacity - q.len();
+        let n = (free * fraction as usize) / 100;
+        let accepted = q.accepted();
+        let rejected = q.rejected();
+        let len = q.len();
+
+        let first = q.admit_block(n).expect("block fits the free depth");
+
+        // Ids are the contiguous block `first..first + n`, continuing
+        // the same monotonic sequence a run of pushes would have used,
+        // and counters advance as if each input had been pushed and
+        // drained — nothing enters the FIFO itself.
+        prop_assert_eq!(q.accepted(), accepted + n as u64);
+        prop_assert_eq!(q.rejected(), rejected);
+        prop_assert_eq!(q.len(), len);
+        if free > n {
+            // still room: the next push picks up right after the block
+            let next = q.push(BitVec::zeros(4)).expect("free depth");
+            prop_assert_eq!(next, first + n as u64);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Front-end determinism: the open-submission serving layer inherits
+//! the pool's replay contract.
+//!
+//! One seeded arrival trace replayed through [`Front`] must produce
+//! bit-identical replies — predictions, class sums, per-tenant delivery
+//! order, delivery stamps — and bit-identical batch boundaries (cycle,
+//! trigger, size) at any worker-thread count, because the front runs on
+//! a virtual clock and every flush trigger is a pure function of the
+//! trace. Across shard counts and engine backends the *schedule*
+//! legitimately changes (more drain bandwidth; turbo pools consolidate
+//! small flushes where cycle-accurate pools spread them), but
+//! predictions, class sums and per-tenant delivery order must not, and
+//! no admitted request may ever be dropped.
+
+use matador_repro::datasets::{generate, DatasetKind, SplitSizes};
+use matador_repro::matador::config::MatadorConfig;
+use matador_repro::matador::design::AcceleratorDesign;
+use matador_repro::serve::{
+    BatchRecord, EngineBackend, Front, FrontOptions, Reply, ServeOptions, ShardPool, TenantQuota,
+};
+use matador_repro::tsetlin::bits::BitVec;
+use matador_repro::tsetlin::params::TmParams;
+use matador_repro::tsetlin::MultiClassTm;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 11;
+const TENANTS: u32 = 3;
+const REQUESTS: usize = 60;
+const SIZES: SplitSizes = SplitSizes {
+    train: 80,
+    test: 40,
+};
+
+fn design() -> AcceleratorDesign {
+    let kind = DatasetKind::NoisyXor;
+    let data = generate(kind, SIZES, SEED);
+    let params = TmParams::builder(kind.features(), kind.classes())
+        .clauses_per_class(12)
+        .threshold(5)
+        .specificity(4.0)
+        .build()
+        .expect("valid params");
+    let mut tm = MultiClassTm::new(params);
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    tm.fit_with_threads(&data.train, 4, &mut rng, 1);
+    let config = MatadorConfig::builder()
+        .design_name("front_determinism")
+        .bus_width(4)
+        .build()
+        .expect("valid config");
+    AcceleratorDesign::generate(tm.to_model(), config)
+}
+
+/// Replays the canonical seeded trace: Poisson-ish arrival gaps, three
+/// tenants round-robin, deadlines a fixed horizon out. Returns every
+/// reply (delivery order) and every batch boundary.
+fn replay(
+    design: &AcceleratorDesign,
+    shards: usize,
+    threads: usize,
+    backend: EngineBackend,
+) -> (Vec<Reply>, Vec<BatchRecord>, u64) {
+    let accel = design.compile_for_sim();
+    let mut options = ServeOptions::new(shards);
+    options.backend = backend;
+    options.threads = Some(threads);
+    options.capture_class_sums = true;
+    let pool = ShardPool::with_options(&accel, options).expect("valid options");
+    let mut front = Front::new(
+        pool,
+        FrontOptions {
+            lane_block: 8,
+            idle_cycles: 300,
+            quota: Some(TenantQuota {
+                burst_requests: 64,
+                millitokens_per_cycle: 100,
+            }),
+            ..FrontOptions::new()
+        },
+    )
+    .expect("valid options");
+
+    let inputs: Vec<BitVec> = generate(DatasetKind::NoisyXor, SIZES, SEED)
+        .test
+        .iter()
+        .map(|s| s.input.clone())
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut t = 0u64;
+    for i in 0..REQUESTS {
+        t += 1 + (rng.gen::<f64>() * 40.0) as u64;
+        front.advance_to(t).expect("advance");
+        front
+            .submit(&inputs[i % inputs.len()], t + 2_000, (i as u32) % TENANTS)
+            .expect("trace stays within quota and bounds");
+    }
+    front.advance_to(t + 5_000).expect("advance");
+    front.drain().expect("drains");
+    let accepted = front.accepted();
+    (front.take_replies(), front.batches().to_vec(), accepted)
+}
+
+#[test]
+fn replies_and_batch_boundaries_are_replay_invariant_across_threads() {
+    let design = design();
+    for shards in [1usize, 4] {
+        for backend in [EngineBackend::CycleAccurate, EngineBackend::Turbo] {
+            let (reference, ref_batches, accepted) = replay(&design, shards, 1, backend);
+            assert_eq!(
+                accepted, REQUESTS as u64,
+                "shards={shards} {backend:?}: admission"
+            );
+            assert_eq!(
+                reference.len(),
+                REQUESTS,
+                "shards={shards} {backend:?}: every admitted request is delivered"
+            );
+            for threads in [1usize, 8] {
+                let (replies, batches, _) = replay(&design, shards, threads, backend);
+                assert_eq!(
+                    replies, reference,
+                    "shards={shards} threads={threads} {backend:?}: replies diverged"
+                );
+                assert_eq!(
+                    batches, ref_batches,
+                    "shards={shards} threads={threads} {backend:?}: batch boundaries diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn predictions_and_tenant_order_survive_shards_and_backends() {
+    let design = design();
+    let (reference, _, _) = replay(&design, 1, 1, EngineBackend::CycleAccurate);
+    let key = |r: &Reply| (r.tenant, r.seq);
+    let mut expect: Vec<&Reply> = reference.iter().collect();
+    expect.sort_by_key(|r| key(r));
+
+    for shards in [1usize, 4] {
+        for backend in [EngineBackend::CycleAccurate, EngineBackend::Turbo] {
+            let (replies, _, _) = replay(&design, shards, 8, backend);
+            assert_eq!(replies.len(), reference.len());
+
+            // Match replies by (tenant, seq): winners and class sums
+            // must be bit-identical — shard count and backend are pure
+            // throughput knobs all the way up through the front-end.
+            let mut got: Vec<&Reply> = replies.iter().collect();
+            got.sort_by_key(|r| key(r));
+            for (x, y) in expect.iter().zip(&got) {
+                assert_eq!(key(x), key(y));
+                assert_eq!(
+                    (x.winner, &x.class_sums),
+                    (y.winner, &y.class_sums),
+                    "shards={shards} {backend:?}: tenant {} seq {}",
+                    x.tenant,
+                    x.seq
+                );
+            }
+
+            // Delivery within each tenant is the submission order in
+            // every configuration, and delivery stamps never regress.
+            for tenant in 0..TENANTS {
+                let of_tenant: Vec<&Reply> =
+                    replies.iter().filter(|r| r.tenant == tenant).collect();
+                assert!(of_tenant.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+                assert!(of_tenant
+                    .windows(2)
+                    .all(|w| w[0].delivered_at <= w[1].delivered_at));
+            }
+        }
+    }
+}
