@@ -88,6 +88,91 @@ impl BenchArtifact {
     pub fn write(&self, path: &str) -> std::io::Result<()> {
         std::fs::write(path, self.to_json())
     }
+
+    /// Stamps the artifact with a `"run"` field describing the
+    /// environment that produced it: the git revision (`GITHUB_SHA` in
+    /// CI, `git rev-parse HEAD` locally), the raw `MATADOR_THREADS`
+    /// setting (or `null` when unset), the host's logical CPU count,
+    /// and an ISO-8601 UTC timestamp. Perf numbers without this context
+    /// are unreviewable a week later — every artifact writer calls this
+    /// once before `write`.
+    pub fn push_run_metadata(&mut self) {
+        let threads_env = match std::env::var("MATADOR_THREADS") {
+            Ok(v) => format!("\"{}\"", json_escape(&v)),
+            Err(_) => "null".to_owned(),
+        };
+        let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        self.push_field(
+            "run",
+            format!(
+                "{{\"git_rev\": \"{}\", \"matador_threads\": {threads_env}, \
+                 \"host_cpus\": {cpus}, \"timestamp\": \"{}\"}}",
+                json_escape(&git_rev()),
+                iso8601_utc(now)
+            ),
+        );
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The commit the artifact was produced from: `GITHUB_SHA` when CI set
+/// it, `git rev-parse HEAD` otherwise, `"unknown"` outside a checkout.
+fn git_rev() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Formats a Unix timestamp as `YYYY-MM-DDThh:mm:ssZ` without a date
+/// crate, via the standard civil-from-days conversion (Howard Hinnant's
+/// `chrono`-free algorithm — exact for the whole proleptic Gregorian
+/// calendar, so no leap-year edge cases to get wrong).
+fn iso8601_utc(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let rem = unix_secs % 86_400;
+    let (hh, mm, ss) = (rem / 3_600, (rem % 3_600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    format!("{year:04}-{month:02}-{day:02}T{hh:02}:{mm:02}:{ss:02}Z")
 }
 
 #[cfg(test)]
@@ -127,5 +212,36 @@ mod tests {
         let baseline = json.find("\"baseline\": {").expect("baseline present");
         let rows = json.find("\"rows\": [").expect("rows present");
         assert!(threads < baseline && baseline < rows, "{json}");
+    }
+
+    #[test]
+    fn run_metadata_has_every_key() {
+        let mut artifact = BenchArtifact::new("x", "y", 0, 0, 1);
+        artifact.push_run_metadata();
+        let json = artifact.to_json();
+        for key in ["git_rev", "matador_threads", "host_cpus", "timestamp"] {
+            assert!(
+                json.contains(&format!("\"{key}\": ")),
+                "missing {key}: {json}"
+            );
+        }
+    }
+
+    #[test]
+    fn iso8601_handles_epoch_and_leap_years() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        // 2000-02-29T12:00:00Z — a century leap day.
+        assert_eq!(iso8601_utc(951_825_600), "2000-02-29T12:00:00Z");
+        // 2024-01-01T00:00:00Z.
+        assert_eq!(iso8601_utc(1_704_067_200), "2024-01-01T00:00:00Z");
+        // 2023-12-31T23:59:59Z — the second before.
+        assert_eq!(iso8601_utc(1_704_067_199), "2023-12-31T23:59:59Z");
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("tenant=\"3\""), "tenant=\\\"3\\\"");
+        assert_eq!(json_escape("a\\b\n"), "a\\\\b\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

@@ -217,6 +217,7 @@ fn run() -> Result<bool, matador::Error> {
         opts.seed,
         threads,
     );
+    artifact.push_run_metadata();
     let mut gate_cells: Vec<Cell> = Vec::new();
     for &batch_size in &args.batches {
         let batch: Vec<BitVec> = (0..batch_size)

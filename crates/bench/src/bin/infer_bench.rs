@@ -17,8 +17,9 @@
 //! ```text
 //! cargo run -p matador-bench --bin infer_bench --release -- \
 //!     [--quick] [--seed N] [--shards 1,4,8] [--batch N] [--repeats N] \
-//!     [--out BENCH_inference.json] [--assert-turbo-speedup X] \
-//!     [--assert-shard-monotone] [--sweep-chunk]
+//!     [--out BENCH_inference.json] [--metrics-out PATH] \
+//!     [--assert-turbo-speedup X] [--assert-shard-monotone] \
+//!     [--assert-obs-overhead PCT] [--sweep-chunk]
 //! ```
 //!
 //! The JSON artifact (`BENCH_inference.json` by default) tracks the
@@ -32,9 +33,16 @@
 //! *loses* throughput — both are release CI gates. `--sweep-chunk`
 //! additionally measures single-shard turbo across a ladder of
 //! `MATADOR_CHUNK_THRESHOLD` values and records the sweep.
+//!
+//! `--assert-obs-overhead PCT` times the single-shard turbo cell twice
+//! in-process — metrics recording disabled, then enabled — and exits
+//! non-zero if the enabled run is more than `PCT` percent slower: the
+//! release gate keeping the `matador-obs` record path off the contended
+//! fast path. `--metrics-out PATH` dumps the registry after the run
+//! (JSON at `PATH`, Prometheus text at the `.prom` sibling).
 
 use matador_bench::eval::{bad_arg, model_key_for, parse_positive_list, EvalOptions};
-use matador_bench::{BenchArtifact, DesignCache, ModelCache};
+use matador_bench::{write_metrics_snapshot, BenchArtifact, DesignCache, ModelCache};
 use matador_datasets::{generate, DatasetKind};
 use matador_serve::{EngineBackend, ServeOptions, ShardPool};
 use matador_sim::CompiledAccelerator;
@@ -57,8 +65,10 @@ struct BenchArgs {
     batch: usize,
     repeats: usize,
     out: String,
+    metrics_out: Option<String>,
     assert_speedup: Option<f64>,
     assert_monotone: bool,
+    assert_obs_overhead: Option<f64>,
     sweep_chunk: bool,
     opts: EvalOptions,
 }
@@ -68,8 +78,10 @@ fn parse_args() -> Result<BenchArgs, matador::Error> {
     let mut batch: Option<usize> = None;
     let mut repeats = 5usize;
     let mut out = "BENCH_inference.json".to_string();
+    let mut metrics_out = None;
     let mut assert_speedup = None;
     let mut assert_monotone = false;
+    let mut assert_obs_overhead = None;
     let mut sweep_chunk = false;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -111,7 +123,27 @@ fn parse_args() -> Result<BenchArgs, matador::Error> {
                     || bad_arg(format!("--assert-turbo-speedup '{value}' is not positive")),
                 )?);
             }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    args.next()
+                        .ok_or_else(|| bad_arg("--metrics-out requires a path"))?,
+                );
+            }
             "--assert-shard-monotone" => assert_monotone = true,
+            "--assert-obs-overhead" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| bad_arg("--assert-obs-overhead requires a percentage"))?;
+                assert_obs_overhead = Some(
+                    value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|x| *x > 0.0)
+                        .ok_or_else(|| {
+                            bad_arg(format!("--assert-obs-overhead '{value}' is not positive"))
+                        })?,
+                );
+            }
             "--sweep-chunk" => sweep_chunk = true,
             _ => rest.push(arg),
         }
@@ -125,8 +157,10 @@ fn parse_args() -> Result<BenchArgs, matador::Error> {
         batch,
         repeats,
         out,
+        metrics_out,
         assert_speedup,
         assert_monotone,
+        assert_obs_overhead,
         sweep_chunk,
         opts,
     })
@@ -209,6 +243,10 @@ fn run() -> Result<bool, matador::Error> {
     let opts = &args.opts;
     let threads = matador_par::configured_threads();
     let chunk_threshold = matador_sim::configured_chunk_threshold();
+    // Main cells run with recording live — the throughput this harness
+    // tracks per commit is the one operators get, metrics and all. The
+    // obs-overhead gate below toggles this off for its baseline cell.
+    matador_obs::set_enabled(true);
 
     eprintln!("[infer_bench] {kind}: training model + generating accelerator…");
     let data = generate(kind, opts.sizes, opts.seed);
@@ -320,6 +358,27 @@ fn run() -> Result<bool, matador::Error> {
         }
     }
 
+    // Observability-overhead cells: the same single-shard turbo
+    // measurement with the metrics record path disabled, then enabled.
+    // Both are best-of-repeats over ≥50 ms windows, so scheduler noise
+    // largely cancels; the paired reading is what the release gate and
+    // the artifact record.
+    let obs_overhead = args.assert_obs_overhead.map(|_| {
+        let repeats = args.repeats.max(7);
+        matador_obs::set_enabled(false);
+        let off = measure(&accel, ServeOptions::turbo(1), &batch, repeats);
+        matador_obs::set_enabled(true);
+        let on = measure(&accel, ServeOptions::turbo(1), &batch, repeats);
+        assert_eq!(off.winners, cells[0].winners, "metrics-off cell diverged");
+        assert_eq!(on.winners, cells[0].winners, "metrics-on cell diverged");
+        let overhead_pct = (on.wall_s / off.wall_s - 1.0) * 100.0;
+        println!(
+            "\n  obs overhead: metrics off {:>12.0} inf/s, on {:>12.0} inf/s ({overhead_pct:+.2}%)",
+            off.inf_s, on.inf_s
+        );
+        (off, on, overhead_pct)
+    });
+
     // The baseline is the cycle-accurate backend at the first *listed*
     // shard count (1 in the default and CI invocations) — recorded in the
     // artifact so rows are never mislabeled under a custom --shards list.
@@ -336,12 +395,22 @@ fn run() -> Result<bool, matador::Error> {
         opts.seed,
         threads,
     );
+    artifact.push_run_metadata();
     artifact.push_field(
         "baseline",
         format!("{{\"backend\": \"cycle_accurate\", \"shards\": {baseline_shards}}}"),
     );
     artifact.push_field("chunk_threshold", chunk_threshold.to_string());
     artifact.push_field("repeats", args.repeats.to_string());
+    if let Some((off, on, overhead_pct)) = &obs_overhead {
+        artifact.push_field(
+            "obs_overhead",
+            format!(
+                "{{\"off_inf_s\": {:.1}, \"on_inf_s\": {:.1}, \"overhead_pct\": {:.2}}}",
+                off.inf_s, on.inf_s, overhead_pct
+            ),
+        );
+    }
     for c in &cells {
         artifact.push_row(format!(
             "{{\"backend\": \"{}\", \"shards\": {}, \"wall_s\": {:.6}, \
@@ -369,8 +438,25 @@ fn run() -> Result<bool, matador::Error> {
     }
     artifact.write(&args.out).map_err(matador::Error::other)?;
     println!("\nwrote {}", args.out);
+    if let Some(path) = &args.metrics_out {
+        let prom = write_metrics_snapshot(path, "inference_throughput_metrics", "KWS-6", opts.seed)
+            .map_err(matador::Error::other)?;
+        println!("wrote {path} + {prom}");
+    }
 
     let mut ok = true;
+    if let Some(max_pct) = args.assert_obs_overhead {
+        let (_, _, overhead_pct) = obs_overhead.as_ref().expect("measured above");
+        if *overhead_pct > max_pct {
+            eprintln!(
+                "::error::metrics-on turbo serving is {overhead_pct:.2}% slower than \
+                 metrics-off, above the {max_pct:.2}% budget"
+            );
+            ok = false;
+        } else {
+            println!("obs-overhead gate passed: {overhead_pct:+.2}% <= {max_pct:.2}%");
+        }
+    }
     if let Some(min_speedup) = args.assert_speedup {
         let turbo = cells
             .iter()

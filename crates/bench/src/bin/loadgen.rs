@@ -17,20 +17,25 @@
 //! cargo run -p matador-bench --bin loadgen --release -- \
 //!     [--quick] [--seed N] [--shards N] [--requests N] [--tenants N] \
 //!     [--utilization-pct N] [--slo-cycles N] [--out BENCH_serve_tail.json] \
-//!     [--assert-tail X]
+//!     [--metrics-out PATH] [--assert-tail X]
 //! ```
 //!
 //! The artifact (`BENCH_serve_tail.json`) carries one row per trace:
 //! admission counts, p50/p99/p99.9 admission→delivery latency, goodput
 //! under the SLO (delivered-in-deadline over offered), and the batch
-//! trigger mix. `--assert-tail X` exits non-zero unless the steady
+//! trigger mix — read from the `matador-obs` registry, so the artifact
+//! exercises the same counters an operator would scrape. `--metrics-out
+//! PATH` additionally dumps the whole registry after the run: a JSON
+//! snapshot at `PATH` plus a Prometheus text sibling at `PATH` with a
+//! `.prom` extension. `--assert-tail X` exits non-zero unless the steady
 //! Poisson trace's p99.9 stays within `X`× its p50 — the release CI gate
 //! that catches coalescer regressions (a lost flush trigger shows up as
 //! an unbounded tail long before it dents the mean).
 
 use matador_bench::eval::{bad_arg, model_key_for, EvalOptions};
-use matador_bench::{BenchArtifact, DesignCache, ModelCache};
+use matador_bench::{write_metrics_snapshot, BenchArtifact, DesignCache, ModelCache};
 use matador_datasets::{generate, DatasetKind};
+use matador_obs::Registry;
 use matador_serve::{
     percentile_per_mille, FlushTrigger, Front, FrontOptions, ServeOptions, ShardPool,
 };
@@ -56,6 +61,7 @@ struct LoadArgs {
     utilization_pct: u64,
     slo_cycles: Option<u64>,
     out: String,
+    metrics_out: Option<String>,
     assert_tail: Option<f64>,
     opts: EvalOptions,
 }
@@ -67,6 +73,7 @@ fn parse_args() -> Result<LoadArgs, matador::Error> {
     let mut utilization_pct = 60u64;
     let mut slo_cycles = None;
     let mut out = "BENCH_serve_tail.json".to_string();
+    let mut metrics_out = None;
     let mut assert_tail = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -135,6 +142,12 @@ fn parse_args() -> Result<LoadArgs, matador::Error> {
                     .next()
                     .ok_or_else(|| bad_arg("--out requires a path"))?;
             }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    args.next()
+                        .ok_or_else(|| bad_arg("--metrics-out requires a path"))?,
+                );
+            }
             "--assert-tail" => {
                 let value = args
                     .next()
@@ -161,6 +174,7 @@ fn parse_args() -> Result<LoadArgs, matador::Error> {
         utilization_pct,
         slo_cycles,
         out,
+        metrics_out,
         assert_tail,
         opts,
     })
@@ -175,7 +189,12 @@ struct TraceSpec {
     burst_len: u64,
 }
 
-/// Everything the artifact records about one replayed trace.
+/// Everything the artifact records about one replayed trace. The batch
+/// trigger mix is read back as `matador_front_batches_total{trigger=..}`
+/// counter deltas around the replay rather than by re-scanning
+/// [`Front::batches`]: the artifact then exercises — and cross-checks,
+/// via the admitted/delivered invariant below — the very counters an
+/// operator's dashboard would scrape.
 struct TraceResult {
     name: &'static str,
     offered: usize,
@@ -185,10 +204,10 @@ struct TraceResult {
     p50: u64,
     p99: u64,
     p999: u64,
-    fills: usize,
-    pressure: usize,
-    idle: usize,
-    drains: usize,
+    fills: u64,
+    pressure: u64,
+    idle: u64,
+    drains: u64,
 }
 
 /// Exponential inter-arrival gap with the given mean, in whole cycles.
@@ -214,6 +233,7 @@ fn run_trace(
     inputs: &[BitVec],
     load: &LoadSpec,
 ) -> Result<TraceResult, matador::Error> {
+    let before = Registry::global().snapshot();
     let mut rng = SmallRng::seed_from_u64(load.seed);
     let mut t = front.now();
     for i in 0..load.requests {
@@ -243,12 +263,18 @@ fn run_trace(
     let mut latencies: Vec<u64> = replies.iter().map(|r| r.latency_cycles()).collect();
     latencies.sort_unstable();
     let in_slo = replies.iter().filter(|r| r.met_deadline()).count();
-    let count_trigger =
-        |want: FlushTrigger| front.batches().iter().filter(|b| b.trigger == want).count();
+    let after = Registry::global().snapshot();
+    let count_trigger = |want: FlushTrigger| {
+        after.counter_delta(
+            &before,
+            "matador_front_batches_total",
+            &format!("trigger=\"{}\"", want.as_label()),
+        )
+    };
     Ok(TraceResult {
         name: trace.name,
         offered: load.requests,
-        admitted: front.accepted(),
+        admitted: after.counter_delta(&before, "matador_front_admitted_total", ""),
         delivered: replies.len(),
         in_slo,
         p50: percentile_per_mille(&latencies, 500),
@@ -266,6 +292,9 @@ fn run() -> Result<bool, matador::Error> {
     let kind = DatasetKind::Kws6;
     let opts = &args.opts;
     let threads = matador_par::configured_threads();
+    // The trigger mix and admission counts below are counter deltas, so
+    // recording must be on regardless of the MATADOR_METRICS default.
+    matador_obs::set_enabled(true);
 
     eprintln!("[loadgen] {kind}: training model + generating accelerator…");
     let data = generate(kind, opts.sizes, opts.seed);
@@ -296,6 +325,7 @@ fn run() -> Result<bool, matador::Error> {
         opts.seed,
         threads,
     );
+    artifact.push_run_metadata();
     let mut results: Vec<TraceResult> = Vec::new();
     let mut header_printed = false;
     for trace in &traces {
@@ -373,6 +403,11 @@ fn run() -> Result<bool, matador::Error> {
 
     artifact.write(&args.out).map_err(matador::Error::other)?;
     println!("\nwrote {}", args.out);
+    if let Some(path) = &args.metrics_out {
+        let prom = write_metrics_snapshot(path, "serve_tail_latency_metrics", "KWS-6", opts.seed)
+            .map_err(matador::Error::other)?;
+        println!("wrote {path} + {prom}");
+    }
 
     let mut ok = true;
     for result in &results {

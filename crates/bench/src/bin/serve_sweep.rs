@@ -11,17 +11,19 @@
 //! ```text
 //! cargo run -p matador-bench --bin serve_sweep --release -- \
 //!     [--quick] [--seed N] [--shards 1,2,4,8] [--batches 16,64,256] \
-//!     [--assert-scaling] [--json BENCH_serve.json]
+//!     [--assert-scaling] [--json BENCH_serve.json] [--metrics-out PATH]
 //! ```
 //!
 //! `--assert-scaling` exits non-zero unless every multi-shard pool beats
 //! the single-shard pool's throughput on the largest batch — the CI gate.
 //! `--json <path>` writes the whole sweep as a machine-readable artifact
 //! in the same shape as `BENCH_inference.json`, so CI can track the serve
-//! perf trajectory per commit.
+//! perf trajectory per commit. `--metrics-out PATH` dumps the process
+//! metrics registry after the sweep: JSON at `PATH`, Prometheus text at
+//! the `.prom` sibling.
 
 use matador_bench::eval::{bad_arg, model_key_for, parse_positive_list, EvalOptions};
-use matador_bench::{BenchArtifact, DesignCache, ModelCache};
+use matador_bench::{write_metrics_snapshot, BenchArtifact, DesignCache, ModelCache};
 use matador_datasets::{generate, DatasetKind};
 use matador_serve::{DispatchPolicy, ServeOptions, ShardPool};
 use matador_sim::CompiledAccelerator;
@@ -44,6 +46,7 @@ struct SweepArgs {
     batches: Vec<usize>,
     assert_scaling: bool,
     json: Option<String>,
+    metrics_out: Option<String>,
     opts: EvalOptions,
 }
 
@@ -52,6 +55,7 @@ fn parse_args() -> Result<SweepArgs, matador::Error> {
     let mut batches = vec![16, 64, 256];
     let mut assert_scaling = false;
     let mut json = None;
+    let mut metrics_out = None;
     let mut rest: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -65,6 +69,12 @@ fn parse_args() -> Result<SweepArgs, matador::Error> {
                         .ok_or_else(|| bad_arg("--json requires a path"))?,
                 );
             }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    args.next()
+                        .ok_or_else(|| bad_arg("--metrics-out requires a path"))?,
+                );
+            }
             _ => rest.push(arg),
         }
     }
@@ -74,6 +84,7 @@ fn parse_args() -> Result<SweepArgs, matador::Error> {
         batches,
         assert_scaling,
         json,
+        metrics_out,
         opts,
     })
 }
@@ -106,6 +117,9 @@ fn run() -> Result<bool, matador::Error> {
     let args = parse_args()?;
     let kind = DatasetKind::Kws6;
     let opts = &args.opts;
+    // Sweep with recording live, so a --metrics-out dump is populated
+    // and the tracked numbers include the record path.
+    matador_obs::set_enabled(true);
 
     eprintln!("[serve_sweep] {kind}: training model + generating accelerator…");
     let data = generate(kind, opts.sizes, opts.seed);
@@ -158,6 +172,7 @@ fn run() -> Result<bool, matador::Error> {
         opts.seed,
         matador_par::configured_threads(),
     );
+    artifact.push_run_metadata();
     for &batch_size in &args.batches {
         let batch: Vec<BitVec> = (0..batch_size)
             .map(|i| test_inputs[i % test_inputs.len()].clone())
@@ -212,6 +227,11 @@ fn run() -> Result<bool, matador::Error> {
     if let Some(path) = &args.json {
         artifact.write(path).map_err(matador::Error::other)?;
         println!("\nwrote {path}");
+    }
+    if let Some(path) = &args.metrics_out {
+        let prom = write_metrics_snapshot(path, "serve_throughput_metrics", "KWS-6", opts.seed)
+            .map_err(matador::Error::other)?;
+        println!("wrote {path} + {prom}");
     }
 
     if args.assert_scaling {

@@ -16,6 +16,7 @@
 pub mod benchjson;
 pub mod cache;
 pub mod eval;
+pub mod metrics_out;
 pub mod table;
 
 pub use benchjson::BenchArtifact;
@@ -24,4 +25,5 @@ pub use eval::{
     run_baseline, run_matador, run_matador_with_threads, run_table1, BaselineRow, EvalError,
     EvalOptions, MatadorRow,
 };
+pub use metrics_out::write_metrics_snapshot;
 pub use table::{format_table1, Table1Row};

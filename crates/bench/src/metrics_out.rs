@@ -1,0 +1,114 @@
+//! Metrics exposition for the bench harnesses: one call dumps the
+//! process-global [`Registry`] as a pair of sibling files.
+//!
+//! The JSON side reuses the [`BenchArtifact`] shape (one row per
+//! registered series) so per-commit metric snapshots diff with the same
+//! tooling as every other artifact; the `.prom` sibling is the
+//! Prometheus text exposition format straight from
+//! [`Registry::render_prometheus`], scrape-compatible for anyone
+//! pointing real dashboards at a soak run. Harnesses wire this behind a
+//! `--metrics-out PATH` flag.
+
+use crate::benchjson::{json_escape, BenchArtifact};
+use matador_obs::{Registry, SampleValue};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Builds the registry snapshot as a [`BenchArtifact`]: `bench` names
+/// the producing harness (e.g. `serve_tail_latency_metrics`), and every
+/// registered series becomes one row. Counters and gauges carry a flat
+/// `value`; histograms carry `count`, `sum` and the occupied cumulative
+/// `buckets` (Prometheus `le` convention, `"+Inf"` last).
+pub fn metrics_artifact(bench: &str, dataset: &str, seed: u64) -> BenchArtifact {
+    let snapshot = Registry::global().snapshot();
+    let mut artifact =
+        BenchArtifact::new(bench, dataset, 0, seed, matador_par::configured_threads());
+    artifact.push_run_metadata();
+    artifact.push_field(
+        "metrics_enabled",
+        (matador_obs::enabled() as u8).to_string(),
+    );
+    for sample in &snapshot.samples {
+        let head = format!(
+            "{{\"name\": \"{}\", \"labels\": \"{}\"",
+            json_escape(&sample.name),
+            json_escape(&sample.labels)
+        );
+        let row = match &sample.value {
+            SampleValue::Counter(v) => format!("{head}, \"type\": \"counter\", \"value\": {v}}}"),
+            SampleValue::Gauge(v) => format!("{head}, \"type\": \"gauge\", \"value\": {v}}}"),
+            SampleValue::Histogram(h) => {
+                let mut buckets = String::new();
+                for &(le, cumulative) in &h.buckets {
+                    let _ = write!(buckets, "{{\"le\": \"{le}\", \"count\": {cumulative}}}, ");
+                }
+                let _ = write!(buckets, "{{\"le\": \"+Inf\", \"count\": {}}}", h.count);
+                format!(
+                    "{head}, \"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                     \"buckets\": [{buckets}]}}",
+                    h.count, h.sum
+                )
+            }
+        };
+        artifact.push_row(row);
+    }
+    artifact
+}
+
+/// Writes the registry snapshot to `path` (JSON) and a `.prom` sibling
+/// (Prometheus text format), returning the sibling's path for the
+/// harness to log.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error from either file.
+pub fn write_metrics_snapshot(
+    path: &str,
+    bench: &str,
+    dataset: &str,
+    seed: u64,
+) -> std::io::Result<String> {
+    metrics_artifact(bench, dataset, seed).write(path)?;
+    let prom_path = Path::new(path)
+        .with_extension("prom")
+        .to_string_lossy()
+        .into_owned();
+    std::fs::write(&prom_path, Registry::global().render_prometheus())?;
+    Ok(prom_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_rows_cover_every_series_kind() {
+        matador_obs::set_enabled(true);
+        let registry = Registry::global();
+        registry
+            .counter("bench_test_counter", "case=\"a\"", "test counter")
+            .add(7);
+        registry.gauge("bench_test_gauge", "", "test gauge").set(-3);
+        registry
+            .histogram("bench_test_histogram", "", "test histogram")
+            .record(5);
+
+        let json = metrics_artifact("unit_metrics", "none", 0).to_json();
+        assert!(json.contains("\"bench\": \"unit_metrics\""));
+        assert!(json.contains("\"run\": {"), "{json}");
+        assert!(json.contains(
+            "{\"name\": \"bench_test_counter\", \"labels\": \"case=\\\"a\\\"\", \
+             \"type\": \"counter\", \"value\": 7}"
+        ));
+        assert!(json.contains(
+            "\"name\": \"bench_test_gauge\", \"labels\": \"\", \
+             \"type\": \"gauge\", \"value\": -3"
+        ));
+        assert!(json.contains("\"type\": \"histogram\""));
+        assert!(json.contains("{\"le\": \"+Inf\", \"count\": 1}"));
+
+        let prom = Registry::global().render_prometheus();
+        assert!(prom.contains("# TYPE bench_test_counter counter"));
+        assert!(prom.contains("bench_test_counter{case=\"a\"} 7"));
+    }
+}

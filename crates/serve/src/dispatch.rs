@@ -79,6 +79,18 @@ pub struct ShardProfile {
     pub weight: u32,
 }
 
+impl DispatchPolicy {
+    /// Stable label for this policy in metric label values (e.g.
+    /// `matador_pool_dispatched_total{policy="least_queued"}`).
+    pub fn as_label(&self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round_robin",
+            DispatchPolicy::LeastQueued => "least_queued",
+            DispatchPolicy::LatencyAware => "latency_aware",
+        }
+    }
+}
+
 impl ShardProfile {
     /// A weight-1 profile for a shard of a homogeneous pool.
     pub fn uniform(load: ShardLoad, width: usize, beats_per_request: u64) -> Self {

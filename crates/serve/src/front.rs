@@ -48,6 +48,19 @@
 //! timers are re-checked against current state when they expire, never
 //! descheduled.
 //!
+//! ## Observability
+//!
+//! Every front records into [`matador_obs::Registry::global`]:
+//! admissions and rejections by outcome, the batch-trigger mix, batch
+//! sizes, per-request slack at flush, delivery latency, deadline misses,
+//! and per-tenant queue depth/DRR deficit gauges (see the README metric
+//! table). Each request also carries a [`matador_obs::TraceId`] through
+//! submit → admit → batch → shard → reorder → deliver into a bounded
+//! [`matador_obs::FlightRecorder`] ([`Front::flight_recorder`]), dumped
+//! to stderr when a flush fails with a typed engine error. Metrics are
+//! pure sinks — nothing here reads them back — so instrumentation
+//! cannot perturb the replay contract.
+//!
 //! ```
 //! use matador_logic::cube::{Cube, Lit};
 //! use matador_logic::dag::Sharing;
@@ -79,8 +92,10 @@
 use crate::error::ServeError;
 use crate::pool::ShardPool;
 use crate::report::ThroughputReport;
+use matador_obs::{Counter, FlightRecorder, Gauge, Histogram, Registry, TraceId};
 use matador_par::reactor::TimerWheel;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 use tsetlin::bits::BitVec;
 
 /// Millitokens one request costs against a tenant's bucket. Quotas are
@@ -161,6 +176,132 @@ pub enum FlushTrigger {
     Drain,
 }
 
+impl FlushTrigger {
+    /// Stable label for metrics and flight-recorder lines.
+    pub fn as_label(&self) -> &'static str {
+        match self {
+            FlushTrigger::LaneBlockFull => "lane_block_full",
+            FlushTrigger::DeadlinePressure => "deadline_pressure",
+            FlushTrigger::IdleTick => "idle_tick",
+            FlushTrigger::Drain => "drain",
+        }
+    }
+}
+
+/// Stable `reason` label for an admission rejection.
+fn rejection_reason(error: &ServeError) -> &'static str {
+    match error {
+        ServeError::QuotaExceeded { .. } => "quota_exceeded",
+        ServeError::DeadlineUnmeetable { .. } => "deadline_unmeetable",
+        ServeError::QueueFull { .. } => "queue_full",
+        ServeError::WidthMismatch { .. } | ServeError::NoCompatibleShard { .. } => "width_mismatch",
+        _ => "other",
+    }
+}
+
+/// Registry handles the front records through, resolved once at
+/// construction so the submit/flush paths never touch the registry
+/// lock. Counters/histograms are process-wide series shared by every
+/// front in the process (they accumulate, Prometheus-style).
+#[derive(Debug, Clone)]
+struct FrontMetrics {
+    admitted: Arc<Counter>,
+    rejected_quota: Arc<Counter>,
+    rejected_deadline: Arc<Counter>,
+    rejected_queue_full: Arc<Counter>,
+    rejected_width: Arc<Counter>,
+    rejected_other: Arc<Counter>,
+    batches_lane_block: Arc<Counter>,
+    batches_deadline: Arc<Counter>,
+    batches_idle: Arc<Counter>,
+    batches_drain: Arc<Counter>,
+    batch_size: Arc<Histogram>,
+    slack_at_flush: Arc<Histogram>,
+    delivery_latency: Arc<Histogram>,
+    deadline_misses: Arc<Counter>,
+    pending: Arc<Gauge>,
+}
+
+impl FrontMetrics {
+    fn resolve() -> Self {
+        let r = Registry::global();
+        let rejected = |reason: &str| {
+            r.counter(
+                "matador_front_rejected_total",
+                &format!("reason=\"{reason}\""),
+                "Submissions rejected at admission, by outcome.",
+            )
+        };
+        let batches = |trigger: &str| {
+            r.counter(
+                "matador_front_batches_total",
+                &format!("trigger=\"{trigger}\""),
+                "Batches flushed, by trigger.",
+            )
+        };
+        FrontMetrics {
+            admitted: r.counter(
+                "matador_front_admitted_total",
+                "",
+                "Submissions admitted into a tenant queue.",
+            ),
+            rejected_quota: rejected("quota_exceeded"),
+            rejected_deadline: rejected("deadline_unmeetable"),
+            rejected_queue_full: rejected("queue_full"),
+            rejected_width: rejected("width_mismatch"),
+            rejected_other: rejected("other"),
+            batches_lane_block: batches("lane_block_full"),
+            batches_deadline: batches("deadline_pressure"),
+            batches_idle: batches("idle_tick"),
+            batches_drain: batches("drain"),
+            batch_size: r.histogram(
+                "matador_front_batch_size",
+                "",
+                "Requests per flushed batch.",
+            ),
+            slack_at_flush: r.histogram(
+                "matador_front_slack_at_flush_cycles",
+                "",
+                "Deadline slack remaining when a request was flushed.",
+            ),
+            delivery_latency: r.histogram(
+                "matador_front_delivery_latency_cycles",
+                "",
+                "Admission-to-delivery latency per reply.",
+            ),
+            deadline_misses: r.counter(
+                "matador_front_deadline_misses_total",
+                "",
+                "Replies delivered after their deadline.",
+            ),
+            pending: r.gauge(
+                "matador_front_pending_requests",
+                "",
+                "Requests admitted but not yet flushed.",
+            ),
+        }
+    }
+
+    fn rejected(&self, error: &ServeError) -> &Counter {
+        match rejection_reason(error) {
+            "quota_exceeded" => &self.rejected_quota,
+            "deadline_unmeetable" => &self.rejected_deadline,
+            "queue_full" => &self.rejected_queue_full,
+            "width_mismatch" => &self.rejected_width,
+            _ => &self.rejected_other,
+        }
+    }
+
+    fn batches(&self, trigger: FlushTrigger) -> &Counter {
+        match trigger {
+            FlushTrigger::LaneBlockFull => &self.batches_lane_block,
+            FlushTrigger::DeadlinePressure => &self.batches_deadline,
+            FlushTrigger::IdleTick => &self.batches_idle,
+            FlushTrigger::Drain => &self.batches_drain,
+        }
+    }
+}
+
 /// One dynamically formed batch: when it flushed, why, and how big it
 /// was.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -233,11 +374,14 @@ pub struct FrontOptions {
     /// Per-tenant rate limit applied to every tenant; `None` admits
     /// without quota.
     pub quota: Option<TenantQuota>,
+    /// Request lifecycles retained by the flight recorder
+    /// ([`Front::flight_recorder`]); zero rounds up to one.
+    pub flight_capacity: usize,
 }
 
 impl FrontOptions {
     /// Defaults: lane-block 64, idle window 4096 cycles, 1024 pending,
-    /// quantum 1, no quota.
+    /// quantum 1, no quota, 256 flight-recorder slots.
     pub fn new() -> Self {
         FrontOptions {
             lane_block: matador_sim::LANES,
@@ -245,6 +389,7 @@ impl FrontOptions {
             max_pending: 1_024,
             drr_quantum: 1,
             quota: None,
+            flight_capacity: matador_obs::DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -262,6 +407,8 @@ struct Admitted {
     input: BitVec,
     deadline: u64,
     submitted_at: u64,
+    /// Flight-recorder span carried through batch → shard → delivery.
+    trace: TraceId,
 }
 
 /// A pool prediction lifted onto the front's virtual clock, ordered by
@@ -280,6 +427,7 @@ struct Completion {
 struct Parked {
     reply: Reply,
     completed_at: u64,
+    trace: TraceId,
 }
 
 /// Per-tenant serving state: FIFO of admitted requests, DRR deficit,
@@ -292,10 +440,14 @@ struct Tenant {
     next_seq: u64,
     next_deliver_seq: u64,
     parked: BTreeMap<u64, Parked>,
+    /// Published queue depth / DRR deficit, labelled by tenant id.
+    depth_gauge: Arc<Gauge>,
+    deficit_gauge: Arc<Gauge>,
 }
 
 impl Tenant {
-    fn new(quota: Option<TenantQuota>, now: u64) -> Self {
+    fn new(id: u32, quota: Option<TenantQuota>, now: u64) -> Self {
+        let labels = format!("tenant=\"{id}\"");
         Tenant {
             queue: VecDeque::new(),
             bucket: quota.map(|q| TokenBucket::new(q, now)),
@@ -303,7 +455,22 @@ impl Tenant {
             next_seq: 0,
             next_deliver_seq: 0,
             parked: BTreeMap::new(),
+            depth_gauge: Registry::global().gauge(
+                "matador_front_tenant_queue_depth",
+                &labels,
+                "Admitted-but-unflushed requests per tenant.",
+            ),
+            deficit_gauge: Registry::global().gauge(
+                "matador_front_tenant_deficit",
+                &labels,
+                "Deficit-round-robin credit per tenant.",
+            ),
         }
+    }
+
+    fn publish_gauges(&self) {
+        self.depth_gauge.set(self.queue.len() as i64);
+        self.deficit_gauge.set(self.deficit as i64);
     }
 }
 
@@ -330,6 +497,8 @@ pub struct Front<'a> {
     latencies: Vec<u64>,
     accepted: u64,
     rejected: u64,
+    metrics: FrontMetrics,
+    flight: FlightRecorder,
 }
 
 impl<'a> Front<'a> {
@@ -365,6 +534,8 @@ impl<'a> Front<'a> {
             latencies: Vec::new(),
             accepted: 0,
             rejected: 0,
+            metrics: FrontMetrics::resolve(),
+            flight: FlightRecorder::new(options.flight_capacity),
         })
     }
 
@@ -396,6 +567,18 @@ impl<'a> Front<'a> {
     /// The wrapped pool (read-only: diagnostics and drain modeling).
     pub fn pool(&self) -> &ShardPool<'a> {
         &self.pool
+    }
+
+    /// The flight recorder: the last `flight_capacity` request
+    /// lifecycles (including rejections) with virtual-clock stamps.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Mutable flight-recorder access (e.g.
+    /// [`FlightRecorder::set_dump_on_drop`]).
+    pub fn flight_recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.flight
     }
 
     /// Modeled cycles to drain `pending` requests: the pool's
@@ -440,6 +623,13 @@ impl<'a> Front<'a> {
             Ok(seq) => Ok(seq),
             Err(e) => {
                 self.rejected += 1;
+                self.metrics.rejected(&e).inc();
+                // Rejections are traced too: the seq the request would
+                // have received, with the rejection reason as outcome.
+                let seq = self.tenants.get(&tenant).map_or(0, |t| t.next_seq);
+                let reason = rejection_reason(&e);
+                let trace = self.flight.begin(tenant, seq, self.now, deadline);
+                self.flight.update(trace, |l| l.rejected = Some(reason));
                 Err(e)
             }
         }
@@ -461,7 +651,7 @@ impl<'a> Front<'a> {
         let entry = self
             .tenants
             .entry(tenant)
-            .or_insert_with(|| Tenant::new(quota, now));
+            .or_insert_with(|| Tenant::new(tenant, quota, now));
         if let Some(bucket) = entry.bucket.as_mut() {
             if let Err(retry_cycles) = bucket.try_take(now) {
                 return Err(ServeError::QuotaExceeded {
@@ -472,14 +662,23 @@ impl<'a> Front<'a> {
         }
         let seq = entry.next_seq;
         entry.next_seq += 1;
+        let trace = self.flight.begin(tenant, seq, now, deadline);
+        let entry = self
+            .tenants
+            .get_mut(&tenant)
+            .expect("tenant entry created above");
         entry.queue.push_back(Admitted {
             seq,
             input: input.clone(),
             deadline,
             submitted_at: now,
+            trace,
         });
+        entry.publish_gauges();
         self.pending_total += 1;
         self.accepted += 1;
+        self.metrics.admitted.inc();
+        self.metrics.pending.set(self.pending_total as i64);
         self.last_activity = now;
         if self.options.idle_cycles > 0 {
             self.timers
@@ -619,6 +818,7 @@ impl<'a> Front<'a> {
                 if tenant.queue.is_empty() {
                     tenant.deficit = 0;
                 }
+                tenant.publish_gauges();
                 if batch.len() == self.options.lane_block {
                     self.pending_total -= batch.len();
                     return batch;
@@ -635,12 +835,37 @@ impl<'a> Front<'a> {
     /// Forms one batch, executes it on the pool, virtualizes the
     /// completion times onto the front's clock, and runs the reorder
     /// stage to deliver replies in per-tenant submission order.
+    ///
+    /// On a typed engine failure the flight recorder is dumped to
+    /// stderr before the error propagates — the black-box read-out.
     fn flush_batch(&mut self, trigger: FlushTrigger) -> Result<(), ServeError> {
+        let result = self.flush_batch_inner(trigger);
+        if result.is_err() && self.flight.traced() > 0 {
+            eprintln!("{}", self.flight.render());
+        }
+        result
+    }
+
+    fn flush_batch_inner(&mut self, trigger: FlushTrigger) -> Result<(), ServeError> {
         let batch = self.form_batch();
         if batch.is_empty() {
             return Ok(());
         }
         let size = batch.len();
+        self.metrics.batches(trigger).inc();
+        self.metrics.batch_size.record(size as u64);
+        self.metrics.pending.set(self.pending_total as i64);
+        let trigger_label = trigger.as_label();
+        let now = self.now;
+        for (_, admitted) in &batch {
+            self.metrics
+                .slack_at_flush
+                .record(admitted.deadline.saturating_sub(now));
+            self.flight.update(admitted.trace, |l| {
+                l.batched_at = Some(now);
+                l.trigger = Some(trigger_label);
+            });
+        }
         let before = self.pool.shard_cycles();
         let mut meta: BTreeMap<u64, (u32, Admitted)> = BTreeMap::new();
         for (tenant, admitted) in batch {
@@ -691,6 +916,10 @@ impl<'a> Front<'a> {
             let (tenant_id, admitted) = meta
                 .remove(&request)
                 .expect("every prediction answers a request submitted this flush");
+            self.flight.update(admitted.trace, |l| {
+                l.shard = Some(shard);
+                l.completed_at = Some(completed_at);
+            });
             let tenant = self
                 .tenants
                 .get_mut(&tenant_id)
@@ -710,12 +939,20 @@ impl<'a> Front<'a> {
                         delivered_at: 0, // stamped at release below
                     },
                     completed_at,
+                    trace: admitted.trace,
                 },
             );
             while let Some(parked) = tenant.parked.remove(&tenant.next_deliver_seq) {
                 let mut reply = parked.reply;
                 reply.delivered_at = parked.completed_at.max(completed_at);
-                self.latencies.push(reply.delivered_at - reply.submitted_at);
+                let latency = reply.delivered_at - reply.submitted_at;
+                self.latencies.push(latency);
+                self.metrics.delivery_latency.record(latency);
+                if !reply.met_deadline() {
+                    self.metrics.deadline_misses.inc();
+                }
+                self.flight
+                    .update(parked.trace, |l| l.delivered_at = Some(reply.delivered_at));
                 self.delivered.push(reply);
                 tenant.next_deliver_seq += 1;
             }

@@ -73,7 +73,7 @@ pub use front::{
     BatchRecord, FlushTrigger, Front, FrontOptions, Reply, TenantQuota, MILLITOKENS_PER_REQUEST,
 };
 pub use matador_sim::EngineBackend;
-pub use pool::{Prediction, ServeOptions, ShardPool};
+pub use pool::{PoolShardStats, Prediction, ServeOptions, ShardPool};
 pub use queue::{Request, RequestQueue, DEFAULT_QUEUE_DEPTH};
 pub use report::{percentile_per_mille, ShardStats, ThroughputReport};
 pub use session::ServeSession;

@@ -26,10 +26,12 @@ use crate::error::ServeError;
 use crate::queue::{Request, RequestQueue, DEFAULT_QUEUE_DEPTH};
 use crate::report::{ShardStats, ThroughputReport};
 use crate::spec::ShardSpec;
+use matador_obs::{Counter, Histogram, Registry};
 use matador_sim::{
     CompiledAccelerator, EngineBackend, SimEngine, SimError, SimResult, TurboEngine, TurboProgram,
 };
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use tsetlin::bits::BitVec;
 
 /// Configuration of a serving runtime instance.
@@ -140,6 +142,103 @@ impl Default for ServeOptions {
     }
 }
 
+/// Per-shard serving statistics over a pool's lifetime, exposed by
+/// [`ShardPool::shard_stats`]. Complements [`crate::ShardStats`] (the
+/// engine stream view — cycles, transfers, stalls) with the *dispatch*
+/// view: how much work the pool routed to each shard and how fast that
+/// shard turned results around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Bus beats of work the pool dispatched to this shard (each request
+    /// charges its design's packets-per-datapoint).
+    pub queued_beats: u64,
+    /// Sum of observed result-to-result gaps (cycles) on this shard —
+    /// the numerator of its observed steady-state II.
+    pub ii_cycles: u64,
+    /// Number of gaps behind `ii_cycles`.
+    pub ii_samples: u64,
+    /// Flushes in which this shard executed at least one request.
+    pub flushes_served: u64,
+}
+
+/// Pool-level metric handles, resolved once at construction so the flush
+/// path never touches the registry lock. Pure sinks: nothing in the pool
+/// reads them back, so recording cannot perturb dispatch determinism.
+#[derive(Debug, Clone)]
+struct PoolMetrics {
+    /// `matador_pool_flushes_total` — non-empty flushes executed.
+    flushes: Arc<Counter>,
+    /// `matador_pool_flushes_consolidated_total` — flushes a multi-shard
+    /// pool ran whole on a single shard (the consolidation fast path).
+    consolidated: Arc<Counter>,
+    /// `matador_pool_dispatched_total{policy=...}` — requests planned by
+    /// the configured dispatch policy (the spread path; consolidated
+    /// flushes bypass the planner and are counted above instead).
+    dispatched: Arc<Counter>,
+}
+
+impl PoolMetrics {
+    fn resolve(policy: DispatchPolicy) -> Self {
+        let registry = Registry::global();
+        PoolMetrics {
+            flushes: registry.counter(
+                "matador_pool_flushes_total",
+                "",
+                "Non-empty flushes executed by the shard pool.",
+            ),
+            consolidated: registry.counter(
+                "matador_pool_flushes_consolidated_total",
+                "",
+                "Flushes a multi-shard pool consolidated onto a single shard.",
+            ),
+            dispatched: registry.counter(
+                "matador_pool_dispatched_total",
+                &format!("policy=\"{}\"", policy.as_label()),
+                "Requests planned by the configured dispatch policy.",
+            ),
+        }
+    }
+}
+
+/// Per-shard metric handles, registered at pool construction with a
+/// `shard="N"` label.
+#[derive(Debug, Clone)]
+struct ShardMetrics {
+    /// `matador_pool_shard_requests_total{shard=...}`.
+    requests: Arc<Counter>,
+    /// `matador_pool_shard_queued_beats_total{shard=...}`.
+    queued_beats: Arc<Counter>,
+    /// `matador_pool_shard_ii_cycles{shard=...}` — one sample per flush:
+    /// the shard's mean observed result-to-result gap over that flush.
+    ii_cycles: Arc<Histogram>,
+}
+
+impl ShardMetrics {
+    fn resolve(shard: usize) -> Self {
+        let registry = Registry::global();
+        let labels = format!("shard=\"{shard}\"");
+        ShardMetrics {
+            requests: registry.counter(
+                "matador_pool_shard_requests_total",
+                &labels,
+                "Requests executed, by shard.",
+            ),
+            queued_beats: registry.counter(
+                "matador_pool_shard_queued_beats_total",
+                &labels,
+                "Bus beats of work dispatched, by shard.",
+            ),
+            ii_cycles: registry.histogram(
+                "matador_pool_shard_ii_cycles",
+                &labels,
+                "Observed steady-state II per flush (cycles/result), by shard.",
+            ),
+        }
+    }
+}
+
 /// One completed inference.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Prediction {
@@ -226,6 +325,15 @@ pub struct ShardPool<'a> {
     /// Whether small flushes may consolidate onto one shard
     /// ([`ServeOptions::consolidate`]).
     consolidate: bool,
+    /// Pool-level metric handles (resolved once at construction).
+    metrics: PoolMetrics,
+    /// Per-shard metric handles, shard-index order.
+    shard_metrics: Vec<ShardMetrics>,
+    /// Bus beats dispatched to each shard, pool lifetime — the
+    /// [`PoolShardStats::queued_beats`] source.
+    shard_queued_beats: Vec<u64>,
+    /// Flushes in which each shard executed at least one request.
+    shard_flushes: Vec<u64>,
 }
 
 /// One engine shard behind either execution backend. Both variants expose
@@ -392,6 +500,10 @@ impl<'a> ShardPool<'a> {
             shared_chunk_cost,
             chunk_threshold,
             consolidate: options.consolidate,
+            metrics: PoolMetrics::resolve(options.policy),
+            shard_metrics: (0..options.shards).map(ShardMetrics::resolve).collect(),
+            shard_queued_beats: vec![0; options.shards],
+            shard_flushes: vec![0; options.shards],
         })
     }
 
@@ -461,6 +573,10 @@ impl<'a> ShardPool<'a> {
             shared_chunk_cost: None,
             chunk_threshold,
             consolidate: options.consolidate,
+            metrics: PoolMetrics::resolve(options.policy),
+            shard_metrics: (0..specs.len()).map(ShardMetrics::resolve).collect(),
+            shard_queued_beats: vec![0; specs.len()],
+            shard_flushes: vec![0; specs.len()],
         })
     }
 
@@ -522,6 +638,55 @@ impl<'a> ShardPool<'a> {
     /// Per-request latency samples collected so far (flush order).
     pub fn latencies(&self) -> &[u64] {
         &self.latencies
+    }
+
+    /// Per-shard serving statistics over the pool's lifetime, shard-index
+    /// order: bus beats dispatched, observed result-to-result gap sums
+    /// and sample counts (the shard's observed steady-state II is
+    /// `ii_cycles / ii_samples`), and the number of flushes the shard
+    /// actually executed work in. Unlike the global metrics registry,
+    /// these are plain per-pool fields — always collected, regardless of
+    /// whether metrics recording is enabled.
+    pub fn shard_stats(&self) -> Vec<PoolShardStats> {
+        self.engines
+            .iter()
+            .enumerate()
+            .map(|(shard, engine)| {
+                let load = engine.load();
+                PoolShardStats {
+                    shard,
+                    queued_beats: self.shard_queued_beats[shard],
+                    ii_cycles: load.ii_cycles,
+                    ii_samples: load.ii_samples,
+                    flushes_served: self.shard_flushes[shard],
+                }
+            })
+            .collect()
+    }
+
+    /// Books one shard's slice of a completed flush: lifetime tracking
+    /// for [`ShardPool::shard_stats`] plus the per-shard registry
+    /// metrics. `ii_before` is the shard's (gap-cycles, gap-samples)
+    /// snapshot from before the slice ran; the delta is this flush's
+    /// observed-II contribution.
+    fn note_shard_work(
+        &mut self,
+        shard: usize,
+        requests: usize,
+        beats_per_request: u64,
+        ii_before: (u64, u64),
+    ) {
+        let beats = beats_per_request * requests as u64;
+        self.shard_queued_beats[shard] += beats;
+        self.shard_flushes[shard] += 1;
+        let m = &self.shard_metrics[shard];
+        m.requests.add(requests as u64);
+        m.queued_beats.add(beats);
+        let load = self.engines[shard].load();
+        let (cycles, samples) = (load.ii_cycles - ii_before.0, load.ii_samples - ii_before.1);
+        if samples > 0 {
+            m.ii_cycles.record(cycles.div_ceil(samples));
+        }
     }
 
     /// Each shard's cumulative engine cycle count, shard-index order —
@@ -664,6 +829,8 @@ impl<'a> ShardPool<'a> {
         if let Some(shard) = self.single_executor(requests.len()) {
             return self.flush_to_shard(shard, requests);
         }
+        self.metrics.flushes.inc();
+        self.metrics.dispatched.add(requests.len() as u64);
         // Profile snapshots for the width-aware planner: cumulative
         // cycles (every flush drains its engines completely, so
         // cumulative cycles are exactly what distinguishes shards
@@ -772,6 +939,18 @@ impl<'a> ShardPool<'a> {
             .collect();
         self.latencies
             .extend(predictions.iter().map(|p| p.latency_cycles));
+        for (shard, indices) in work.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let profile = profiles[shard];
+            self.note_shard_work(
+                shard,
+                indices.len(),
+                profile.beats_per_request,
+                (profile.load.ii_cycles, profile.load.ii_samples),
+            );
+        }
         Ok(predictions)
     }
 
@@ -838,6 +1017,11 @@ impl<'a> ShardPool<'a> {
         shard: usize,
         requests: Vec<Request>,
     ) -> Result<Vec<Prediction>, ServeError> {
+        self.metrics.flushes.inc();
+        if self.engines.len() > 1 {
+            self.metrics.consolidated.inc();
+        }
+        let before = self.engines[shard].load();
         let beats = self.designs[shard].shape().num_packets() as u64;
         let mut ids = Vec::with_capacity(requests.len());
         let mut inputs = Vec::with_capacity(requests.len());
@@ -863,6 +1047,12 @@ impl<'a> ShardPool<'a> {
             .collect();
         self.latencies
             .extend(predictions.iter().map(|p| p.latency_cycles));
+        self.note_shard_work(
+            shard,
+            predictions.len(),
+            beats,
+            (before.ii_cycles, before.ii_samples),
+        );
         Ok(predictions)
     }
 
@@ -877,6 +1067,11 @@ impl<'a> ShardPool<'a> {
         first_id: u64,
         inputs: &[BitVec],
     ) -> Result<Vec<Prediction>, ServeError> {
+        self.metrics.flushes.inc();
+        if self.engines.len() > 1 {
+            self.metrics.consolidated.inc();
+        }
+        let before = self.engines[shard].load();
         let beats = self.designs[shard].shape().num_packets() as u64;
         let output = self.engines[shard]
             .run(inputs, beats)
@@ -897,6 +1092,12 @@ impl<'a> ShardPool<'a> {
             .collect();
         self.latencies
             .extend(predictions.iter().map(|p| p.latency_cycles));
+        self.note_shard_work(
+            shard,
+            predictions.len(),
+            beats,
+            (before.ii_cycles, before.ii_samples),
+        );
         Ok(predictions)
     }
 
@@ -1657,6 +1858,43 @@ mod tests {
         let all_turbo = run([EngineBackend::Turbo, EngineBackend::Turbo]);
         assert_eq!(mixed, all_cycle);
         assert_eq!(all_turbo, all_cycle);
+    }
+
+    #[test]
+    fn shard_stats_track_dispatched_work_per_shard() {
+        let a = accel(); // 2 beats/datapoint
+        let mut pool = ShardPool::new(&a, 2).expect("valid");
+        assert!(pool
+            .shard_stats()
+            .iter()
+            .all(|s| s.queued_beats == 0 && s.flushes_served == 0 && s.ii_samples == 0));
+        pool.serve(&inputs(6)).expect("drains");
+        let stats = pool.shard_stats();
+        assert_eq!(stats.len(), 2);
+        // Round-robin: 3 requests × 2 beats to each shard, one flush each.
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(s.shard, i);
+            assert_eq!(s.queued_beats, 6, "{s:?}");
+            assert_eq!(s.flushes_served, 1, "{s:?}");
+            // 3 results per shard → 2 observed result-to-result gaps.
+            assert_eq!(s.ii_samples, 2, "{s:?}");
+            assert!(s.ii_cycles > 0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn shard_stats_attribute_consolidated_flushes_to_one_shard() {
+        let a = accel();
+        let mut pool = ShardPool::with_options(&a, ServeOptions::turbo(4)).expect("valid");
+        pool.serve(&inputs(12)).expect("infallible");
+        let stats = pool.shard_stats();
+        // The whole flush consolidated onto shard 0: 12 × 2 beats there,
+        // nothing anywhere else.
+        assert_eq!(stats[0].queued_beats, 24);
+        assert_eq!(stats[0].flushes_served, 1);
+        for s in &stats[1..] {
+            assert_eq!((s.queued_beats, s.flushes_served), (0, 0), "{s:?}");
+        }
     }
 
     #[test]

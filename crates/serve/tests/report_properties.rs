@@ -1,0 +1,80 @@
+//! Property tests for [`percentile_per_mille`], the nearest-rank
+//! statistic behind every latency percentile this workspace quotes
+//! (`ThroughputReport::merge`, the load generator's tail artifact, the
+//! bench gates). The edge ranks are where nearest-rank implementations
+//! go wrong — p0 must clamp to the minimum rather than index before the
+//! array, p1000 must be the maximum rather than one past it, and the
+//! whole family must be monotone in both the sample set and the
+//! per-mille argument.
+
+use matador_serve::percentile_per_mille;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any per-mille of the empty set is 0 — the documented sentinel.
+    #[test]
+    fn empty_samples_always_quote_zero(per_mille in 0u32..=1000) {
+        prop_assert_eq!(percentile_per_mille(&[], per_mille), 0);
+    }
+
+    /// A single sample is every percentile of itself, p0 through p1000.
+    #[test]
+    fn single_sample_is_every_percentile(value in any::<u64>(), per_mille in 0u32..=1000) {
+        prop_assert_eq!(percentile_per_mille(&[value], per_mille), value);
+    }
+
+    /// All-equal samples quote that value at every rank and every length.
+    #[test]
+    fn all_equal_samples_quote_the_value(
+        value in any::<u64>(),
+        len in 1usize..64,
+        per_mille in 0u32..=1000,
+    ) {
+        let sorted = vec![value; len];
+        prop_assert_eq!(percentile_per_mille(&sorted, per_mille), value);
+    }
+
+    /// The extreme ranks hit the extreme order statistics exactly: p0
+    /// and p1 clamp to the minimum (rank is floored at 1, never 0) and
+    /// p1000 is the maximum — for any non-empty sorted sample set.
+    #[test]
+    fn extreme_ranks_hit_min_and_max(mut samples in proptest::collection::vec(any::<u64>(), 1..64)) {
+        samples.sort_unstable();
+        let (min, max) = (samples[0], *samples.last().expect("non-empty"));
+        prop_assert_eq!(percentile_per_mille(&samples, 0), min);
+        prop_assert_eq!(percentile_per_mille(&samples, 1), min);
+        prop_assert_eq!(percentile_per_mille(&samples, 999), max);
+        prop_assert_eq!(percentile_per_mille(&samples, 1000), max);
+    }
+
+    /// p999 < p1000 requires at least 1000 samples: nearest-rank cannot
+    /// distinguish sub-percent tails on small sets, so p999 of anything
+    /// shorter is already the maximum.
+    #[test]
+    fn p999_is_max_below_a_thousand_samples(
+        mut samples in proptest::collection::vec(any::<u64>(), 1..999),
+    ) {
+        samples.sort_unstable();
+        prop_assert_eq!(
+            percentile_per_mille(&samples, 999),
+            *samples.last().expect("non-empty")
+        );
+    }
+
+    /// Monotone in the rank: a higher per-mille never quotes a smaller
+    /// value, and every quote is an actual sample between min and max.
+    #[test]
+    fn quotes_are_monotone_and_members(
+        mut samples in proptest::collection::vec(any::<u64>(), 1..64),
+        lo in 0u32..=1000,
+        hi in 0u32..=1000,
+    ) {
+        samples.sort_unstable();
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let a = percentile_per_mille(&samples, lo);
+        let b = percentile_per_mille(&samples, hi);
+        prop_assert!(a <= b, "p{lo} = {a} > p{hi} = {b}");
+        prop_assert!(samples.binary_search(&a).is_ok(), "p{lo} = {a} not a sample");
+        prop_assert!(samples.binary_search(&b).is_ok(), "p{hi} = {b} not a sample");
+    }
+}

@@ -47,8 +47,76 @@
 use crate::accel::{AccelShape, CompiledAccelerator};
 use crate::engine::{SimError, SimResult};
 use matador_logic::dag::{LogicDag, Node};
+use matador_obs::{Counter, Histogram, Registry};
+use std::sync::{Arc, OnceLock};
 use tsetlin::bits::BitVec;
 use tsetlin::tm::argmax;
+
+/// Turbo-datapath metric handles, resolved once per process into a
+/// static so the hot path never touches the registry lock — and, after
+/// the first batch, never allocates (the zero-alloc contract of
+/// `crates/sim/tests/no_alloc.rs` covers runs with metrics enabled).
+/// Pure sinks: nothing in the datapath reads them back.
+struct TurboMetrics {
+    /// `matador_turbo_batches_total` — batch evaluations started.
+    batches: Arc<Counter>,
+    /// `matador_turbo_datapoints_total` — datapoints classified.
+    datapoints: Arc<Counter>,
+    /// `matador_turbo_strips_total` — ≤[`BLOCK_LANES`]-datapoint strips
+    /// evaluated (the blocked tape-dispatch unit).
+    strips: Arc<Counter>,
+    /// `matador_turbo_chunk_workers` — chunk fan-out plan per batch: the
+    /// worker count the cost model picked (1 = stayed serial).
+    chunk_workers: Arc<Histogram>,
+}
+
+fn turbo_metrics() -> &'static TurboMetrics {
+    static METRICS: OnceLock<TurboMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = Registry::global();
+        // Which 64×64 transpose kernel this process dispatches to —
+        // fixed per host, so a gauge set once at resolution.
+        let avx2 = {
+            #[cfg(target_arch = "x86_64")]
+            {
+                std::arch::is_x86_feature_detected!("avx2")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                false
+            }
+        };
+        registry
+            .gauge(
+                "matador_turbo_transpose_avx2",
+                "",
+                "1 when the AVX2 64x64 transpose kernel is selected, 0 for scalar.",
+            )
+            .set(i64::from(avx2));
+        TurboMetrics {
+            batches: registry.counter(
+                "matador_turbo_batches_total",
+                "",
+                "Turbo batch evaluations started.",
+            ),
+            datapoints: registry.counter(
+                "matador_turbo_datapoints_total",
+                "",
+                "Datapoints classified by the turbo datapath.",
+            ),
+            strips: registry.counter(
+                "matador_turbo_strips_total",
+                "",
+                "Blocked evaluation strips dispatched (up to 256 datapoints each).",
+            ),
+            chunk_workers: registry.histogram(
+                "matador_turbo_chunk_workers",
+                "",
+                "Chunk fan-out workers planned per batch (1 = serial).",
+            ),
+        }
+    })
+}
 
 /// Number of bit-slice lanes per lane word (one per `u64` bit).
 pub const LANES: usize = 64;
@@ -493,6 +561,11 @@ impl TurboProgram {
             return;
         }
         let workers = self.plan_workers(n, threads, threshold);
+        let metrics = turbo_metrics();
+        metrics.batches.inc();
+        metrics.datapoints.add(n as u64);
+        metrics.strips.add(n.div_ceil(BLOCK_LANES) as u64);
+        metrics.chunk_workers.record(workers as u64);
         if scratches.len() < workers {
             scratches.resize_with(workers, TurboScratch::default);
         }

@@ -76,6 +76,12 @@ fn batch(n: usize) -> Vec<BitVec> {
 // cargo runs tests within one binary in parallel.
 #[test]
 fn warmed_engine_steps_without_allocating() {
+    // Force metrics recording ON for the whole test: the observability
+    // contract is that the atomics-only record path (and the OnceLock
+    // handle resolution, which happens during warmup) adds zero
+    // allocations to a warmed run — not merely that disabled metrics are
+    // free.
+    matador_obs::set_enabled(true);
     let a = accel();
     for pipelined in [false, true] {
         let mut sim = SimEngine::new(&a);

@@ -11,6 +11,7 @@ pub use matador_axi as axi;
 pub use matador_baselines as baselines;
 pub use matador_datasets as datasets;
 pub use matador_logic as logic;
+pub use matador_obs as obs;
 pub use matador_par as par;
 pub use matador_rtl as rtl;
 pub use matador_serve as serve;

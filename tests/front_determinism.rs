@@ -61,6 +61,10 @@ fn replay(
     threads: usize,
     backend: EngineBackend,
 ) -> (Vec<Reply>, Vec<BatchRecord>, u64) {
+    // Metrics recording must be live during every replay: the contract
+    // under test is that observability is a pure sink — identical
+    // replies and batch boundaries *with the record path running*.
+    matador_repro::obs::set_enabled(true);
     let accel = design.compile_for_sim();
     let mut options = ServeOptions::new(shards);
     options.backend = backend;
@@ -104,6 +108,7 @@ fn replay(
 #[test]
 fn replies_and_batch_boundaries_are_replay_invariant_across_threads() {
     let design = design();
+    let before = matador_repro::obs::Registry::global().snapshot();
     for shards in [1usize, 4] {
         for backend in [EngineBackend::CycleAccurate, EngineBackend::Turbo] {
             let (reference, ref_batches, accepted) = replay(&design, shards, 1, backend);
@@ -129,6 +134,19 @@ fn replies_and_batch_boundaries_are_replay_invariant_across_threads() {
             }
         }
     }
+    // The replays above really did run with the record path live: every
+    // replay admits all 60 requests and flushes at least one batch.
+    let after = matador_repro::obs::Registry::global().snapshot();
+    let admitted = after.counter_delta(&before, "matador_front_admitted_total", "");
+    assert!(
+        admitted >= REQUESTS as u64,
+        "metrics were not recording during the replays (admitted delta {admitted})"
+    );
+    assert!(
+        after.counter_total("matador_front_batches_total")
+            > before.counter_total("matador_front_batches_total"),
+        "no batch-trigger counters moved"
+    );
 }
 
 #[test]

@@ -65,6 +65,9 @@ fn serve_mixed(
     policy: DispatchPolicy,
     threads: usize,
 ) -> Vec<(usize, Vec<i32>)> {
+    // Recording stays live for every pool under test: metrics are pure
+    // sinks, so the bit-identical-replay contract must hold with them on.
+    matador_repro::obs::set_enabled(true);
     let specs: Vec<ShardSpec> = designs
         .iter()
         .zip(backends)

@@ -48,6 +48,9 @@ fn serve_batch(
     threads: usize,
     backend: EngineBackend,
 ) -> Vec<(usize, Vec<i32>)> {
+    // Recording stays live for every pool under test: metrics are pure
+    // sinks, so the bit-identical-replay contract must hold with them on.
+    matador_repro::obs::set_enabled(true);
     let accel = design.compile_for_sim();
     let mut options = ServeOptions::new(shards);
     options.policy = policy;
