@@ -536,6 +536,57 @@ mod tests {
     }
 
     #[test]
+    fn truncated_model_file_degrades_to_a_retraining_miss() {
+        let dir = std::env::temp_dir().join(format!("matador-cache-trunc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let k = key();
+        let train = train_split(&k);
+        let trained = {
+            let cache = ModelCache::new(Some(dir.clone()));
+            cache.train_cached(&k, &train, 1)
+        };
+        // Simulate a crash mid-write that somehow landed at the final
+        // path: chop the model file in half. The loader must treat the
+        // torn file as a miss, retrain, and heal the entry in place.
+        let path = dir.join(k.file_name());
+        let bytes = std::fs::read(&path).expect("cache file exists");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("writable");
+        let cache = ModelCache::new(Some(dir.clone()));
+        let healed = cache.train_cached(&k, &train, 1);
+        assert_eq!(cache.hits(), 0, "a torn file must never count as a hit");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(healed, trained);
+        // The retrain rewrote the file; a fresh instance now hits disk.
+        let fresh = ModelCache::new(Some(dir.clone()));
+        assert_eq!(fresh.train_cached(&k, &train, 1), trained);
+        assert_eq!(fresh.hits(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stranded_tmp_debris_is_ignored_by_the_loader() {
+        let dir = std::env::temp_dir().join(format!("matador-cache-debris-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("creatable");
+        let k = key();
+        let train = train_split(&k);
+        // A crashed writer from another (fictional) pid left a truncated
+        // temp file behind. Lookups key on the final name only, so the
+        // debris is invisible: first call misses and trains, the healed
+        // entry round-trips, and the debris is left untouched.
+        let debris = dir.join(format!("{}.tmp-99999", k.file_name()));
+        std::fs::write(&debris, b"matador tm v1\ntruncat").expect("writable");
+        let cache = ModelCache::new(Some(dir.clone()));
+        let trained = cache.train_cached(&k, &train, 1);
+        assert_eq!(cache.misses(), 1);
+        let fresh = ModelCache::new(Some(dir.clone()));
+        assert_eq!(fresh.train_cached(&k, &train, 1), trained);
+        assert_eq!(fresh.hits(), 1);
+        assert!(debris.exists(), "foreign debris is not ours to reap");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn file_name_is_self_describing() {
         let name = key().file_name();
         assert!(name.starts_with("2d-noisy-xor-60x20-e2-s11-"));

@@ -44,9 +44,46 @@
 //! assert_eq!(a, matador_par::split_seed(42, 0));
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod reactor;
+
+/// A worker closure panicked inside a containment-aware entry point
+/// ([`try_par_map_mut_with`]). Carries the *lowest* panicked item index
+/// (deterministic regardless of which thread ran the item) and the
+/// panic payload rendered to a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Lowest item index whose closure invocation panicked.
+    pub index: usize,
+    /// The panic payload (`&str`/`String` payloads verbatim, anything
+    /// else as a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked at item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Renders a caught panic payload the way the default hook would.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Name of the environment variable overriding the worker count.
 pub const THREADS_ENV: &str = "MATADOR_THREADS";
@@ -252,6 +289,81 @@ where
     });
 }
 
+/// [`par_map_mut_with`] with **panic containment**: each item's closure
+/// invocation runs under [`std::panic::catch_unwind`], so one poisoned
+/// item cannot abort its chunk-mates or tear down the calling thread.
+///
+/// Every item is still attempted — a panic at item `i` does not skip
+/// `i+1` — and the workers and caller survive, so the data structure
+/// being mapped over stays usable afterwards (the property the serving
+/// pool's fault tolerance builds on). Returns the *lowest* panicked
+/// index as a typed [`WorkerPanic`], which makes the error value
+/// deterministic at any thread count; `Ok(())` when nothing panicked.
+///
+/// An item whose closure panicked may have been left partially mutated —
+/// the caller decides whether that item's state is still meaningful
+/// (the serving pool discards and re-dispatches such slices).
+///
+/// # Errors
+///
+/// Returns [`WorkerPanic`] naming the lowest panicked item.
+pub fn try_par_map_mut_with<T, F>(threads: usize, items: &mut [T], f: F) -> Result<(), WorkerPanic>
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let guarded = |i: usize, item: &mut T| -> Option<WorkerPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i, item)))
+            .err()
+            .map(|payload| WorkerPanic {
+                index: i,
+                message: panic_message(payload.as_ref()),
+            })
+    };
+    if threads <= 1 || n <= 1 {
+        let mut first: Option<WorkerPanic> = None;
+        for (i, item) in items.iter_mut().enumerate() {
+            if let Some(p) = guarded(i, item) {
+                first.get_or_insert(p);
+            }
+        }
+        return match first {
+            Some(p) => Err(p),
+            None => Ok(()),
+        };
+    }
+    let chunk = n.div_ceil(threads.min(n));
+    let chunk_firsts: Vec<Option<WorkerPanic>> = std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, chunk_items)| {
+                let guarded = &guarded;
+                s.spawn(move || {
+                    let mut first: Option<WorkerPanic> = None;
+                    for (j, item) in chunk_items.iter_mut().enumerate() {
+                        if let Some(p) = guarded(ci * chunk + j, item) {
+                            first.get_or_insert(p);
+                        }
+                    }
+                    first
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker closures are panic-contained"))
+            .collect()
+    });
+    // Chunks are contiguous and in index order, so the first chunk with
+    // a panic holds the globally lowest panicked index.
+    match chunk_firsts.into_iter().flatten().next() {
+        Some(p) => Err(p),
+        None => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +458,69 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    /// Serializes panic-hook swaps across the containment tests: the
+    /// hook is process-global, so concurrent swap/restore would race.
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn try_par_map_mut_contains_panics_and_reports_lowest_index() {
+        let _guard = HOOK_LOCK.lock().unwrap();
+        // Quiet the default panic hook for the intentional panics below.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // Deterministic at every thread count (1 and 8 are the CI matrix
+        // legs): same typed error, same surviving mutations.
+        for threads in [1, 2, 8] {
+            let mut items: Vec<u64> = vec![0; 16];
+            let err = try_par_map_mut_with(threads, &mut items, |i, slot| {
+                if i == 11 || i == 5 {
+                    panic!("boom at {i}");
+                }
+                *slot = i as u64 + 1;
+            })
+            .expect_err("two items panic");
+            assert_eq!(
+                err,
+                WorkerPanic {
+                    index: 5,
+                    message: "boom at 5".to_string(),
+                },
+                "threads={threads}"
+            );
+            assert!(err.to_string().contains("item 5"), "{err}");
+            // Containment: every non-panicking item was still mutated,
+            // including the ones *after* the panics in the same chunk.
+            for (i, &v) in items.iter().enumerate() {
+                let expected = if i == 11 || i == 5 { 0 } else { i as u64 + 1 };
+                assert_eq!(v, expected, "threads={threads} index={i}");
+            }
+        }
+        std::panic::set_hook(prev);
+    }
+
+    #[test]
+    fn try_par_map_mut_succeeds_and_stays_reusable_after_a_panic() {
+        let _guard = HOOK_LOCK.lock().unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut items = vec![0u64; 9];
+        try_par_map_mut_with(8, &mut items, |i, slot| {
+            if i == 0 {
+                panic!("poisoned");
+            }
+            *slot = 1;
+        })
+        .expect_err("item 0 panics");
+        // The same buffer (and the plain entry points) work fine after
+        // containment — nothing was torn down.
+        try_par_map_mut_with(8, &mut items, |_, slot| *slot += 1).expect("clean run");
+        assert_eq!(items[0], 1);
+        assert!(items[1..].iter().all(|&v| v == 2));
+        let doubled = par_map_with(8, &items, |&v| v * 2);
+        assert_eq!(doubled[1..], vec![4; 8]);
+        std::panic::set_hook(prev);
     }
 
     #[test]

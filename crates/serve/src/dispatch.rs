@@ -167,9 +167,40 @@ impl Dispatcher {
         profiles: &[ShardProfile],
         request_widths: &[usize],
     ) -> Vec<usize> {
+        self.plan_impl(profiles, request_widths, None)
+    }
+
+    /// [`Dispatcher::plan_profiles`] restricted to the shards the health
+    /// tracker still considers eligible: `eligible[s] == false` removes
+    /// shard `s` from every rotation and score comparison, exactly as if
+    /// the pool had been built without it. Round-robin cursors count
+    /// positions within the *surviving* rotation, so the assignment stays
+    /// a pure function of the (deterministic) health timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty or some request's width matches no
+    /// *eligible* shard — the pool checks healthy capacity (and returns
+    /// [`crate::ServeError::NoHealthyShard`]) before planning.
+    pub fn plan_eligible(
+        &mut self,
+        profiles: &[ShardProfile],
+        request_widths: &[usize],
+        eligible: &[bool],
+    ) -> Vec<usize> {
+        self.plan_impl(profiles, request_widths, Some(eligible))
+    }
+
+    fn plan_impl(
+        &mut self,
+        profiles: &[ShardProfile],
+        request_widths: &[usize],
+        eligible: Option<&[bool]>,
+    ) -> Vec<usize> {
         assert!(!profiles.is_empty(), "dispatcher needs at least one shard");
         let shards = profiles.len();
-        let compatible = |s: usize, width: usize| profiles[s].width == width;
+        let compatible =
+            |s: usize, width: usize| profiles[s].width == width && eligible.is_none_or(|e| e[s]);
         match self.policy {
             DispatchPolicy::RoundRobin => {
                 // One compatible-shard rotation per distinct width,
@@ -460,6 +491,63 @@ mod tests {
         let plan = d.plan_profiles(&profiles, &[8; 10]);
         let to_wide = plan.iter().filter(|&&s| s == 1).count();
         assert_eq!(to_wide, 8, "plan {plan:?}");
+    }
+
+    #[test]
+    fn plan_eligible_excludes_masked_shards_under_every_policy() {
+        let profiles: Vec<ShardProfile> = (0..4)
+            .map(|_| ShardProfile::uniform(ShardLoad::default(), 8, 2))
+            .collect();
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastQueued,
+            DispatchPolicy::LatencyAware,
+        ] {
+            let mut d = Dispatcher::new(policy);
+            let plan = d.plan_eligible(&profiles, &[8; 8], &[true, false, true, true]);
+            assert!(
+                plan.iter().all(|&s| s != 1),
+                "{policy:?} routed to a quarantined shard: {plan:?}"
+            );
+            assert!(plan.contains(&0) && plan.contains(&2) && plan.contains(&3));
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_over_the_surviving_shards_only() {
+        let profiles: Vec<ShardProfile> = (0..3)
+            .map(|_| ShardProfile::uniform(ShardLoad::default(), 8, 2))
+            .collect();
+        let mut d = Dispatcher::new(DispatchPolicy::RoundRobin);
+        let plan = d.plan_eligible(&profiles, &[8; 6], &[true, false, true]);
+        assert_eq!(plan, vec![0, 2, 0, 2, 0, 2]);
+        // Shard 1 recovers: the rotation widens again, cursor intact.
+        let plan = d.plan_eligible(&profiles, &[8; 3], &[true, true, true]);
+        assert_eq!(plan.len(), 3);
+        assert!(plan.contains(&1), "recovered shard rejoins: {plan:?}");
+    }
+
+    #[test]
+    fn plan_eligible_with_full_mask_matches_plan_profiles() {
+        let profiles = [
+            ShardProfile::uniform(ShardLoad::default(), 8, 2),
+            ShardProfile::uniform(ShardLoad::default(), 16, 4),
+            ShardProfile::uniform(ShardLoad::default(), 8, 8),
+        ];
+        let widths = [8usize, 16, 8, 8, 16, 8];
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastQueued,
+            DispatchPolicy::LatencyAware,
+        ] {
+            let mut a = Dispatcher::new(policy);
+            let mut b = Dispatcher::new(policy);
+            assert_eq!(
+                a.plan_profiles(&profiles, &widths),
+                b.plan_eligible(&profiles, &widths, &[true; 3]),
+                "{policy:?}"
+            );
+        }
     }
 
     #[test]

@@ -66,6 +66,43 @@ pub enum ServeError {
         /// The underlying engine error.
         error: SimError,
     },
+    /// The only shard compatible with a request's width is quarantined
+    /// by the health tracker (circuit breaker open). The single-shard
+    /// sibling of [`ServeError::NoHealthyShard`], mirroring how
+    /// [`ServeError::WidthMismatch`] pairs with
+    /// [`ServeError::NoCompatibleShard`].
+    ShardQuarantined {
+        /// The quarantined shard.
+        shard: usize,
+    },
+    /// Several shards accept the request's width, but every one of them
+    /// is quarantined — the pool has no healthy capacity for it. Raised
+    /// at admission (brownout rejection) and from a flush when the last
+    /// compatible shard dies with requests still in flight.
+    NoHealthyShard {
+        /// Width of the affected request(s).
+        width: usize,
+    },
+    /// [`crate::Front::drain`] stopped making progress: a full flush
+    /// pass completed without reducing the pending set, so spinning the
+    /// virtual clock further would hang forever. Surfaced by the drain
+    /// liveness watchdog instead of an unbounded loop.
+    Stalled {
+        /// Requests still pending when progress stopped.
+        pending: usize,
+        /// The front's virtual clock at detection.
+        virtual_clock: u64,
+    },
+    /// An admitted request was shed by brownout load shedding: healthy
+    /// capacity shrank until its deadline became unmeetable, and the
+    /// front was configured to shed rather than hold a guaranteed miss.
+    /// Always an explicit, typed outcome — never a silent timeout.
+    Shed {
+        /// The shed request's tenant.
+        tenant: u32,
+        /// The tenant-local submission sequence number.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -110,6 +147,30 @@ impl fmt::Display for ServeError {
             }
             ServeError::Shard { shard, error } => {
                 write!(f, "shard {shard} failed: {error}")
+            }
+            ServeError::ShardQuarantined { shard } => {
+                write!(f, "shard {shard} is quarantined (circuit breaker open)")
+            }
+            ServeError::NoHealthyShard { width } => {
+                write!(
+                    f,
+                    "every shard serving width {width} is quarantined: no healthy capacity"
+                )
+            }
+            ServeError::Stalled {
+                pending,
+                virtual_clock,
+            } => {
+                write!(
+                    f,
+                    "drain stalled at virtual cycle {virtual_clock} with {pending} requests pending"
+                )
+            }
+            ServeError::Shed { tenant, seq } => {
+                write!(
+                    f,
+                    "request {seq} of tenant {tenant} shed under brownout (deadline unmeetable on surviving capacity)"
+                )
             }
         }
     }
@@ -161,6 +222,22 @@ mod tests {
         };
         assert!(e.to_string().contains("100"));
         assert!(e.to_string().contains("105"));
+        let e = ServeError::ShardQuarantined { shard: 2 };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(e.to_string().contains("quarantined"));
+        let e = ServeError::NoHealthyShard { width: 8 };
+        assert!(e.to_string().contains("width 8"));
+        assert!(e.to_string().contains("healthy"));
+        let e = ServeError::Stalled {
+            pending: 5,
+            virtual_clock: 900,
+        };
+        assert!(e.to_string().contains("5"));
+        assert!(e.to_string().contains("900"));
+        let e = ServeError::Shed { tenant: 4, seq: 9 };
+        assert!(e.to_string().contains("tenant 4"));
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("shed"));
     }
 
     #[test]

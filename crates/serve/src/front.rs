@@ -26,6 +26,18 @@
 //! guaranteed miss. Batch formation drains per-tenant FIFOs by
 //! deficit-round-robin, so a bursty tenant cannot starve a quiet one.
 //!
+//! Over a resilient pool (see the [`crate::fault`] and [`crate::health`]
+//! modules) the front browns out instead of lying: admission rejects
+//! widths with no healthy shard left
+//! ([`ServeError::NoHealthyShard`] / [`ServeError::ShardQuarantined`]),
+//! drain estimates recompute from surviving capacity (quarantined
+//! shards drop out of [`ShardPool::flush_spread`] and the modeled II),
+//! and — opt-in via [`FrontOptions::shed_on_brownout`] — a flush sheds
+//! requests whose deadlines shrank out of reach rather than running
+//! them into a guaranteed miss ([`ShedNotice`], [`Front::take_shed`]).
+//! [`Front::drain`] is watchdogged: a pass that stops reducing the
+//! pending set surfaces [`ServeError::Stalled`] instead of hanging.
+//!
 //! Shards complete out of submission order (a lightly loaded shard
 //! finishes its slice first), so a reorder stage re-sequences
 //! completions into **in-order per-tenant delivery**: replies for a
@@ -94,7 +106,7 @@ use crate::pool::ShardPool;
 use crate::report::ThroughputReport;
 use matador_obs::{Counter, FlightRecorder, Gauge, Histogram, Registry, TraceId};
 use matador_par::reactor::TimerWheel;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use tsetlin::bits::BitVec;
 
@@ -195,6 +207,9 @@ fn rejection_reason(error: &ServeError) -> &'static str {
         ServeError::DeadlineUnmeetable { .. } => "deadline_unmeetable",
         ServeError::QueueFull { .. } => "queue_full",
         ServeError::WidthMismatch { .. } | ServeError::NoCompatibleShard { .. } => "width_mismatch",
+        ServeError::ShardQuarantined { .. } | ServeError::NoHealthyShard { .. } => {
+            "no_healthy_shard"
+        }
         _ => "other",
     }
 }
@@ -210,6 +225,7 @@ struct FrontMetrics {
     rejected_deadline: Arc<Counter>,
     rejected_queue_full: Arc<Counter>,
     rejected_width: Arc<Counter>,
+    rejected_unhealthy: Arc<Counter>,
     rejected_other: Arc<Counter>,
     batches_lane_block: Arc<Counter>,
     batches_deadline: Arc<Counter>,
@@ -219,6 +235,7 @@ struct FrontMetrics {
     slack_at_flush: Arc<Histogram>,
     delivery_latency: Arc<Histogram>,
     deadline_misses: Arc<Counter>,
+    shed: Arc<Counter>,
     pending: Arc<Gauge>,
 }
 
@@ -249,6 +266,7 @@ impl FrontMetrics {
             rejected_deadline: rejected("deadline_unmeetable"),
             rejected_queue_full: rejected("queue_full"),
             rejected_width: rejected("width_mismatch"),
+            rejected_unhealthy: rejected("no_healthy_shard"),
             rejected_other: rejected("other"),
             batches_lane_block: batches("lane_block_full"),
             batches_deadline: batches("deadline_pressure"),
@@ -274,6 +292,11 @@ impl FrontMetrics {
                 "",
                 "Replies delivered after their deadline.",
             ),
+            shed: r.counter(
+                "matador_front_shed_total",
+                "",
+                "Admitted requests shed by brownout load shedding.",
+            ),
             pending: r.gauge(
                 "matador_front_pending_requests",
                 "",
@@ -288,6 +311,7 @@ impl FrontMetrics {
             "deadline_unmeetable" => &self.rejected_deadline,
             "queue_full" => &self.rejected_queue_full,
             "width_mismatch" => &self.rejected_width,
+            "no_healthy_shard" => &self.rejected_unhealthy,
             _ => &self.rejected_other,
         }
     }
@@ -356,6 +380,35 @@ impl Reply {
     }
 }
 
+/// One request dropped by brownout load shedding
+/// ([`FrontOptions::shed_on_brownout`]): at flush time its deadline was
+/// already inside the pool's healthy-capacity latency floor, so holding
+/// it could only produce a guaranteed deadline miss. Collected via
+/// [`Front::take_shed`] — a shed is an explicit, typed outcome the
+/// driver reports back to the caller, never a silent timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedNotice {
+    /// The submitting tenant.
+    pub tenant: u32,
+    /// Per-tenant submission sequence number (the reorder stage skips
+    /// it, so later replies for the tenant still deliver in order).
+    pub seq: u64,
+    /// The absolute deadline that became unmeetable.
+    pub deadline: u64,
+    /// Virtual cycle the request was shed.
+    pub shed_at: u64,
+}
+
+impl ShedNotice {
+    /// The typed error a driver relays to the shed request's caller.
+    pub fn as_error(&self) -> ServeError {
+        ServeError::Shed {
+            tenant: self.tenant,
+            seq: self.seq,
+        }
+    }
+}
+
 /// Tuning knobs for the front-end coalescer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrontOptions {
@@ -377,6 +430,13 @@ pub struct FrontOptions {
     /// Request lifecycles retained by the flight recorder
     /// ([`Front::flight_recorder`]); zero rounds up to one.
     pub flight_capacity: usize,
+    /// Brownout load shedding: when `true`, a flush sheds queued
+    /// requests whose deadlines are already inside the pool's (health-
+    /// aware) latency floor instead of running them into a guaranteed
+    /// miss. Sheds surface as [`ShedNotice`]s via [`Front::take_shed`].
+    /// Default `false`: browned-out pools run everything and report
+    /// misses honestly.
+    pub shed_on_brownout: bool,
 }
 
 impl FrontOptions {
@@ -390,6 +450,7 @@ impl FrontOptions {
             drr_quantum: 1,
             quota: None,
             flight_capacity: matador_obs::DEFAULT_FLIGHT_CAPACITY,
+            shed_on_brownout: false,
         }
     }
 }
@@ -440,6 +501,10 @@ struct Tenant {
     next_seq: u64,
     next_deliver_seq: u64,
     parked: BTreeMap<u64, Parked>,
+    /// Sequence numbers dropped by brownout shedding; the delivery
+    /// cursor skips them so later replies are not held hostage by a
+    /// request that will never complete.
+    shed_seqs: BTreeSet<u64>,
     /// Published queue depth / DRR deficit, labelled by tenant id.
     depth_gauge: Arc<Gauge>,
     deficit_gauge: Arc<Gauge>,
@@ -455,6 +520,7 @@ impl Tenant {
             next_seq: 0,
             next_deliver_seq: 0,
             parked: BTreeMap::new(),
+            shed_seqs: BTreeSet::new(),
             depth_gauge: Registry::global().gauge(
                 "matador_front_tenant_queue_depth",
                 &labels,
@@ -492,6 +558,7 @@ pub struct Front<'a> {
     timers: TimerWheel,
     last_activity: u64,
     delivered: Vec<Reply>,
+    shed: Vec<ShedNotice>,
     batches: Vec<BatchRecord>,
     /// Admission → delivery durations, one per delivered reply.
     latencies: Vec<u64>,
@@ -530,6 +597,7 @@ impl<'a> Front<'a> {
             timers: TimerWheel::new(),
             last_activity: 0,
             delivered: Vec::new(),
+            shed: Vec::new(),
             batches: Vec::new(),
             latencies: Vec::new(),
             accepted: 0,
@@ -637,6 +705,10 @@ impl<'a> Front<'a> {
 
     fn admit(&mut self, input: &BitVec, deadline: u64, tenant: u32) -> Result<u64, ServeError> {
         self.pool.check_width(input.len())?;
+        // Brownout admission: a resilient pool with every compatible
+        // shard quarantined rejects typed up front instead of accepting
+        // work it cannot currently run. Free for fault-free pools.
+        self.pool.check_healthy(input.len())?;
         if self.pending_total >= self.options.max_pending {
             return Err(ServeError::QueueFull {
                 capacity: self.options.max_pending,
@@ -743,10 +815,22 @@ impl<'a> Front<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::Shard`] if a flush's engine fails.
+    /// Returns [`ServeError::Shard`] if a flush's engine fails,
+    /// [`ServeError::NoHealthyShard`] / [`ServeError::ShardQuarantined`]
+    /// when a resilient pool has no surviving capacity for the pending
+    /// work, and [`ServeError::Stalled`] if a full flush pass stops
+    /// reducing the pending set — the bounded-progress watchdog that
+    /// turns a would-be hang into a typed error.
     pub fn drain(&mut self) -> Result<(), ServeError> {
         while self.pending_total > 0 {
+            let before = self.pending_total;
             self.flush_batch(FlushTrigger::Drain)?;
+            if self.pending_total >= before {
+                return Err(ServeError::Stalled {
+                    pending: self.pending_total,
+                    virtual_clock: self.now,
+                });
+            }
         }
         Ok(())
     }
@@ -756,6 +840,19 @@ impl<'a> Front<'a> {
     /// time, ties broken by shard then request id).
     pub fn take_replies(&mut self) -> Vec<Reply> {
         std::mem::take(&mut self.delivered)
+    }
+
+    /// Takes every [`ShedNotice`] recorded since the last call, in shed
+    /// order. Empty unless [`FrontOptions::shed_on_brownout`] is set.
+    pub fn take_shed(&mut self) -> Vec<ShedNotice> {
+        std::mem::take(&mut self.shed)
+    }
+
+    /// Corrupts the pending-request accounting, simulating the
+    /// lost-request bug class the drain watchdog exists to catch.
+    #[cfg(test)]
+    fn inject_phantom_pending(&mut self, phantoms: usize) {
+        self.pending_total += phantoms;
     }
 
     /// Front-end throughput report: the pool's per-shard stream
@@ -846,8 +943,44 @@ impl<'a> Front<'a> {
         result
     }
 
+    /// Brownout load shedding: drops every request in the formed batch
+    /// whose deadline already sits inside the pool's health-aware
+    /// latency floor — running it could only produce a guaranteed miss
+    /// on browned-out capacity. Slack decides, so the requests with the
+    /// least hope go first; survivors flush normally. Each shed is
+    /// recorded as a [`ShedNotice`], counted, traced, and skipped by
+    /// the tenant's delivery cursor.
+    fn shed_hopeless(&mut self, batch: Vec<(u32, Admitted)>) -> Vec<(u32, Admitted)> {
+        let earliest = self.now.saturating_add(self.pool.latency_floor_cycles());
+        let mut kept = Vec::with_capacity(batch.len());
+        for (tenant_id, admitted) in batch {
+            if admitted.deadline >= earliest {
+                kept.push((tenant_id, admitted));
+                continue;
+            }
+            self.metrics.shed.inc();
+            self.flight
+                .update(admitted.trace, |l| l.rejected = Some("shed"));
+            let tenant = self
+                .tenants
+                .get_mut(&tenant_id)
+                .expect("admitted requests always have a tenant entry");
+            tenant.shed_seqs.insert(admitted.seq);
+            self.shed.push(ShedNotice {
+                tenant: tenant_id,
+                seq: admitted.seq,
+                deadline: admitted.deadline,
+                shed_at: self.now,
+            });
+        }
+        kept
+    }
+
     fn flush_batch_inner(&mut self, trigger: FlushTrigger) -> Result<(), ServeError> {
-        let batch = self.form_batch();
+        let mut batch = self.form_batch();
+        if self.options.shed_on_brownout {
+            batch = self.shed_hopeless(batch);
+        }
         if batch.is_empty() {
             return Ok(());
         }
@@ -942,7 +1075,15 @@ impl<'a> Front<'a> {
                     trace: admitted.trace,
                 },
             );
-            while let Some(parked) = tenant.parked.remove(&tenant.next_deliver_seq) {
+            loop {
+                // Shed sequence numbers will never complete: hop the
+                // cursor over them so the replies behind are released.
+                while tenant.shed_seqs.remove(&tenant.next_deliver_seq) {
+                    tenant.next_deliver_seq += 1;
+                }
+                let Some(parked) = tenant.parked.remove(&tenant.next_deliver_seq) else {
+                    break;
+                };
                 let mut reply = parked.reply;
                 reply.delivered_at = parked.completed_at.max(completed_at);
                 let latency = reply.delivered_at - reply.submitted_at;
@@ -1352,5 +1493,125 @@ mod tests {
         // and sums back to the admitted count.
         let total: usize = f.batches().iter().map(|b| b.size).sum();
         assert_eq!(total as u64, admitted);
+    }
+
+    #[test]
+    fn drain_watchdog_turns_lost_pending_into_a_typed_stall() {
+        let accel = accel();
+        let mut f = front(&accel, FrontOptions::new());
+        f.inject_phantom_pending(3);
+        assert_eq!(
+            f.drain().expect_err("no flush can retire phantoms"),
+            ServeError::Stalled {
+                pending: 3,
+                virtual_clock: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn browned_out_pool_rejects_admission_typed() {
+        let accel = accel();
+        let mut pool =
+            ShardPool::with_options(&accel, ServeOptions::turbo(2)).expect("valid options");
+        pool.quarantine_shard(0);
+        pool.quarantine_shard(1);
+        let mut f = Front::new(pool, FrontOptions::new()).expect("valid options");
+        let err = f
+            .submit(&class0(4), 1_000_000, 0)
+            .expect_err("no healthy shard");
+        assert_eq!(err, ServeError::NoHealthyShard { width: 4 });
+        assert_eq!(f.rejected(), 1);
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn brownout_shed_is_typed_and_skips_the_delivery_cursor() {
+        let accel = accel();
+        let mut f = front(
+            &accel,
+            FrontOptions {
+                lane_block: 8,
+                idle_cycles: 0,
+                shed_on_brownout: true,
+                ..FrontOptions::new()
+            },
+        );
+        let floor = f.pool().latency_floor_cycles();
+        // seq 0 is tight, seq 1 is loose; both admissible now.
+        f.submit(&class0(4), floor + 10, 0).expect("admitted");
+        f.submit(&class1(4), 1_000_000, 0).expect("admitted");
+        // Strand seq 0: jump the clock past its usable slack before any
+        // timer-driven flush could run it (the direct write stands in
+        // for a brownout stretching the drain estimates mid-backlog).
+        f.now = floor + 11;
+        f.drain().expect("drains");
+        let shed = f.take_shed();
+        assert_eq!(shed.len(), 1);
+        assert_eq!(
+            (
+                shed[0].tenant,
+                shed[0].seq,
+                shed[0].deadline,
+                shed[0].shed_at
+            ),
+            (0, 0, floor + 10, floor + 11)
+        );
+        assert_eq!(shed[0].as_error(), ServeError::Shed { tenant: 0, seq: 0 });
+        // seq 1 is not held hostage by the shed predecessor: the
+        // delivery cursor hops seq 0 and releases it in order.
+        let replies = f.take_replies();
+        assert_eq!(replies.len(), 1);
+        assert_eq!((replies[0].seq, replies[0].winner), (1, 1));
+    }
+
+    #[test]
+    fn without_shed_opt_in_stale_deadlines_run_and_miss_honestly() {
+        let accel = accel();
+        let mut f = front(
+            &accel,
+            FrontOptions {
+                lane_block: 8,
+                idle_cycles: 0,
+                ..FrontOptions::new()
+            },
+        );
+        let floor = f.pool().latency_floor_cycles();
+        f.submit(&class0(4), floor + 10, 0).expect("admitted");
+        f.now = floor + 11;
+        f.drain().expect("drains");
+        assert!(f.take_shed().is_empty());
+        let replies = f.take_replies();
+        assert_eq!(replies.len(), 1);
+        assert!(!replies[0].met_deadline(), "served late, reported honestly");
+    }
+
+    #[test]
+    fn front_delivers_in_order_over_a_killed_shard() {
+        use crate::{FaultPlan, ShardHealth};
+        let accel = accel();
+        let pool =
+            ShardPool::with_fault_plan(&accel, ServeOptions::turbo(2), FaultPlan::kill_shard(0, 0))
+                .expect("valid options");
+        let mut f = Front::new(
+            pool,
+            FrontOptions {
+                idle_cycles: 0,
+                ..FrontOptions::new()
+            },
+        )
+        .expect("valid options");
+        for i in 0..6u64 {
+            let input = if i % 2 == 0 { class0(4) } else { class1(4) };
+            f.submit(&input, 1_000_000, 0).expect("admitted");
+        }
+        f.drain().expect("the survivor absorbs everything");
+        let replies = f.take_replies();
+        assert_eq!(replies.len(), 6, "zero drops");
+        let seqs: Vec<u64> = replies.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        let winners: Vec<usize> = replies.iter().map(|r| r.winner).collect();
+        assert_eq!(winners, vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(f.pool().shard_health(0), ShardHealth::Quarantined);
     }
 }

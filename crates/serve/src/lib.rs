@@ -31,6 +31,13 @@
 //!    them: pool wall-clock is the *slowest* shard (shards run
 //!    concurrently), datapoints/transfers/stalls add, and latency
 //!    percentiles are computed over per-request samples.
+//! 4. **Fault tolerance (opt-in).** A pool built with
+//!    [`ShardPool::with_fault_plan`] survives shard failures: a
+//!    deterministic [`FaultPlan`] (or a genuine engine error) feeds the
+//!    per-shard [`health`] circuit breaker, failed slices are
+//!    re-dispatched to surviving compatible shards, and replies stay
+//!    bit-identical to the fault-free run — faults may delay an answer,
+//!    never change it. See the [`fault`] module docs for the taxonomy.
 //!
 //! ```
 //! use matador_logic::cube::{Cube, Lit};
@@ -60,7 +67,9 @@
 
 pub mod dispatch;
 pub mod error;
+pub mod fault;
 pub mod front;
+pub mod health;
 pub mod pool;
 pub mod queue;
 pub mod report;
@@ -69,9 +78,12 @@ pub mod spec;
 
 pub use dispatch::{DispatchPolicy, Dispatcher, ShardLoad, ShardProfile};
 pub use error::ServeError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use front::{
-    BatchRecord, FlushTrigger, Front, FrontOptions, Reply, TenantQuota, MILLITOKENS_PER_REQUEST,
+    BatchRecord, FlushTrigger, Front, FrontOptions, Reply, ShedNotice, TenantQuota,
+    MILLITOKENS_PER_REQUEST,
 };
+pub use health::{HealthTransition, ShardHealth, PROBE_COOLDOWN_FLUSHES};
 pub use matador_sim::EngineBackend;
 pub use pool::{PoolShardStats, Prediction, ServeOptions, ShardPool};
 pub use queue::{Request, RequestQueue, DEFAULT_QUEUE_DEPTH};

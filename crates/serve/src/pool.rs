@@ -23,6 +23,11 @@
 
 use crate::dispatch::{DispatchPolicy, Dispatcher, ShardLoad, ShardProfile};
 use crate::error::ServeError;
+use crate::fault::{
+    FaultPlan, FaultState, SliceAction, SliceFaults, SEEDED_FAULTS_PER_SHARD,
+    SEEDED_HORIZON_REQUESTS,
+};
+use crate::health::{HealthTracker, HealthTransition, ShardHealth};
 use crate::queue::{Request, RequestQueue, DEFAULT_QUEUE_DEPTH};
 use crate::report::{ShardStats, ThroughputReport};
 use crate::spec::ShardSpec;
@@ -31,8 +36,15 @@ use matador_sim::{
     CompiledAccelerator, EngineBackend, SimEngine, SimError, SimResult, TurboEngine, TurboProgram,
 };
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use tsetlin::bits::BitVec;
+
+/// A shard's per-flush mean observed II beyond this multiple of the
+/// pool's modeled II is treated as a soft fault (`"ii_outlier"`) — the
+/// shard is degraded, not quarantined. Conservative: heterogeneous
+/// pools legitimately mix IIs a factor of ~2 apart.
+const II_OUTLIER_FACTOR: u64 = 4;
 
 /// Configuration of a serving runtime instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,6 +91,15 @@ pub struct ServeOptions {
     /// path. Ignored on the heterogeneous path, where each [`ShardSpec`]
     /// picks its own backend.
     pub backend: EngineBackend,
+    /// `Some(seed)` arms seeded chaos injection: the pool is built in
+    /// resilient mode with [`FaultPlan::seeded`]`(seed, shards,`
+    /// [`SEEDED_HORIZON_REQUESTS`]`, `[`SEEDED_FAULTS_PER_SHARD`]`)`
+    /// installed — the options-only way to switch on the fault-tolerant
+    /// serving path. For an explicit schedule (or resilient mode without
+    /// injected faults) use [`ShardPool::with_fault_plan`] instead.
+    /// `None` (the default) keeps the classic fail-fast pool.
+    #[serde(default)]
+    pub fault_seed: Option<u64>,
 }
 
 impl ServeOptions {
@@ -96,6 +117,7 @@ impl ServeOptions {
             consolidate: true,
             chunk_threshold: None,
             backend: EngineBackend::CycleAccurate,
+            fault_seed: None,
         }
     }
 
@@ -177,6 +199,13 @@ struct PoolMetrics {
     /// the configured dispatch policy (the spread path; consolidated
     /// flushes bypass the planner and are counted above instead).
     dispatched: Arc<Counter>,
+    /// `matador_pool_retries_total` — redirect rounds a resilient flush
+    /// ran after shard failures (one per re-planning pass, not per
+    /// request).
+    retries: Arc<Counter>,
+    /// `matador_pool_redirects_total` — requests re-dispatched from a
+    /// failed shard to a surviving one.
+    redirects: Arc<Counter>,
 }
 
 impl PoolMetrics {
@@ -198,8 +227,44 @@ impl PoolMetrics {
                 &format!("policy=\"{}\"", policy.as_label()),
                 "Requests planned by the configured dispatch policy.",
             ),
+            retries: registry.counter(
+                "matador_pool_retries_total",
+                "",
+                "Redirect rounds run after shard failures.",
+            ),
+            redirects: registry.counter(
+                "matador_pool_redirects_total",
+                "",
+                "Requests re-dispatched from a failed shard to a surviving one.",
+            ),
         }
     }
+}
+
+/// Bumps `matador_faults_injected_total{kind=...}`. Resolved lazily:
+/// only ever reached when a fault plan actually fires, never on the
+/// fault-free hot path.
+fn count_fault_injected(kind: &'static str) {
+    Registry::global()
+        .counter(
+            "matador_faults_injected_total",
+            &format!("kind=\"{kind}\""),
+            "Faults injected by the active fault plan, by kind.",
+        )
+        .inc();
+}
+
+/// Bumps `matador_faults_detected_total{kind=...}` — faults the pool
+/// *observed* (injected or genuine: `engine_error` counts here without
+/// ever being injected).
+fn count_fault_detected(kind: &'static str) {
+    Registry::global()
+        .counter(
+            "matador_faults_detected_total",
+            &format!("kind=\"{kind}\""),
+            "Shard faults detected by the pool, by kind.",
+        )
+        .inc();
 }
 
 /// Per-shard metric handles, registered at pool construction with a
@@ -334,6 +399,17 @@ pub struct ShardPool<'a> {
     shard_queued_beats: Vec<u64>,
     /// Flushes in which each shard executed at least one request.
     shard_flushes: Vec<u64>,
+    /// Runtime state of the installed [`FaultPlan`] (disarmed and free
+    /// on pools without one).
+    faults: FaultState,
+    /// Per-shard circuit breaker. Present on every pool; only the
+    /// resilient flush path ever records transitions, so a classic pool
+    /// stays permanently all-healthy.
+    health: HealthTracker,
+    /// Whether shard failures are contained, quarantined and redirected
+    /// ([`ShardPool::with_fault_plan`]) instead of failing the flush
+    /// ([`ServeError::Shard`], the classic fail-fast contract).
+    resilient: bool,
 }
 
 /// One engine shard behind either execution backend. Both variants expose
@@ -356,6 +432,15 @@ struct ShardOutput {
 }
 
 impl PoolEngine<'_> {
+    /// Advances the shard clock by `n` dead cycles — the timing half of
+    /// an injected stall or queue delay.
+    fn inject_idle_cycles(&mut self, n: u64) {
+        match self {
+            PoolEngine::Cycle(e) => e.inject_idle_cycles(n),
+            PoolEngine::Turbo(e) => e.inject_idle_cycles(n),
+        }
+    }
+
     fn load(&self) -> ShardLoad {
         match self {
             PoolEngine::Cycle(e) => ShardLoad {
@@ -429,12 +514,113 @@ impl PoolEngine<'_> {
     }
 }
 
+/// How one shard's slice of a flush failed. `Engine` wraps a genuine
+/// engine error; `Corrupted` is the parity check catching an injected
+/// [`crate::FaultKind::CorruptSum`] — the results exist but must never
+/// be served. A panicked slice produces neither: its outcome stays
+/// unset (see [`ShardRun::outcome`]).
+#[derive(Debug)]
+enum SliceError {
+    Engine(SimError),
+    Corrupted,
+}
+
+/// One engine shard wrapped with its slice's fault directives — the
+/// injection shim the flush path executes instead of the bare engine.
+/// With clean directives it is a transparent pass-through to
+/// [`PoolEngine::run`]: the fault-free path pays two branch tests.
+struct FaultyEngine<'e, 'a, 'd> {
+    engine: &'e mut PoolEngine<'a>,
+    directives: &'d SliceFaults,
+}
+
+impl FaultyEngine<'_, '_, '_> {
+    /// Runs the slice under its directives. An injected
+    /// [`SliceAction::Panic`] raises a real panic *before* touching the
+    /// engine — the worker dies exactly as a genuine bug would, and the
+    /// shard clock stays consistent for the eventual recovery probe.
+    fn run(
+        &mut self,
+        inputs: &[BitVec],
+        beats_per_request: u64,
+    ) -> Result<ShardOutput, SliceError> {
+        if self.directives.action == SliceAction::Panic {
+            panic!("injected fault: shard worker dies before accepting the slice");
+        }
+        if self.directives.pre_delay > 0 {
+            self.engine.inject_idle_cycles(self.directives.pre_delay);
+        }
+        let output = self
+            .engine
+            .run(inputs, beats_per_request)
+            .map_err(SliceError::Engine)?;
+        if self.directives.action == SliceAction::Corrupt {
+            return Err(SliceError::Corrupted);
+        }
+        Ok(output)
+    }
+}
+
 /// One shard's slice of a flush, mutated on a worker thread.
 struct ShardRun<'e, 'a> {
     engine: &'e mut PoolEngine<'a>,
     beats_per_request: u64,
     inputs: Vec<BitVec>,
-    outcome: Result<ShardOutput, SimError>,
+    /// Fault directives for this slice, planned on the pool thread
+    /// before workers spawn (clean outside resilient mode).
+    directives: SliceFaults,
+    /// `None` until the slice runs — and still `None` afterwards iff the
+    /// worker panicked (injected or genuine), which is how the resilient
+    /// reassembly detects a lost slice. Empty slices never run.
+    outcome: Option<Result<ShardOutput, SliceError>>,
+}
+
+impl ShardRun<'_, '_> {
+    /// Executes a non-empty slice under its fault directives. May panic
+    /// (an injected [`SliceAction::Panic`], or a genuine engine bug);
+    /// resilient callers contain that with `catch_unwind` /
+    /// [`matador_par::try_par_map_mut_with`].
+    fn execute(&mut self) {
+        let mut faulty = FaultyEngine {
+            engine: self.engine,
+            directives: &self.directives,
+        };
+        self.outcome = Some(faulty.run(&self.inputs, self.beats_per_request));
+    }
+}
+
+/// Pairs every engine with its slice of a flush: the assigned inputs
+/// move in (each request is assigned exactly once, so no clone on the
+/// serving hot path), the fault directives ride along, and the outcome
+/// slot starts unset. Borrows only the engines — the pool's other
+/// fields stay readable while the runs are alive.
+fn build_runs<'e, 'a>(
+    engines: &'e mut [PoolEngine<'a>],
+    profiles: &[ShardProfile],
+    work: &[Vec<usize>],
+    request_inputs: &mut [Option<BitVec>],
+    directives: Vec<SliceFaults>,
+) -> Vec<ShardRun<'e, 'a>> {
+    engines
+        .iter_mut()
+        .zip(profiles)
+        .zip(work)
+        .zip(directives)
+        .map(|(((engine, profile), indices), directives)| ShardRun {
+            engine,
+            beats_per_request: profile.beats_per_request,
+            inputs: indices
+                .iter()
+                .map(|&ri| {
+                    request_inputs[ri]
+                        .take()
+                        .expect("every request is assigned to exactly one shard")
+                })
+                .collect(),
+            directives,
+            outcome: None,
+        })
+        .collect()
 }
 
 impl<'a> ShardPool<'a> {
@@ -486,7 +672,7 @@ impl<'a> ShardPool<'a> {
                 )
             })
             .collect();
-        Ok(ShardPool {
+        let mut pool = ShardPool {
             designs: vec![accel; options.shards],
             weights: vec![1; options.shards],
             engines,
@@ -504,7 +690,64 @@ impl<'a> ShardPool<'a> {
             shard_metrics: (0..options.shards).map(ShardMetrics::resolve).collect(),
             shard_queued_beats: vec![0; options.shards],
             shard_flushes: vec![0; options.shards],
-        })
+            faults: FaultState::new(&FaultPlan::none(), options.shards),
+            health: HealthTracker::new(options.shards),
+            resilient: false,
+        };
+        if let Some(seed) = options.fault_seed {
+            pool.install_fault_plan(FaultPlan::seeded(
+                seed,
+                options.shards,
+                SEEDED_HORIZON_REQUESTS,
+                SEEDED_FAULTS_PER_SHARD,
+            ));
+        }
+        Ok(pool)
+    }
+
+    /// Creates a homogeneous pool in **resilient mode** with `plan`
+    /// installed: injected faults — and genuine shard failures — are
+    /// contained per shard, fed into the health circuit breaker (see
+    /// the [`crate::health`] module docs) and the affected requests are
+    /// re-dispatched to surviving compatible shards, instead of failing
+    /// the whole flush with [`ServeError::Shard`]. Replies stay
+    /// bit-identical to the fault-free pool while at least one
+    /// compatible shard survives; once none does, flushes fail with
+    /// [`ServeError::NoHealthyShard`] / [`ServeError::ShardQuarantined`].
+    /// Pass [`FaultPlan::none`] for resilient mode without injection.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ShardPool::with_options`].
+    pub fn with_fault_plan(
+        accel: &'a CompiledAccelerator,
+        options: ServeOptions,
+        plan: FaultPlan,
+    ) -> Result<Self, ServeError> {
+        let mut pool = Self::with_options(accel, options)?;
+        pool.install_fault_plan(plan);
+        Ok(pool)
+    }
+
+    /// [`ShardPool::with_fault_plan`] for a heterogeneous pool: one
+    /// engine per [`ShardSpec`], resilient mode, `plan` installed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ShardPool::heterogeneous`].
+    pub fn heterogeneous_with_fault_plan(
+        specs: &'a [ShardSpec],
+        options: ServeOptions,
+        plan: FaultPlan,
+    ) -> Result<Self, ServeError> {
+        let mut pool = Self::heterogeneous(specs, options)?;
+        pool.install_fault_plan(plan);
+        Ok(pool)
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = FaultState::new(&plan, self.shards());
+        self.resilient = true;
     }
 
     /// Creates a heterogeneous pool: one engine per [`ShardSpec`], each
@@ -559,7 +802,7 @@ impl<'a> ShardPool<'a> {
         let mut widths: Vec<usize> = specs.iter().map(ShardSpec::width).collect();
         widths.sort_unstable();
         widths.dedup();
-        Ok(ShardPool {
+        let mut pool = ShardPool {
             designs: specs.iter().map(|s| &s.design).collect(),
             weights: specs.iter().map(|s| s.weight).collect(),
             engines,
@@ -577,7 +820,19 @@ impl<'a> ShardPool<'a> {
             shard_metrics: (0..specs.len()).map(ShardMetrics::resolve).collect(),
             shard_queued_beats: vec![0; specs.len()],
             shard_flushes: vec![0; specs.len()],
-        })
+            faults: FaultState::new(&FaultPlan::none(), specs.len()),
+            health: HealthTracker::new(specs.len()),
+            resilient: false,
+        };
+        if let Some(seed) = options.fault_seed {
+            pool.install_fault_plan(FaultPlan::seeded(
+                seed,
+                specs.len(),
+                SEEDED_HORIZON_REQUESTS,
+                SEEDED_FAULTS_PER_SHARD,
+            ));
+        }
+        Ok(pool)
     }
 
     fn build_engine(
@@ -698,33 +953,49 @@ impl<'a> ShardPool<'a> {
         self.engines.iter().map(|e| e.load().cycles).collect()
     }
 
+    /// Whether dispatch may route to `shard` right now: every state but
+    /// quarantined. The health-aware accessors below fall back to the
+    /// whole pool when *no* shard is eligible, so their values stay
+    /// defined (admission has already rejected new work by then).
+    fn shard_usable(&self, shard: usize) -> bool {
+        self.health.eligible(shard) || self.health.eligible_shards() == 0
+    }
+
     /// The pool's minimum possible request latency in cycles: the fastest
-    /// shard's first-packet→result time for a lone request on an idle
-    /// engine (`P` packet beats + 3 fixed stages, +1 when that shard's
-    /// class sum is pipelined). No admission schedule can deliver a reply
-    /// sooner, so a deadline inside this floor is unmeetable by
-    /// construction.
+    /// *healthy* shard's first-packet→result time for a lone request on
+    /// an idle engine (`P` packet beats + 3 fixed stages, +1 when that
+    /// shard's class sum is pipelined). No admission schedule can deliver
+    /// a reply sooner, so a deadline inside this floor is unmeetable by
+    /// construction. Quarantined shards don't count: under brownout the
+    /// floor honestly reflects surviving capacity (and rises if the
+    /// fastest shard is the one that died).
     pub fn latency_floor_cycles(&self) -> u64 {
         self.designs
             .iter()
             .zip(&self.pipelined)
-            .map(|(design, &pipelined)| {
+            .enumerate()
+            .filter(|&(shard, _)| self.shard_usable(shard))
+            .map(|(_, (design, &pipelined))| {
                 design.shape().num_packets() as u64 + 3 + u64::from(pipelined)
             })
             .min()
             .expect("a pool always has at least one shard")
     }
 
-    /// Modeled steady-state cycles per result on one shard: the pooled
-    /// observed result-to-result gap when any shard has history, else the
-    /// bandwidth-bound fallback (the widest design's beats per datapoint —
-    /// a deliberately conservative cold-start estimate). This is the drain
-    /// model behind deadline-aware batch coalescing.
+    /// Modeled steady-state cycles per result on one *healthy* shard:
+    /// the pooled observed result-to-result gap when any eligible shard
+    /// has history, else the bandwidth-bound fallback (the widest
+    /// eligible design's beats per datapoint — a deliberately
+    /// conservative cold-start estimate). This is the drain model behind
+    /// deadline-aware batch coalescing; quarantined shards' history is
+    /// excluded so brownout drain estimates track surviving capacity.
     pub fn modeled_ii_cycles(&self) -> u64 {
         let (cycles, samples) = self
             .engines
             .iter()
-            .map(PoolEngine::load)
+            .enumerate()
+            .filter(|&(shard, _)| self.shard_usable(shard))
+            .map(|(_, e)| e.load())
             .fold((0u64, 0u64), |(c, n), load| {
                 (c + load.ii_cycles, n + load.ii_samples)
             });
@@ -733,7 +1004,9 @@ impl<'a> ShardPool<'a> {
         } else {
             self.designs
                 .iter()
-                .map(|d| d.shape().num_packets() as u64)
+                .enumerate()
+                .filter(|&(shard, _)| self.shard_usable(shard))
+                .map(|(_, d)| d.shape().num_packets() as u64)
                 .max()
                 .expect("a pool always has at least one shard")
         }
@@ -741,15 +1014,18 @@ impl<'a> ShardPool<'a> {
 
     /// Shards a flush of `pending` requests would actually execute on:
     /// 1 when the pool's flush-consolidation heuristic would run the
-    /// whole flush on a single shard, the full shard count otherwise.
-    /// The front-end's drain model divides by this, not the raw shard
-    /// count — a consolidated flush drains serially, and pretending it
-    /// spreads would fire deadline-pressure flushes far too late.
+    /// whole flush on a single shard, the count of *healthy* shards
+    /// otherwise (never 0 — with everything quarantined the estimate
+    /// degrades to serial capacity rather than dividing by zero). The
+    /// front-end's drain model divides by this, not the raw shard
+    /// count — a consolidated flush drains serially, a browned-out pool
+    /// drains on what survives, and pretending otherwise would fire
+    /// deadline-pressure flushes far too late.
     pub fn flush_spread(&self, pending: usize) -> usize {
         if pending > 0 && self.single_executor(pending).is_some() {
             1
         } else {
-            self.engines.len()
+            self.health.eligible_shards().max(1)
         }
     }
 
@@ -789,6 +1065,90 @@ impl<'a> ShardPool<'a> {
         }
     }
 
+    /// Checks that at least one shard serving `width` is currently
+    /// eligible for traffic (not quarantined). Trivially `Ok` on a
+    /// classic (non-resilient) pool and whenever every shard is healthy
+    /// — the check costs two loads on the fault-free path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShardQuarantined`] when exactly one shard
+    /// serves the width (the precise single-shard diagnostic) and
+    /// [`ServeError::NoHealthyShard`] when several do but every one of
+    /// them is quarantined. A width no shard serves at all also reports
+    /// [`ServeError::NoHealthyShard`] — call [`ShardPool::check_width`]
+    /// first for the admission-grade diagnostics.
+    pub fn check_healthy(&self, width: usize) -> Result<(), ServeError> {
+        if !self.resilient || self.health.all_healthy() {
+            return Ok(());
+        }
+        let mut compatible = 0usize;
+        let mut last = 0usize;
+        for (shard, design) in self.designs.iter().enumerate() {
+            if design.shape().features == width {
+                if self.health.eligible(shard) {
+                    return Ok(());
+                }
+                compatible += 1;
+                last = shard;
+            }
+        }
+        if compatible == 1 {
+            Err(ServeError::ShardQuarantined { shard: last })
+        } else {
+            Err(ServeError::NoHealthyShard { width })
+        }
+    }
+
+    /// Current health state of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_health(&self, shard: usize) -> ShardHealth {
+        self.health.state(shard)
+    }
+
+    /// Current health state of every shard, shard-index order.
+    pub fn health_states(&self) -> &[ShardHealth] {
+        self.health.states()
+    }
+
+    /// The health transition log, oldest first — every circuit-breaker
+    /// edge with its cause and flush number. Deterministic: same fault
+    /// plan + same request stream ⇒ same log at any thread count.
+    pub fn health_log(&self) -> &[HealthTransition] {
+        self.health.log()
+    }
+
+    /// Number of shards currently eligible for traffic.
+    pub fn healthy_shards(&self) -> usize {
+        self.health.eligible_shards()
+    }
+
+    /// Whether the pool contains and redirects shard failures
+    /// (constructed via [`ShardPool::with_fault_plan`], armed via
+    /// [`ServeOptions::fault_seed`], or switched by an operator
+    /// [`ShardPool::quarantine_shard`]).
+    pub fn resilient(&self) -> bool {
+        self.resilient
+    }
+
+    /// Operator override: quarantine `shard` immediately (e.g. a
+    /// planned drain), switching the pool into resilient mode if it was
+    /// not already — a classic pool has no machinery to honor the
+    /// quarantine otherwise. The shard probes its way back through the
+    /// normal circuit-breaker cooldown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn quarantine_shard(&mut self, shard: usize) {
+        assert!(shard < self.shards(), "shard {shard} out of range");
+        self.resilient = true;
+        self.health.force_quarantine(shard);
+    }
+
     /// Admits one request into the bounded queue, returning its id.
     ///
     /// # Errors
@@ -821,6 +1181,16 @@ impl<'a> ShardPool<'a> {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        if self.resilient {
+            // Advance quarantine cooldowns (Quarantined → Probing)
+            // before anything is planned, so half-open probes ride
+            // ordinary traffic this flush.
+            self.health.begin_flush();
+            if let Some(shard) = self.single_executor(requests.len()) {
+                return self.flush_to_shard_resilient(shard, requests);
+            }
+            return self.flush_resilient(requests);
+        }
         // Single-executor fast path: a one-shard pool, or a small flush
         // on a homogeneous turbo pool (consolidation — every shard runs
         // the same tape, so assignment is result-invisible and spreading
@@ -831,24 +1201,7 @@ impl<'a> ShardPool<'a> {
         }
         self.metrics.flushes.inc();
         self.metrics.dispatched.add(requests.len() as u64);
-        // Profile snapshots for the width-aware planner: cumulative
-        // cycles (every flush drains its engines completely, so
-        // cumulative cycles are exactly what distinguishes shards
-        // *across* flushes), observed-II statistics for latency-aware
-        // planning, and each shard's admitted width and per-datapoint
-        // beat cost.
-        let profiles: Vec<ShardProfile> = self
-            .engines
-            .iter()
-            .zip(&self.designs)
-            .zip(&self.weights)
-            .map(|((engine, design), &weight)| ShardProfile {
-                load: engine.load(),
-                width: design.shape().features,
-                beats_per_request: design.shape().num_packets() as u64,
-                weight,
-            })
-            .collect();
+        let profiles = self.shard_profiles();
         let request_widths: Vec<usize> = requests.iter().map(|r| r.input.len()).collect();
         let assignment = self.dispatcher.plan_profiles(&profiles, &request_widths);
 
@@ -864,61 +1217,32 @@ impl<'a> ShardPool<'a> {
         let request_ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
         let mut request_inputs: Vec<Option<BitVec>> =
             requests.into_iter().map(|r| Some(r.input)).collect();
-        let mut runs: Vec<ShardRun<'_, 'a>> = self
-            .engines
-            .iter_mut()
-            .zip(&profiles)
-            .zip(&work)
-            .map(|((engine, profile), indices)| ShardRun {
-                engine,
-                beats_per_request: profile.beats_per_request,
-                inputs: indices
-                    .iter()
-                    .map(|&ri| {
-                        request_inputs[ri]
-                            .take()
-                            .expect("every request is assigned to exactly one shard")
-                    })
-                    .collect(),
-                outcome: Ok(ShardOutput {
-                    results: Vec::new(),
-                    class_sums: Vec::new(),
-                    first_beats: Vec::new(),
-                }),
-            })
-            .collect();
-
-        // All-turbo pools run their shards serially on the caller: each
-        // shard's engine fans its own slice out across the full worker
-        // budget (intra-shard chunk parallelism), which beats one thread
-        // per shard for identical tapes and never oversubscribes. Pools
-        // with cycle-accurate shards keep the shard-level fan-out — a
-        // cycle engine is single-threaded by nature, and any turbo
-        // engines beside it were pinned to their worker at construction.
-        if self.shared_chunk_cost.is_some() {
-            for run in &mut runs {
-                if run.inputs.is_empty() {
-                    continue;
-                }
-                run.outcome = run.engine.run(&run.inputs, run.beats_per_request);
-            }
-        } else {
-            let threads = self.threads.unwrap_or_else(matador_par::configured_threads);
-            matador_par::par_map_mut_with(threads, &mut runs, |_, run| {
-                if run.inputs.is_empty() {
-                    return;
-                }
-                run.outcome = run.engine.run(&run.inputs, run.beats_per_request);
-            });
-        }
+        let directives: Vec<SliceFaults> = vec![SliceFaults::clean(); self.engines.len()];
+        let serial = self.shared_chunk_cost.is_some();
+        let threads = self.threads.unwrap_or_else(matador_par::configured_threads);
+        let mut runs = build_runs(
+            &mut self.engines,
+            &profiles,
+            &work,
+            &mut request_inputs,
+            directives,
+        );
+        Self::execute_runs(serial, threads, self.resilient, &mut runs);
 
         // Reassemble into submission order, surfacing the lowest failing
         // shard as a typed error.
         let mut slots: Vec<Option<Prediction>> = vec![None; request_ids.len()];
         for (shard, run) in runs.into_iter().enumerate() {
-            let output = match run.outcome {
+            let Some(outcome) = run.outcome else {
+                debug_assert!(work[shard].is_empty());
+                continue;
+            };
+            let output = match outcome {
                 Ok(output) => output,
-                Err(error) => return Err(ServeError::Shard { shard, error }),
+                Err(SliceError::Engine(error)) => return Err(ServeError::Shard { shard, error }),
+                Err(SliceError::Corrupted) => {
+                    unreachable!("corruption faults require a fault plan (resilient mode)")
+                }
             };
             debug_assert_eq!(output.results.len(), work[shard].len());
             for (j, &ri) in work[shard].iter().enumerate() {
@@ -954,6 +1278,246 @@ impl<'a> ShardPool<'a> {
         Ok(predictions)
     }
 
+    /// Profile snapshots for the width-aware planner: cumulative cycles
+    /// (every flush drains its engines completely, so cumulative cycles
+    /// are exactly what distinguishes shards *across* flushes),
+    /// observed-II statistics for latency-aware planning, and each
+    /// shard's admitted width and per-datapoint beat cost.
+    fn shard_profiles(&self) -> Vec<ShardProfile> {
+        self.engines
+            .iter()
+            .zip(&self.designs)
+            .zip(&self.weights)
+            .map(|((engine, design), &weight)| ShardProfile {
+                load: engine.load(),
+                width: design.shape().features,
+                beats_per_request: design.shape().num_packets() as u64,
+                weight,
+            })
+            .collect()
+    }
+
+    /// Executes a flush's shard runs.
+    ///
+    /// All-turbo pools run their shards serially on the caller: each
+    /// shard's engine fans its own slice out across the full worker
+    /// budget (intra-shard chunk parallelism), which beats one thread
+    /// per shard for identical tapes and never oversubscribes. Pools
+    /// with cycle-accurate shards keep the shard-level fan-out — a
+    /// cycle engine is single-threaded by nature, and any turbo engines
+    /// beside it were pinned to their worker at construction.
+    ///
+    /// In resilient mode worker panics (injected or genuine) are
+    /// contained — on the caller via `catch_unwind`, across workers via
+    /// [`matador_par::try_par_map_mut_with`] — and show up as slices
+    /// whose outcome was never set. A classic pool propagates panics
+    /// unchanged.
+    fn execute_runs(serial: bool, threads: usize, resilient: bool, runs: &mut [ShardRun<'_, 'a>]) {
+        if serial {
+            for run in runs {
+                if run.inputs.is_empty() {
+                    continue;
+                }
+                if resilient {
+                    let _ = catch_unwind(AssertUnwindSafe(|| run.execute()));
+                } else {
+                    run.execute();
+                }
+            }
+        } else if resilient {
+            // The panic (if any) is already recorded as the slice's
+            // unset outcome; which one surfaced first is irrelevant.
+            let _ = matador_par::try_par_map_mut_with(threads, runs, |_, run| {
+                if !run.inputs.is_empty() {
+                    run.execute();
+                }
+            });
+        } else {
+            matador_par::par_map_mut_with(threads, runs, |_, run| {
+                if !run.inputs.is_empty() {
+                    run.execute();
+                }
+            });
+        }
+    }
+
+    /// The resilient spread flush: plan over eligible shards, execute
+    /// with fault injection and panic containment, then re-dispatch the
+    /// slices lost to hard faults onto surviving compatible shards until
+    /// everything is served — or no healthy capacity remains.
+    ///
+    /// Termination: every round that loses a slice quarantines at least
+    /// one previously-eligible shard (hard faults open its breaker, and
+    /// breakers cannot half-open again mid-flush — cooldowns only
+    /// advance in [`HealthTracker::begin_flush`]), so after at most
+    /// `shards` rounds the flush either completes or fails typed.
+    ///
+    /// Correctness under chaos: a lost slice contributes *nothing* — a
+    /// panicked worker never produced results and a corrupted slice is
+    /// discarded whole — so every served reply was computed cleanly by
+    /// some healthy shard, which is what keeps winners and class sums
+    /// bit-identical to the fault-free run.
+    fn flush_resilient(&mut self, requests: Vec<Request>) -> Result<Vec<Prediction>, ServeError> {
+        self.metrics.flushes.inc();
+        self.metrics.dispatched.add(requests.len() as u64);
+        let request_ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        let request_widths: Vec<usize> = requests.iter().map(|r| r.input.len()).collect();
+        let mut request_inputs: Vec<Option<BitVec>> =
+            requests.into_iter().map(|r| Some(r.input)).collect();
+        let mut slots: Vec<Option<Prediction>> = vec![None; request_ids.len()];
+        let mut pending: Vec<usize> = (0..request_ids.len()).collect();
+        let mut round = 0u64;
+        while !pending.is_empty() {
+            // No healthy capacity for some pending width ⇒ the flush
+            // fails typed (its requests are dropped, exactly like the
+            // classic [`ServeError::Shard`] contract).
+            for &ri in &pending {
+                self.check_healthy(request_widths[ri])?;
+            }
+            if round > 0 {
+                self.metrics.retries.inc();
+                self.metrics.redirects.add(pending.len() as u64);
+            }
+            round += 1;
+            let profiles = self.shard_profiles();
+            let eligible: Vec<bool> = (0..self.engines.len())
+                .map(|s| self.health.eligible(s))
+                .collect();
+            let widths: Vec<usize> = pending.iter().map(|&ri| request_widths[ri]).collect();
+            let assignment = self.dispatcher.plan_eligible(&profiles, &widths, &eligible);
+            let mut work: Vec<Vec<usize>> = vec![Vec::new(); self.engines.len()];
+            for (k, &s) in assignment.iter().enumerate() {
+                work[s].push(pending[k]);
+            }
+            // Fault directives are planned up front on the pool thread —
+            // the injector's state is single-threaded, workers only read
+            // their own directive.
+            let directives: Vec<SliceFaults> = (0..self.engines.len())
+                .map(|s| {
+                    if self.faults.armed() && !work[s].is_empty() {
+                        self.faults.plan_slice(s, work[s].len())
+                    } else {
+                        SliceFaults::clean()
+                    }
+                })
+                .collect();
+            for d in &directives {
+                for &label in &d.soft {
+                    count_fault_injected(label);
+                }
+                if let Some(label) = d.hard {
+                    count_fault_injected(label);
+                }
+            }
+            let modeled_ii = self.modeled_ii_cycles();
+            let serial = self.shared_chunk_cost.is_some();
+            let threads = self.threads.unwrap_or_else(matador_par::configured_threads);
+            let mut runs = build_runs(
+                &mut self.engines,
+                &profiles,
+                &work,
+                &mut request_inputs,
+                directives,
+            );
+            Self::execute_runs(serial, threads, true, &mut runs);
+
+            // Triage outcomes. Successful slices fill their slots; lost
+            // slices give their inputs back and queue for redirection.
+            let mut next_pending: Vec<usize> = Vec::new();
+            let mut soft_faults: Vec<(usize, &'static str)> = Vec::new();
+            let mut hard_faults: Vec<(usize, &'static str)> = Vec::new();
+            let mut served: Vec<usize> = Vec::new();
+            for (shard, run) in runs.into_iter().enumerate() {
+                let indices = &work[shard];
+                if indices.is_empty() {
+                    continue;
+                }
+                for &label in &run.directives.soft {
+                    soft_faults.push((shard, label));
+                }
+                let failure = match run.outcome {
+                    Some(Ok(output)) => {
+                        debug_assert_eq!(output.results.len(), indices.len());
+                        for (j, &ri) in indices.iter().enumerate() {
+                            slots[ri] = Some(Prediction {
+                                request: request_ids[ri],
+                                winner: output.results[j].winner,
+                                shard,
+                                latency_cycles: output.results[j].cycle - output.first_beats[j] + 1,
+                                completed_at_cycle: output.results[j].cycle,
+                                class_sums: self.capture_sums.then(|| output.class_sums[j].clone()),
+                            });
+                        }
+                        served.push(shard);
+                        None
+                    }
+                    Some(Err(SliceError::Engine(_))) => Some("engine_error"),
+                    Some(Err(SliceError::Corrupted)) => Some("corrupt_sum"),
+                    // An unset outcome after execution means the worker
+                    // panicked — injected (the directive names it) or
+                    // genuine.
+                    None => Some(run.directives.hard.unwrap_or("panic")),
+                };
+                if let Some(cause) = failure {
+                    hard_faults.push((shard, cause));
+                    for (input, &ri) in run.inputs.into_iter().zip(indices) {
+                        request_inputs[ri] = Some(input);
+                    }
+                    next_pending.extend_from_slice(indices);
+                }
+            }
+
+            // Health bookkeeping, in deterministic shard order. Soft
+            // faults degrade; hard faults quarantine; a clean slice on a
+            // soft-fault-free shard counts toward recovery.
+            for &(shard, label) in &soft_faults {
+                count_fault_detected(label);
+                self.health.note_soft(shard, label);
+            }
+            for shard in served {
+                let before = profiles[shard].load;
+                self.note_shard_work(
+                    shard,
+                    work[shard].len(),
+                    profiles[shard].beats_per_request,
+                    (before.ii_cycles, before.ii_samples),
+                );
+                if soft_faults.iter().any(|&(s, _)| s == shard) {
+                    continue;
+                }
+                let after = self.engines[shard].load();
+                let (gap_cycles, gap_samples) = (
+                    after.ii_cycles - before.ii_cycles,
+                    after.ii_samples - before.ii_samples,
+                );
+                if gap_samples > 0
+                    && gap_cycles.div_ceil(gap_samples)
+                        > II_OUTLIER_FACTOR.saturating_mul(modeled_ii.max(1))
+                {
+                    count_fault_detected("ii_outlier");
+                    self.health.note_soft(shard, "ii_outlier");
+                } else {
+                    self.health.note_clean(shard);
+                }
+            }
+            for (shard, cause) in hard_faults {
+                count_fault_detected(cause);
+                self.health.note_hard(shard, cause);
+            }
+            // Submission order keeps redirect planning deterministic and
+            // independent of which shards failed in what order.
+            next_pending.sort_unstable();
+            pending = next_pending;
+        }
+        let predictions: Vec<Prediction> = slots
+            .into_iter()
+            .map(|p| p.expect("the redirect loop serves every request or fails typed"))
+            .collect();
+        self.latencies
+            .extend(predictions.iter().map(|p| p.latency_cycles));
+        Ok(predictions)
+    }
+
     /// The shard a flush of `pending` requests should run on when one
     /// shard can take it whole: the only shard of a one-shard pool, or —
     /// on a homogeneous turbo pool with consolidation enabled — the
@@ -983,9 +1547,13 @@ impl<'a> ShardPool<'a> {
         if !Self::flush_consolidates(batch_cost, self.chunk_threshold, self.engines.len() as u64) {
             return None;
         }
+        // Resilient pools never consolidate onto a quarantined shard;
+        // with nothing eligible the flush falls through to the spread
+        // path, whose health check turns that into a typed error.
         self.engines
             .iter()
             .enumerate()
+            .filter(|&(i, _)| !self.resilient || self.health.eligible(i))
             .min_by_key(|(i, e)| (e.load().cycles, *i))
             .map(|(i, _)| i)
     }
@@ -1054,6 +1622,111 @@ impl<'a> ShardPool<'a> {
             (before.ii_cycles, before.ii_samples),
         );
         Ok(predictions)
+    }
+
+    /// The resilient twin of [`ShardPool::flush_to_shard`]: runs the
+    /// whole flush on one shard with fault injection and panic
+    /// containment, hopping to the next least-loaded eligible compatible
+    /// shard whenever the current candidate suffers a hard fault. The
+    /// hop terminates: every failed attempt quarantines its shard, and
+    /// breakers cannot half-open again mid-flush.
+    fn flush_to_shard_resilient(
+        &mut self,
+        mut shard: usize,
+        requests: Vec<Request>,
+    ) -> Result<Vec<Prediction>, ServeError> {
+        self.metrics.flushes.inc();
+        if self.engines.len() > 1 {
+            self.metrics.consolidated.inc();
+        }
+        let width = requests[0].input.len();
+        let mut ids = Vec::with_capacity(requests.len());
+        let mut inputs = Vec::with_capacity(requests.len());
+        for r in requests {
+            ids.push(r.id);
+            inputs.push(r.input);
+        }
+        loop {
+            self.check_healthy(width)?;
+            let directives = if self.faults.armed() {
+                self.faults.plan_slice(shard, inputs.len())
+            } else {
+                SliceFaults::clean()
+            };
+            for &label in &directives.soft {
+                count_fault_injected(label);
+            }
+            if let Some(label) = directives.hard {
+                count_fault_injected(label);
+            }
+            let before = self.engines[shard].load();
+            let beats = self.designs[shard].shape().num_packets() as u64;
+            let outcome = {
+                let engine = &mut self.engines[shard];
+                let mut faulty = FaultyEngine {
+                    engine,
+                    directives: &directives,
+                };
+                catch_unwind(AssertUnwindSafe(|| faulty.run(&inputs, beats)))
+            };
+            // Soft faults degrade the shard whether or not the slice
+            // also died; the breaker sees every injected symptom.
+            for &label in &directives.soft {
+                count_fault_detected(label);
+                self.health.note_soft(shard, label);
+            }
+            let failure = match outcome {
+                Ok(Ok(output)) => {
+                    debug_assert_eq!(output.results.len(), ids.len());
+                    let predictions: Vec<Prediction> = ids
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, request)| Prediction {
+                            request,
+                            winner: output.results[j].winner,
+                            shard,
+                            latency_cycles: output.results[j].cycle - output.first_beats[j] + 1,
+                            completed_at_cycle: output.results[j].cycle,
+                            class_sums: self.capture_sums.then(|| output.class_sums[j].clone()),
+                        })
+                        .collect();
+                    self.latencies
+                        .extend(predictions.iter().map(|p| p.latency_cycles));
+                    self.note_shard_work(
+                        shard,
+                        predictions.len(),
+                        beats,
+                        (before.ii_cycles, before.ii_samples),
+                    );
+                    if directives.is_clean() {
+                        self.health.note_clean(shard);
+                    }
+                    return Ok(predictions);
+                }
+                Ok(Err(SliceError::Engine(_))) => "engine_error",
+                Ok(Err(SliceError::Corrupted)) => "corrupt_sum",
+                Err(_) => directives.hard.unwrap_or("panic"),
+            };
+            count_fault_detected(failure);
+            self.health.note_hard(shard, failure);
+            self.metrics.retries.inc();
+            self.metrics.redirects.add(ids.len() as u64);
+            // Redirect to the least-loaded surviving compatible shard;
+            // with none left, the health check at the loop head fails
+            // typed instead of retrying the dead candidate.
+            if let Some(next) = self
+                .engines
+                .iter()
+                .enumerate()
+                .filter(|&(s, _)| {
+                    self.health.eligible(s) && self.designs[s].shape().features == width
+                })
+                .min_by_key(|(s, e)| (e.load().cycles, *s))
+                .map(|(s, _)| s)
+            {
+                shard = next;
+            }
+        }
     }
 
     /// Runs one serve window on `shard` straight from the caller's
@@ -1126,7 +1799,11 @@ impl<'a> ShardPool<'a> {
             self.check_width(input.len())?;
         }
         let mut out = Vec::with_capacity(inputs.len());
-        if self.queue.is_empty() {
+        // Resilient pools always route through submit/flush: the fault
+        // injector and health bookkeeping bracket every slice there, and
+        // the zero-copy window path has no retry story for a borrowed
+        // slice. Fault-free pools keep the fast path untouched.
+        if self.queue.is_empty() && !self.resilient {
             // Zero-copy path: with nothing pending, each flush window is
             // exactly a queue-capacity chunk of the caller's slice. Any
             // window a single shard can take whole runs straight off the
@@ -1910,5 +2587,264 @@ mod tests {
         let hetero_preds = hetero.serve(&xs).expect("drains");
         assert_eq!(hetero_preds, homo_preds);
         assert_eq!(hetero.report(), homo.report());
+    }
+
+    /// Serializes panic-hook swaps across tests (the hook is process
+    /// state) and silences the stderr spew from injected worker panics.
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = HOOK_LOCK.lock().unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = catch_unwind(AssertUnwindSafe(f));
+        std::panic::set_hook(prev);
+        match result {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    use crate::fault::FaultEvent;
+    use crate::FaultKind;
+
+    #[test]
+    fn empty_fault_plan_matches_the_classic_pool() {
+        let a = accel();
+        let xs = inputs(13);
+        let mut classic = ShardPool::new(&a, 3).expect("valid");
+        let expected = classic.serve(&xs).expect("drains");
+        let mut resilient =
+            ShardPool::with_fault_plan(&a, ServeOptions::new(3), FaultPlan::none()).expect("valid");
+        assert!(resilient.resilient());
+        let got = resilient.serve(&xs).expect("drains");
+        assert_eq!(got, expected);
+        assert!(resilient.health_log().is_empty());
+        assert_eq!(resilient.healthy_shards(), 3);
+    }
+
+    #[test]
+    fn injected_panic_redirects_work_and_quarantines_the_shard() {
+        with_quiet_panics(|| {
+            let a = accel();
+            let xs = inputs(8);
+            let expected: Vec<usize> = xs
+                .iter()
+                .map(|x| tsetlin::tm::argmax(&a.reference_class_sums(x)))
+                .collect();
+            let plan = FaultPlan::from_events(vec![FaultEvent {
+                shard: 0,
+                at_request: 0,
+                kind: FaultKind::Panic,
+            }]);
+            let mut pool =
+                ShardPool::with_fault_plan(&a, ServeOptions::new(2), plan).expect("valid");
+            let preds = pool.serve(&xs).expect("the survivor absorbs the slice");
+            // Zero drops, correct winners, and nothing served by the
+            // shard that died before accepting its slice.
+            assert_eq!(preds.len(), xs.len());
+            let winners: Vec<usize> = preds.iter().map(|p| p.winner).collect();
+            assert_eq!(winners, expected);
+            assert!(preds.iter().all(|p| p.shard == 1));
+            assert_eq!(pool.shard_health(0), ShardHealth::Quarantined);
+            assert_eq!(pool.shard_health(1), ShardHealth::Healthy);
+            let log = pool.health_log();
+            assert_eq!(log.len(), 1);
+            assert_eq!(
+                (log[0].shard, log[0].from, log[0].to, log[0].cause),
+                (0, ShardHealth::Healthy, ShardHealth::Quarantined, "panic")
+            );
+        });
+    }
+
+    #[test]
+    fn corrupted_results_are_discarded_and_recomputed() {
+        let a = accel();
+        let xs = inputs(10);
+        let expected: Vec<usize> = xs
+            .iter()
+            .map(|x| tsetlin::tm::argmax(&a.reference_class_sums(x)))
+            .collect();
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            shard: 1,
+            at_request: 0,
+            kind: FaultKind::CorruptSum,
+        }]);
+        let mut pool = ShardPool::with_fault_plan(&a, ServeOptions::new(2), plan).expect("valid");
+        let preds = pool.serve(&xs).expect("redirected");
+        let winners: Vec<usize> = preds.iter().map(|p| p.winner).collect();
+        // The corrupted slice was thrown away whole — every served
+        // winner came from a clean run, so they all match the reference.
+        assert_eq!(winners, expected);
+        assert!(preds.iter().all(|p| p.shard == 0));
+        assert_eq!(pool.shard_health(1), ShardHealth::Quarantined);
+    }
+
+    #[test]
+    fn soft_faults_degrade_without_losing_work() {
+        let a = accel();
+        let xs = inputs(6);
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            shard: 0,
+            at_request: 0,
+            kind: FaultKind::Stall { cycles: 500 },
+        }]);
+        let mut pool = ShardPool::with_fault_plan(&a, ServeOptions::new(2), plan).expect("valid");
+        let preds = pool.serve(&xs).expect("stalls only delay");
+        assert_eq!(preds.len(), xs.len());
+        // The stalled shard still served its slice — degraded, not
+        // quarantined — and one clean flush heals it.
+        assert!(preds.iter().any(|p| p.shard == 0));
+        assert_eq!(pool.shard_health(0), ShardHealth::Degraded);
+        pool.serve(&inputs(4)).expect("clean flush");
+        assert_eq!(pool.shard_health(0), ShardHealth::Healthy);
+    }
+
+    #[test]
+    fn killing_the_only_shard_is_a_typed_quarantine_error() {
+        with_quiet_panics(|| {
+            let a = accel();
+            let mut pool =
+                ShardPool::with_fault_plan(&a, ServeOptions::new(1), FaultPlan::kill_shard(0, 0))
+                    .expect("valid");
+            let err = pool.serve(&inputs(4)).unwrap_err();
+            assert_eq!(err, ServeError::ShardQuarantined { shard: 0 });
+        });
+    }
+
+    #[test]
+    fn killing_every_shard_leaves_no_healthy_capacity() {
+        with_quiet_panics(|| {
+            let a = accel();
+            let plan = FaultPlan::kill_shard(0, 0).merged(&FaultPlan::kill_shard(1, 0));
+            let mut pool =
+                ShardPool::with_fault_plan(&a, ServeOptions::new(2), plan).expect("valid");
+            let err = pool.serve(&inputs(6)).unwrap_err();
+            assert_eq!(err, ServeError::NoHealthyShard { width: 8 });
+            assert_eq!(pool.healthy_shards(), 0);
+        });
+    }
+
+    #[test]
+    fn killed_shard_mid_trace_loses_no_requests() {
+        with_quiet_panics(|| {
+            let a = accel();
+            let xs = inputs(32);
+            let mut reference = ShardPool::new(&a, 4).expect("valid");
+            let expected: Vec<usize> = reference
+                .serve(&xs)
+                .expect("drains")
+                .iter()
+                .map(|p| p.winner)
+                .collect();
+            // Shard 1 dies once it has attempted 4 requests — mid-trace,
+            // with work already served and more still to come.
+            let mut pool =
+                ShardPool::with_fault_plan(&a, ServeOptions::new(4), FaultPlan::kill_shard(1, 4))
+                    .expect("valid");
+            let mut winners = Vec::new();
+            for window in xs.chunks(8) {
+                winners.extend(
+                    pool.serve(window)
+                        .expect("survivors absorb")
+                        .iter()
+                        .map(|p| p.winner),
+                );
+            }
+            assert_eq!(winners, expected);
+            assert_eq!(pool.shard_health(1), ShardHealth::Quarantined);
+            assert_eq!(pool.healthy_shards(), 3);
+        });
+    }
+
+    #[test]
+    fn quarantined_shard_recovers_through_a_half_open_probe() {
+        with_quiet_panics(|| {
+            let a = accel();
+            let plan = FaultPlan::from_events(vec![FaultEvent {
+                shard: 0,
+                at_request: 0,
+                kind: FaultKind::Panic,
+            }]);
+            let mut pool =
+                ShardPool::with_fault_plan(&a, ServeOptions::new(2), plan).expect("valid");
+            pool.serve(&inputs(4)).expect("redirected");
+            assert_eq!(pool.shard_health(0), ShardHealth::Quarantined);
+            // Cooldown counts flushes, not requests: after
+            // PROBE_COOLDOWN_FLUSHES the breaker half-opens and a clean
+            // probe slice closes it.
+            for _ in 0..crate::PROBE_COOLDOWN_FLUSHES {
+                pool.serve(&inputs(4)).expect("drains");
+            }
+            assert_eq!(pool.shard_health(0), ShardHealth::Healthy);
+            let preds = pool.serve(&inputs(4)).expect("drains");
+            assert!(
+                preds.iter().any(|p| p.shard == 0),
+                "recovered shard rejoins"
+            );
+            let states: Vec<(ShardHealth, ShardHealth)> = pool
+                .health_log()
+                .iter()
+                .filter(|t| t.shard == 0)
+                .map(|t| (t.from, t.to))
+                .collect();
+            assert_eq!(
+                states,
+                vec![
+                    (ShardHealth::Healthy, ShardHealth::Quarantined),
+                    (ShardHealth::Quarantined, ShardHealth::Probing),
+                    (ShardHealth::Probing, ShardHealth::Healthy),
+                ]
+            );
+        });
+    }
+
+    #[test]
+    fn operator_quarantine_brownouts_admission() {
+        let a = accel();
+        let mut pool = ShardPool::new(&a, 2).expect("valid");
+        assert!(!pool.resilient());
+        pool.quarantine_shard(1);
+        assert!(pool.resilient());
+        assert_eq!(pool.healthy_shards(), 1);
+        assert!(pool.check_healthy(8).is_ok());
+        pool.quarantine_shard(0);
+        assert_eq!(
+            pool.check_healthy(8).unwrap_err(),
+            ServeError::NoHealthyShard { width: 8 }
+        );
+    }
+
+    #[test]
+    fn chaos_replay_is_bit_identical() {
+        with_quiet_panics(|| {
+            let a = accel();
+            let xs = inputs(48);
+            let run = |threads: usize| {
+                let plan = FaultPlan::seeded(7, 2, 24, 2);
+                let mut options = ServeOptions::new(2);
+                options.threads = Some(threads);
+                let mut pool = ShardPool::with_fault_plan(&a, options, plan).expect("valid");
+                let mut preds = Vec::new();
+                for window in xs.chunks(8) {
+                    preds.extend(pool.serve(window).expect("survivors absorb"));
+                }
+                (preds, pool.health_log().to_vec())
+            };
+            let (preds_a, log_a) = run(1);
+            let (preds_b, log_b) = run(8);
+            assert_eq!(preds_a, preds_b);
+            assert_eq!(log_a, log_b);
+            assert!(!log_a.is_empty(), "a seeded plan injects something");
+        });
+    }
+
+    #[test]
+    fn fault_seed_option_arms_the_injector() {
+        let a = accel();
+        let mut options = ServeOptions::new(2);
+        options.fault_seed = Some(11);
+        let pool = ShardPool::with_options(&a, options).expect("valid");
+        assert!(pool.resilient());
     }
 }

@@ -434,6 +434,18 @@ impl<'a> SimEngine<'a> {
         self.cycle
     }
 
+    /// Advances the cycle counter by `n` without streaming anything —
+    /// the engine sits idle (no beats accepted, no results produced).
+    /// Models externally imposed dead time on the shard clock: an
+    /// upstream queue delay before a slice starts streaming, or a fault
+    /// injector stalling the engine for a scheduled number of cycles.
+    /// Subsequent runs start (and stamp results) from the advanced
+    /// clock; observed-II statistics are untouched because gaps are only
+    /// ever measured within a run.
+    pub fn inject_idle_cycles(&mut self, n: u64) {
+        self.cycle += n;
+    }
+
     /// Sum of result-to-result gaps observed within runs, in cycles —
     /// `ii_cycles / ii_samples` is the shard's measured steady-state II
     /// (equal to packets/datapoint when streaming unstalled, larger under

@@ -944,6 +944,17 @@ impl TurboEngine {
         self.cycle
     }
 
+    /// Advances the cycle counter by `n` without running anything — the
+    /// analytic twin of [`SimEngine::inject_idle_cycles`]: externally
+    /// imposed dead time (queue delay, injected stall) on the shard
+    /// clock. Later runs stamp results from the advanced clock;
+    /// observed-II statistics are untouched (gaps are within-run only).
+    ///
+    /// [`SimEngine::inject_idle_cycles`]: crate::SimEngine::inject_idle_cycles
+    pub fn inject_idle_cycles(&mut self, n: u64) {
+        self.cycle += n;
+    }
+
     /// Datapoints classified since construction.
     pub fn datapoints(&self) -> u64 {
         self.datapoints

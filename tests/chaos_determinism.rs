@@ -1,0 +1,214 @@
+//! Chaos determinism: fault injection preserves the replay contract.
+//!
+//! A seeded [`FaultPlan`] replayed through the front over a resilient
+//! pool must be **bit-identical at any worker-thread count** — replies
+//! (predictions, class sums, delivery stamps), batch boundaries, the
+//! shard-health transition log, and even the typed error a fully
+//! browned-out drain surfaces are all pure functions of the trace and
+//! the plan. Across shard counts and backends the fault schedule
+//! legitimately differs (plans are per-shard; turbo pools consolidate
+//! flushes cycle-accurate pools spread), but faults must never *change*
+//! an answer: every delivered reply carries the same winner the
+//! fault-free software reference computes for its input, and no
+//! admitted request is dropped while the pool retains healthy capacity.
+
+use matador_repro::datasets::{generate, DatasetKind, SplitSizes};
+use matador_repro::matador::config::MatadorConfig;
+use matador_repro::matador::design::AcceleratorDesign;
+use matador_repro::serve::{
+    BatchRecord, EngineBackend, FaultPlan, Front, FrontOptions, HealthTransition, Reply,
+    ServeError, ServeOptions, ShardPool,
+};
+use matador_repro::tsetlin::bits::BitVec;
+use matador_repro::tsetlin::params::TmParams;
+use matador_repro::tsetlin::MultiClassTm;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+const SEED: u64 = 11;
+const TENANTS: u32 = 3;
+const REQUESTS: usize = 40;
+const SIZES: SplitSizes = SplitSizes {
+    train: 80,
+    test: 40,
+};
+
+fn design() -> &'static AcceleratorDesign {
+    static DESIGN: OnceLock<AcceleratorDesign> = OnceLock::new();
+    DESIGN.get_or_init(|| {
+        let kind = DatasetKind::NoisyXor;
+        let data = generate(kind, SIZES, SEED);
+        let params = TmParams::builder(kind.features(), kind.classes())
+            .clauses_per_class(12)
+            .threshold(5)
+            .specificity(4.0)
+            .build()
+            .expect("valid params");
+        let mut tm = MultiClassTm::new(params);
+        let mut rng = SmallRng::seed_from_u64(SEED);
+        tm.fit_with_threads(&data.train, 4, &mut rng, 1);
+        let config = MatadorConfig::builder()
+            .design_name("chaos_determinism")
+            .bus_width(4)
+            .build()
+            .expect("valid config");
+        AcceleratorDesign::generate(tm.to_model(), config)
+    })
+}
+
+/// Silences the stderr spew from *injected* worker panics (they carry a
+/// recognizable payload) while leaving every genuine panic — test
+/// failures included — fully reported. Installed once per process.
+fn quiet_injected_panics() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("injected fault"));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+struct ChaosRun {
+    replies: Vec<Reply>,
+    batches: Vec<BatchRecord>,
+    health_log: Vec<HealthTransition>,
+    /// The typed error a fully browned-out drain surfaced, if any.
+    drain_error: Option<ServeError>,
+    /// Whether any typed error surfaced during the trace at all — a
+    /// mid-trace flush failure drops its batch by contract (exactly
+    /// like the classic [`ServeError::Shard`]), so zero-drop accounting
+    /// only applies to incident-free runs.
+    incident: bool,
+    accepted: u64,
+    /// Fault-free reference winner per admitted `(tenant, seq)`.
+    expected: BTreeMap<(u32, u64), usize>,
+}
+
+/// Replays the canonical seeded trace over a resilient pool armed with
+/// `FaultPlan::seeded(plan_seed, ..)`.
+fn replay(plan_seed: u64, shards: usize, threads: usize, backend: EngineBackend) -> ChaosRun {
+    matador_repro::obs::set_enabled(true);
+    let accel = design().compile_for_sim();
+    let mut options = ServeOptions::new(shards);
+    options.backend = backend;
+    options.threads = Some(threads);
+    options.capture_class_sums = true;
+    // Horizon 16: trigger points land within the first 16 requests a
+    // shard attempts, so a 40-request trace actually meets its faults.
+    let plan = FaultPlan::seeded(plan_seed, shards, 16, 2);
+    let pool = ShardPool::with_fault_plan(&accel, options, plan).expect("valid options");
+    let mut front = Front::new(
+        pool,
+        FrontOptions {
+            lane_block: 8,
+            idle_cycles: 300,
+            ..FrontOptions::new()
+        },
+    )
+    .expect("valid options");
+
+    let inputs: Vec<BitVec> = generate(DatasetKind::NoisyXor, SIZES, SEED)
+        .test
+        .iter()
+        .map(|s| s.input.clone())
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut expected = BTreeMap::new();
+    let mut incident = false;
+    let mut t = 0u64;
+    for i in 0..REQUESTS {
+        t += 1 + (rng.gen::<f64>() * 40.0) as u64;
+        // A flush inside advance_to/submit may fail typed when a fault
+        // quarantines the last shard mid-batch; the trace carries on —
+        // brownouts are an expected, deterministic outcome here.
+        incident |= front.advance_to(t).is_err();
+        let input = &inputs[i % inputs.len()];
+        match front.submit(input, t + 1_000_000, (i as u32) % TENANTS) {
+            Ok(seq) => {
+                let winner = matador_repro::tsetlin::tm::argmax(&accel.reference_class_sums(input));
+                expected.insert(((i as u32) % TENANTS, seq), winner);
+            }
+            Err(_) => incident = true,
+        }
+    }
+    incident |= front.advance_to(t + 5_000).is_err();
+    let drain_error = front.drain().err();
+    incident |= drain_error.is_some();
+    ChaosRun {
+        incident,
+        accepted: front.accepted(),
+        batches: front.batches().to_vec(),
+        health_log: front.pool().health_log().to_vec(),
+        drain_error,
+        replies: front.take_replies(),
+        expected,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn chaos_replays_bit_identically_and_never_corrupts_a_reply(plan_seed in any::<u64>()) {
+        quiet_injected_panics();
+        for shards in [2usize, 4] {
+            for backend in [EngineBackend::CycleAccurate, EngineBackend::Turbo] {
+                let reference = replay(plan_seed, shards, 1, backend);
+                // Same plan, 8 worker threads: the whole observable
+                // timeline is bit-identical — replies, batch
+                // boundaries, health transitions, even the typed
+                // brownout error (if the plan forced one).
+                let wide = replay(plan_seed, shards, 8, backend);
+                prop_assert_eq!(&wide.replies, &reference.replies,
+                    "replies diverged: seed={} shards={} {:?}", plan_seed, shards, backend);
+                prop_assert_eq!(&wide.batches, &reference.batches,
+                    "batch boundaries diverged: seed={} shards={} {:?}", plan_seed, shards, backend);
+                prop_assert_eq!(&wide.health_log, &reference.health_log,
+                    "health log diverged: seed={} shards={} {:?}", plan_seed, shards, backend);
+                prop_assert_eq!(&wide.drain_error, &reference.drain_error,
+                    "drain outcome diverged: seed={} shards={} {:?}", plan_seed, shards, backend);
+                prop_assert_eq!(wide.incident, reference.incident,
+                    "incident timeline diverged: seed={} shards={} {:?}", plan_seed, shards, backend);
+
+                // Faults delay or (under total brownout) drop typed —
+                // they never corrupt: every delivered reply matches the
+                // fault-free software reference for its input.
+                for reply in &reference.replies {
+                    let want = reference.expected.get(&(reply.tenant, reply.seq))
+                        .expect("every reply answers an admitted request");
+                    prop_assert_eq!(reply.winner, *want,
+                        "corrupted winner: seed={} shards={} {:?} tenant={} seq={}",
+                        plan_seed, shards, backend, reply.tenant, reply.seq);
+                }
+                // Per-tenant delivery order survives redirects.
+                for tenant in 0..TENANTS {
+                    let seqs: Vec<u64> = reference.replies.iter()
+                        .filter(|r| r.tenant == tenant).map(|r| r.seq).collect();
+                    let mut sorted = seqs.clone();
+                    sorted.sort_unstable();
+                    prop_assert_eq!(&seqs, &sorted,
+                        "out-of-order delivery: seed={} shards={} {:?} tenant={}",
+                        plan_seed, shards, backend, tenant);
+                }
+                // Zero drops whenever the pool kept healthy capacity
+                // throughout: every admitted request was answered. (A
+                // mid-trace flush failure drops its batch typed, by the
+                // same contract as the classic `ServeError::Shard`.)
+                if !reference.incident {
+                    prop_assert_eq!(reference.replies.len() as u64, reference.accepted,
+                        "dropped requests: seed={} shards={} {:?}", plan_seed, shards, backend);
+                }
+            }
+        }
+    }
+}
