@@ -5,8 +5,8 @@
 use crate::config::MatadorConfig;
 use crate::design::AcceleratorDesign;
 use crate::verify::{verify_design, VerificationReport};
-use matador_serve::{DispatchPolicy, ServeOptions, ServeSession, ShardSpec};
-use matador_sim::{LatencyReport, SimEngine};
+use matador_serve::{DispatchPolicy, EngineBackend, ServeOptions, ServeSession, ShardSpec};
+use matador_sim::{CompileOptions, CompilePipeline, LatencyReport, SimEngine};
 use matador_synth::report::ImplementationReport;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -80,50 +80,46 @@ impl FlowOutcome {
         self.latency.throughput_inf_s(self.implementation.clock_mhz)
     }
 
-    /// Stands up a sharded serving runtime over this design: `shards`
-    /// pooled cycle-accurate engines behind independent AXI streams,
-    /// inheriting the design's class-sum pipelining. Predictions are
-    /// bit-identical at every shard count — sharding only multiplies
-    /// stream bandwidth (see `matador-serve`).
+    /// Starts configuring a serving runtime over this design — the one
+    /// entry point for every pool shape the serving stack offers:
     ///
-    /// # Errors
+    /// ```no_run
+    /// # use matador::flow::{MatadorFlow, TrainSpec};
+    /// # use matador::config::MatadorConfig;
+    /// use matador_serve::{DispatchPolicy, EngineBackend};
     ///
-    /// Returns [`matador_serve::ServeError::ZeroShards`] (as
-    /// [`crate::Error::Serve`]) when `shards == 0`.
-    pub fn serve(&self, shards: usize) -> Result<ServeSession, crate::Error> {
-        self.serve_with_options(ServeOptions {
-            pipelined_sum: self.design.config().pipeline_class_sum(),
-            ..ServeOptions::new(shards)
-        })
-    }
-
-    /// [`FlowOutcome::serve`] on the bit-sliced
-    /// [`matador_serve::EngineBackend::Turbo`] backend: identical
-    /// predictions, class sums and cycle stamps, produced 64 datapoints
-    /// per instruction pass with analytic timing — the deployment-serving
-    /// fast path.
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// # let outcome: matador::flow::FlowOutcome = unimplemented!();
+    /// // Four replicated turbo shards with latency-aware dispatch.
+    /// let session = outcome
+    ///     .serving()
+    ///     .shards(4)
+    ///     .backend(EngineBackend::Turbo)
+    ///     .policy(DispatchPolicy::LatencyAware)
+    ///     .build()?;
     ///
-    /// # Errors
+    /// // The design clause-partitioned across two cooperating shards.
+    /// let partitioned = outcome.serving().partitions(2).build()?;
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
-    /// Returns [`crate::Error::Serve`] when `shards == 0`.
-    pub fn serve_turbo(&self, shards: usize) -> Result<ServeSession, crate::Error> {
-        self.serve_with_options(ServeOptions {
-            pipelined_sum: self.design.config().pipeline_class_sum(),
-            backend: matador_serve::EngineBackend::Turbo,
-            ..ServeOptions::new(shards)
-        })
-    }
-
-    /// [`FlowOutcome::serve`] with full control over the engine backend,
-    /// dispatch policy, queue depth, class-sum capture and worker
-    /// threads.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`crate::Error::Serve`] on degenerate options.
-    pub fn serve_with_options(&self, options: ServeOptions) -> Result<ServeSession, crate::Error> {
-        let accel = self.design.compile_for_sim();
-        ServeSession::new(accel, options).map_err(Into::into)
+    /// The builder starts from the design's own defaults (its class-sum
+    /// pipelining, one cycle-accurate shard, round-robin dispatch) and
+    /// ends with [`ServeBuilder::build`]. It replaces the deprecated
+    /// `serve`/`serve_turbo`/`serve_with_options`/`serve_heterogeneous`/
+    /// `serve_heterogeneous_with_options` method family.
+    pub fn serving(&self) -> ServeBuilder<'_> {
+        ServeBuilder {
+            outcome: self,
+            options: ServeOptions {
+                pipelined_sum: self.design.config().pipeline_class_sum(),
+                ..ServeOptions::new(1)
+            },
+            policy_overridden: false,
+            specs: None,
+            partitions: 1,
+        }
     }
 
     /// This outcome's design as one shard of a heterogeneous pool:
@@ -136,47 +132,228 @@ impl FlowOutcome {
             .pipelined_sum(self.design.config().pipeline_class_sum())
     }
 
-    /// Stands up a heterogeneous serving runtime: one shard per
-    /// [`ShardSpec`], each owning its own generated design (typically
-    /// this outcome's [`FlowOutcome::shard_spec`] plus specs from other
-    /// flow runs — different bus widths, different models). Requests are
-    /// admitted and routed only to shards whose feature width matches
-    /// ([`matador_serve::ServeError::NoCompatibleShard`] otherwise), and
-    /// dispatch defaults to [`DispatchPolicy::LatencyAware`] so shards
-    /// with heterogeneous IIs split batches by estimated drain time
-    /// rather than blindly. Use
-    /// [`FlowOutcome::serve_heterogeneous_with_options`] for full control.
+    /// Replaced by [`FlowOutcome::serving`]:
+    /// `outcome.serving().shards(n).build()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Serve`] when `shards == 0`.
+    #[doc(hidden)]
+    #[deprecated(note = "use `outcome.serving().shards(n).build()`")]
+    pub fn serve(&self, shards: usize) -> Result<ServeSession, crate::Error> {
+        self.serving().shards(shards).build()
+    }
+
+    /// Replaced by [`FlowOutcome::serving`]:
+    /// `outcome.serving().shards(n).backend(EngineBackend::Turbo).build()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Serve`] when `shards == 0`.
+    #[doc(hidden)]
+    #[deprecated(note = "use `outcome.serving().shards(n).backend(EngineBackend::Turbo).build()`")]
+    pub fn serve_turbo(&self, shards: usize) -> Result<ServeSession, crate::Error> {
+        self.serving()
+            .shards(shards)
+            .backend(EngineBackend::Turbo)
+            .build()
+    }
+
+    /// Replaced by [`FlowOutcome::serving`]:
+    /// `outcome.serving().options(options).build()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Serve`] on degenerate options.
+    #[doc(hidden)]
+    #[deprecated(note = "use `outcome.serving().options(options).build()`")]
+    pub fn serve_with_options(&self, options: ServeOptions) -> Result<ServeSession, crate::Error> {
+        self.serving().options(options).build()
+    }
+
+    /// Replaced by [`FlowOutcome::serving`]:
+    /// `outcome.serving().specs(specs).build()`.
     ///
     /// # Errors
     ///
     /// Returns [`crate::Error::Serve`] on an empty or zero-weight spec
     /// list.
+    #[doc(hidden)]
+    #[deprecated(note = "use `outcome.serving().specs(specs).build()`")]
     pub fn serve_heterogeneous(&self, specs: Vec<ShardSpec>) -> Result<ServeSession, crate::Error> {
-        let shards = specs.len().max(1);
-        self.serve_heterogeneous_with_options(
-            specs,
-            ServeOptions {
-                policy: DispatchPolicy::LatencyAware,
-                ..ServeOptions::new(shards)
-            },
-        )
+        self.serving().specs(specs).build()
     }
 
-    /// [`FlowOutcome::serve_heterogeneous`] with explicit
-    /// [`ServeOptions`] (dispatch policy, queue depth, class-sum capture,
-    /// worker threads; the per-shard backend/pipelining live on each
-    /// spec). The mirror of [`FlowOutcome::serve_with_options`] for mixed
-    /// pools.
+    /// Replaced by [`FlowOutcome::serving`]:
+    /// `outcome.serving().options(options).specs(specs).build()`.
     ///
     /// # Errors
     ///
     /// Returns [`crate::Error::Serve`] on degenerate specs or options.
+    #[doc(hidden)]
+    #[deprecated(note = "use `outcome.serving().options(options).specs(specs).build()`")]
     pub fn serve_heterogeneous_with_options(
         &self,
         specs: Vec<ShardSpec>,
         options: ServeOptions,
     ) -> Result<ServeSession, crate::Error> {
-        ServeSession::heterogeneous(specs, options).map_err(Into::into)
+        self.serving().options(options).specs(specs).build()
+    }
+}
+
+/// Fluent configuration of a serving runtime over one [`FlowOutcome`],
+/// started by [`FlowOutcome::serving`] and finished by
+/// [`ServeBuilder::build`].
+///
+/// Three pool shapes, by precedence:
+///
+/// 1. [`ServeBuilder::specs`] — a heterogeneous pool of explicit
+///    [`ShardSpec`]s (dispatch defaults to
+///    [`DispatchPolicy::LatencyAware`] unless a policy was chosen).
+/// 2. [`ServeBuilder::partitions`] — this design clause-partitioned by
+///    the compile pipeline into cooperating shards that merge partial
+///    class sums, bit-identical to the monolithic pool.
+/// 3. Otherwise — a homogeneous pool of [`ServeBuilder::shards`]
+///    replicas of this design.
+#[derive(Debug, Clone)]
+pub struct ServeBuilder<'a> {
+    outcome: &'a FlowOutcome,
+    options: ServeOptions,
+    /// Whether [`ServeBuilder::policy`] or [`ServeBuilder::options`] was
+    /// called — gates the heterogeneous latency-aware default.
+    policy_overridden: bool,
+    specs: Option<Vec<ShardSpec>>,
+    partitions: usize,
+}
+
+impl ServeBuilder<'_> {
+    /// Pool size for the homogeneous (replicated) shape. Ignored when
+    /// [`ServeBuilder::specs`] or [`ServeBuilder::partitions`] decides
+    /// the shard count instead.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.options.shards = shards;
+        self
+    }
+
+    /// Execution backend for replicated or partitioned shards
+    /// ([`EngineBackend::Turbo`] is bit-identical to
+    /// [`EngineBackend::CycleAccurate`], only faster on the host).
+    /// Explicit specs carry their own backend instead.
+    #[must_use]
+    pub fn backend(mut self, backend: EngineBackend) -> Self {
+        self.options.backend = backend;
+        self
+    }
+
+    /// Dispatch policy. Choosing one explicitly also opts a spec pool
+    /// out of its [`DispatchPolicy::LatencyAware`] default.
+    #[must_use]
+    pub fn policy(mut self, policy: DispatchPolicy) -> Self {
+        self.options.policy = policy;
+        self.policy_overridden = true;
+        self
+    }
+
+    /// Bounded request-queue depth (typed backpressure beyond it).
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.options.queue_depth = depth;
+        self
+    }
+
+    /// Whether predictions carry per-class vote sums.
+    #[must_use]
+    pub fn capture_class_sums(mut self, capture: bool) -> Self {
+        self.options.capture_class_sums = capture;
+        self
+    }
+
+    /// Worker threads for shard fan-out (results never depend on this).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = Some(threads);
+        self
+    }
+
+    /// Whether small flushes may consolidate onto one shard.
+    #[must_use]
+    pub fn consolidate(mut self, consolidate: bool) -> Self {
+        self.options.consolidate = consolidate;
+        self
+    }
+
+    /// Replaces the accumulated options wholesale — the escape hatch for
+    /// callers holding a ready-made [`ServeOptions`] (note this drops
+    /// the design-derived pipelining default and counts as choosing a
+    /// policy).
+    #[must_use]
+    pub fn options(mut self, options: ServeOptions) -> Self {
+        self.options = options;
+        self.policy_overridden = true;
+        self
+    }
+
+    /// A heterogeneous pool of explicit per-shard specs (typically this
+    /// outcome's [`FlowOutcome::shard_spec`] plus specs from other flow
+    /// runs). Requests are admitted and routed only to shards whose
+    /// feature width matches; dispatch defaults to
+    /// [`DispatchPolicy::LatencyAware`] so shards with heterogeneous IIs
+    /// split batches by estimated drain time. Takes precedence over
+    /// [`ServeBuilder::partitions`].
+    #[must_use]
+    pub fn specs(mut self, specs: Vec<ShardSpec>) -> Self {
+        self.specs = Some(specs);
+        self
+    }
+
+    /// Clause-partitions this design into (up to) `partitions`
+    /// cooperating shards via the compile pipeline
+    /// ([`matador_sim::CompilePipeline::partition`]): one partition
+    /// group serving as a single logical model, every request executed
+    /// on all members and their partial class sums merged — winners,
+    /// sums and cycle stamps bit-identical to the monolithic pool.
+    /// `1` (the default) keeps the design whole.
+    #[must_use]
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Stands up the configured [`ServeSession`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::Serve`] on degenerate configurations: zero
+    /// shards or queue depth, an empty or zero-weight spec list, or a
+    /// partition group mixing feature widths.
+    pub fn build(self) -> Result<ServeSession, crate::Error> {
+        let ServeBuilder {
+            outcome,
+            mut options,
+            policy_overridden,
+            specs,
+            partitions,
+        } = self;
+        if let Some(specs) = specs {
+            if !policy_overridden {
+                options.policy = DispatchPolicy::LatencyAware;
+            }
+            return ServeSession::heterogeneous(specs, options).map_err(Into::into);
+        }
+        if partitions > 1 {
+            let accel = outcome.design.compile_for_sim();
+            let plan = CompilePipeline::new(CompileOptions::default().with_partitions(partitions))
+                .partition(&accel);
+            let backend = options.backend;
+            let pipelined = options.pipelined_sum;
+            let specs: Vec<ShardSpec> = ShardSpec::partitioned(plan, 0)
+                .into_iter()
+                .map(|spec| spec.backend(backend).pipelined_sum(pipelined))
+                .collect();
+            return ServeSession::heterogeneous(specs, options).map_err(Into::into);
+        }
+        ServeSession::new(outcome.design.compile_for_sim(), options).map_err(Into::into)
     }
 }
 
@@ -452,7 +629,11 @@ mod tests {
             .expect("flow succeeds");
 
         // Zero shards is rejected through the unified error type.
-        let err = outcome.serve(0).expect_err("zero shards rejected");
+        let err = outcome
+            .serving()
+            .shards(0)
+            .build()
+            .expect_err("zero shards rejected");
         assert!(matches!(
             err,
             crate::Error::Serve(matador_serve::ServeError::ZeroShards)
@@ -463,7 +644,11 @@ mod tests {
         let mut winners = Vec::new();
         let mut pool_cycles = Vec::new();
         for shards in [1usize, 4] {
-            let mut session = outcome.serve(shards).expect("valid session");
+            let mut session = outcome
+                .serving()
+                .shards(shards)
+                .build()
+                .expect("valid session");
             let preds = session.serve(&batch).expect("drains");
             winners.push(preds.iter().map(|p| p.winner).collect::<Vec<_>>());
             pool_cycles.push(session.report().pool_cycles);
@@ -494,14 +679,16 @@ mod tests {
             .expect("flow succeeds");
         let batch: Vec<_> = test.iter().map(|s| s.input.clone()).collect();
 
-        let mut cycle = outcome.serve(3).expect("valid session");
+        let mut cycle = outcome.serving().shards(3).build().expect("valid session");
         // Consolidation would route this small batch to one turbo shard
         // (a better schedule, but a different one) — disable it so the
         // comparison covers shard assignment and per-shard stats too.
-        let mut turbo_options = *outcome.serve_turbo(3).expect("valid session").options();
-        turbo_options.consolidate = false;
         let mut turbo = outcome
-            .serve_with_options(turbo_options)
+            .serving()
+            .shards(3)
+            .backend(EngineBackend::Turbo)
+            .consolidate(false)
+            .build()
             .expect("valid session");
         let from_cycle = cycle.serve(&batch).expect("drains");
         let from_turbo = turbo.serve(&batch).expect("infallible");
@@ -531,7 +718,9 @@ mod tests {
         // Same model on two bus widths behind one pool: every request
         // gets the model's answer, whichever shard serves it.
         let mut session = wide
-            .serve_heterogeneous(vec![wide.shard_spec(), narrow.shard_spec()])
+            .serving()
+            .specs(vec![wide.shard_spec(), narrow.shard_spec()])
+            .build()
             .expect("valid session");
         let preds = session.serve(&batch).expect("drains");
         for (x, p) in batch.iter().zip(&preds) {
@@ -563,12 +752,93 @@ mod tests {
 
         // Degenerate spec lists converge into the unified error type.
         let err = wide
-            .serve_heterogeneous(Vec::new())
+            .serving()
+            .specs(Vec::new())
+            .build()
             .expect_err("empty spec list rejected");
         assert!(matches!(
             err,
             crate::Error::Serve(matador_serve::ServeError::ZeroShards)
         ));
+    }
+
+    #[test]
+    fn partitioned_serving_through_the_builder_matches_monolithic() {
+        let (train, test) = tiny_task();
+        let config = MatadorConfig::builder()
+            .bus_width(4)
+            .build()
+            .expect("valid");
+        let outcome = MatadorFlow::new(config)
+            .run(spec(), &train, &test)
+            .expect("flow succeeds");
+        let batch: Vec<_> = test.iter().map(|s| s.input.clone()).collect();
+
+        let mut mono = outcome
+            .serving()
+            .shards(1)
+            .capture_class_sums(true)
+            .build()
+            .expect("valid session");
+        let expected = mono.serve(&batch).expect("drains");
+
+        // The same design split into two cooperating shards: one logical
+        // model, every winner and merged class-sum vector identical.
+        let mut split = outcome
+            .serving()
+            .partitions(2)
+            .capture_class_sums(true)
+            .build()
+            .expect("valid session");
+        let preds = split.serve(&batch).expect("drains");
+        assert_eq!(preds.len(), expected.len());
+        for (p, e) in preds.iter().zip(&expected) {
+            assert_eq!(p.winner, e.winner);
+            assert_eq!(p.class_sums, e.class_sums);
+            // The group's lead member carries the attribution.
+            assert_eq!(p.shard, 0);
+        }
+    }
+
+    /// The deprecated `serve*` family must keep working (and keep its
+    /// behavior) until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_serve_wrappers_still_work() {
+        let (train, test) = tiny_task();
+        let config = MatadorConfig::builder()
+            .bus_width(4)
+            .build()
+            .expect("valid");
+        let outcome = MatadorFlow::new(config)
+            .run(spec(), &train, &test)
+            .expect("flow succeeds");
+        let batch: Vec<_> = test.iter().map(|s| s.input.clone()).collect();
+        let winners = |mut session: ServeSession| -> Vec<usize> {
+            session
+                .serve(&batch)
+                .expect("drains")
+                .iter()
+                .map(|p| p.winner)
+                .collect()
+        };
+        let expected = winners(outcome.serving().shards(2).build().expect("valid session"));
+        let sessions = vec![
+            outcome.serve(2).expect("valid session"),
+            outcome.serve_turbo(2).expect("valid session"),
+            outcome
+                .serve_with_options(ServeOptions::new(2))
+                .expect("valid session"),
+            outcome
+                .serve_heterogeneous(vec![outcome.shard_spec()])
+                .expect("valid session"),
+            outcome
+                .serve_heterogeneous_with_options(vec![outcome.shard_spec()], ServeOptions::new(1))
+                .expect("valid session"),
+        ];
+        for session in sessions {
+            assert_eq!(winners(session), expected);
+        }
     }
 
     #[test]

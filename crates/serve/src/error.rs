@@ -40,6 +40,18 @@ pub enum ServeError {
         /// Index of the offending shard spec.
         shard: usize,
     },
+    /// The members of one partition group serve different feature widths.
+    /// A group's shards each hold one slice of the *same* partitioned
+    /// design and must execute every request of the group together, so
+    /// their admitted widths have to agree — mixed widths would make the
+    /// class-sum merge meaningless.
+    PartitionWidthMismatch {
+        /// The offending partition group id.
+        group: u32,
+        /// The distinct feature widths found across the group's members,
+        /// ascending.
+        widths: Vec<usize>,
+    },
     /// A tenant's token bucket is empty: the front-end's per-tenant rate
     /// limit rejected the submission. Typed backpressure, like
     /// [`ServeError::QueueFull`], but scoped to one tenant — other
@@ -130,6 +142,14 @@ impl fmt::Display for ServeError {
             ServeError::ZeroWeight { shard } => {
                 write!(f, "shard spec {shard} has dispatch weight zero")
             }
+            ServeError::PartitionWidthMismatch { group, widths } => {
+                let widths: Vec<String> = widths.iter().map(|w| w.to_string()).collect();
+                write!(
+                    f,
+                    "partition group {group} mixes feature widths ({}): members must share one width",
+                    widths.join(", ")
+                )
+            }
             ServeError::QuotaExceeded {
                 tenant,
                 retry_cycles,
@@ -210,6 +230,12 @@ mod tests {
         assert!(ServeError::ZeroWeight { shard: 2 }
             .to_string()
             .contains("2"));
+        let e = ServeError::PartitionWidthMismatch {
+            group: 3,
+            widths: vec![6, 8],
+        };
+        assert!(e.to_string().contains("group 3"));
+        assert!(e.to_string().contains("6, 8"));
         let e = ServeError::QuotaExceeded {
             tenant: 7,
             retry_cycles: 640,

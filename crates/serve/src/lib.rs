@@ -84,7 +84,7 @@ pub use front::{
     MILLITOKENS_PER_REQUEST,
 };
 pub use health::{HealthTransition, ShardHealth, PROBE_COOLDOWN_FLUSHES};
-pub use matador_sim::EngineBackend;
+pub use matador_sim::{EngineBackend, PartitionPlan};
 pub use pool::{PoolShardStats, Prediction, ServeOptions, ShardPool};
 pub use queue::{Request, RequestQueue, DEFAULT_QUEUE_DEPTH};
 pub use report::{percentile_per_mille, ShardStats, ThroughputReport};

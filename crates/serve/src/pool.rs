@@ -399,6 +399,17 @@ pub struct ShardPool<'a> {
     shard_queued_beats: Vec<u64>,
     /// Flushes in which each shard executed at least one request.
     shard_flushes: Vec<u64>,
+    /// Execution units: each entry lists the member shards that must
+    /// jointly execute a request. Standalone shards form singleton
+    /// units; a partition group's members share one unit (members in
+    /// shard order, units ordered by lead = lowest member index). The
+    /// dispatcher plans over units, so a partitioned design is one
+    /// logical executor however many shards its slices occupy.
+    units: Vec<Vec<usize>>,
+    /// Whether any shard belongs to a partition group — routes every
+    /// flush through [`ShardPool::flush_partitioned`], which merges the
+    /// members' partial class sums into each final winner.
+    grouped: bool,
     /// Runtime state of the installed [`FaultPlan`] (disarmed and free
     /// on pools without one).
     faults: FaultState,
@@ -690,6 +701,8 @@ impl<'a> ShardPool<'a> {
             shard_metrics: (0..options.shards).map(ShardMetrics::resolve).collect(),
             shard_queued_beats: vec![0; options.shards],
             shard_flushes: vec![0; options.shards],
+            units: (0..options.shards).map(|s| vec![s]).collect(),
+            grouped: false,
             faults: FaultState::new(&FaultPlan::none(), options.shards),
             health: HealthTracker::new(options.shards),
             resilient: false,
@@ -789,11 +802,15 @@ impl<'a> ShardPool<'a> {
                     EngineBackend::CycleAccurate => None,
                     EngineBackend::Turbo => Some(TurboProgram::compile(&spec.design)),
                 };
+                // Partition-group members always capture class sums
+                // internally: the partitioned flush needs every member's
+                // partial sums to merge the final winner, whether or not
+                // the caller asked predictions to carry them.
                 Self::build_engine(
                     &spec.design,
                     program.as_ref(),
                     spec.pipelined_sum,
-                    options.capture_class_sums,
+                    options.capture_class_sums || spec.partition_group.is_some(),
                     Some(1),
                     chunk_threshold,
                 )
@@ -820,6 +837,8 @@ impl<'a> ShardPool<'a> {
             shard_metrics: (0..specs.len()).map(ShardMetrics::resolve).collect(),
             shard_queued_beats: vec![0; specs.len()],
             shard_flushes: vec![0; specs.len()],
+            units: Self::units_from_specs(specs),
+            grouped: specs.iter().any(|s| s.partition_group.is_some()),
             faults: FaultState::new(&FaultPlan::none(), specs.len()),
             health: HealthTracker::new(specs.len()),
             resilient: false,
@@ -859,6 +878,51 @@ impl<'a> ShardPool<'a> {
                 PoolEngine::Turbo(Box::new(engine))
             }
         }
+    }
+
+    /// Execution units from a spec list: a singleton unit per standalone
+    /// shard, one multi-member unit per partition group. Members are in
+    /// shard order; units are ordered by their lead (lowest) member, so
+    /// the layout is a deterministic function of the spec list alone.
+    fn units_from_specs(specs: &[ShardSpec]) -> Vec<Vec<usize>> {
+        let mut groups: std::collections::BTreeMap<u32, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (shard, spec) in specs.iter().enumerate() {
+            if let Some(group) = spec.partition_group {
+                groups.entry(group).or_default().push(shard);
+            }
+        }
+        let mut units = Vec::new();
+        for (shard, spec) in specs.iter().enumerate() {
+            match spec.partition_group {
+                None => units.push(vec![shard]),
+                Some(group) => {
+                    let members = &groups[&group];
+                    if members[0] == shard {
+                        units.push(members.clone());
+                    }
+                }
+            }
+        }
+        units
+    }
+
+    /// Execution units behind dispatch: each entry lists the member
+    /// shards that jointly execute a request (singletons for standalone
+    /// shards, the whole member set for a partition group).
+    pub fn units(&self) -> &[Vec<usize>] {
+        &self.units
+    }
+
+    /// Units whose members are all currently eligible for traffic — the
+    /// unit-level sibling of [`ShardPool::healthy_shards`]: a partition
+    /// group with even one quarantined member cannot serve (its partial
+    /// sums would be incomplete), so it counts as ineligible whole.
+    fn eligible_units(&self) -> usize {
+        self.units
+            .iter()
+            .filter(|members| members.iter().all(|&m| self.health.eligible(m)))
+            .count()
     }
 
     /// Shard count.
@@ -1024,6 +1088,11 @@ impl<'a> ShardPool<'a> {
     pub fn flush_spread(&self, pending: usize) -> usize {
         if pending > 0 && self.single_executor(pending).is_some() {
             1
+        } else if self.grouped {
+            // A partition group drains as one executor: its members run
+            // the same slice concurrently, so the spread is the count of
+            // fully-eligible *units*, not of member shards.
+            self.eligible_units().max(1)
         } else {
             self.health.eligible_shards().max(1)
         }
@@ -1081,6 +1150,30 @@ impl<'a> ShardPool<'a> {
     pub fn check_healthy(&self, width: usize) -> Result<(), ServeError> {
         if !self.resilient || self.health.all_healthy() {
             return Ok(());
+        }
+        if self.grouped {
+            // Unit granularity: a partition group serves only when
+            // *every* member is eligible — a lone quarantined member
+            // makes its whole group's partial sums unmergeable.
+            let mut compatible = 0usize;
+            let mut blocked = 0usize;
+            for members in &self.units {
+                if self.designs[members[0]].shape().features != width {
+                    continue;
+                }
+                match members.iter().find(|&&m| !self.health.eligible(m)) {
+                    None => return Ok(()),
+                    Some(&m) => {
+                        compatible += 1;
+                        blocked = m;
+                    }
+                }
+            }
+            return if compatible == 1 {
+                Err(ServeError::ShardQuarantined { shard: blocked })
+            } else {
+                Err(ServeError::NoHealthyShard { width })
+            };
         }
         let mut compatible = 0usize;
         let mut last = 0usize;
@@ -1180,6 +1273,14 @@ impl<'a> ShardPool<'a> {
         let requests = self.queue.drain();
         if requests.is_empty() {
             return Ok(Vec::new());
+        }
+        // Partition groups first: their flushes plan over units and
+        // merge member class sums, which none of the paths below do.
+        if self.grouped {
+            if self.resilient {
+                self.health.begin_flush();
+            }
+            return self.flush_partitioned(requests);
         }
         if self.resilient {
             // Advance quarantine cooldowns (Quarantined → Probing)
@@ -1512,6 +1613,264 @@ impl<'a> ShardPool<'a> {
         let predictions: Vec<Prediction> = slots
             .into_iter()
             .map(|p| p.expect("the redirect loop serves every request or fails typed"))
+            .collect();
+        self.latencies
+            .extend(predictions.iter().map(|p| p.latency_cycles));
+        Ok(predictions)
+    }
+
+    /// The partition-group flush: plan over execution *units*, run every
+    /// member of a chosen unit over that unit's whole slice, and merge
+    /// the members' partial class sums into each final winner.
+    ///
+    /// Correctness rests on the partitioner's contract
+    /// ([`matador_sim::CompilePipeline::partition`]): each member's
+    /// design is the same architecture over a disjoint clause range cut
+    /// at even (polarity-preserving) boundaries, so summing the members'
+    /// class sums element-wise reproduces the monolithic sums exactly —
+    /// and because every part streams the same packet count, the
+    /// members' cycle stamps are identical to the monolithic engine's.
+    /// The served prediction carries the merged sums, the argmax winner,
+    /// the slowest member's latency/completion stamp, and the lead
+    /// (lowest-index) member as its shard attribution.
+    ///
+    /// In resilient mode a unit serves its slice only when *every*
+    /// member produced a clean output: a partial result is meaningless
+    /// (it is a vote subtotal), so any member failure discards the whole
+    /// unit's slice, quarantines the failed members and redirects the
+    /// requests to surviving units — the unit-level twin of
+    /// [`ShardPool::flush_resilient`], with the same termination
+    /// argument (every losing round quarantines at least one member,
+    /// and breakers cannot half-open mid-flush).
+    fn flush_partitioned(&mut self, requests: Vec<Request>) -> Result<Vec<Prediction>, ServeError> {
+        self.metrics.flushes.inc();
+        self.metrics.dispatched.add(requests.len() as u64);
+        let units = self.units.clone();
+        let request_ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        let request_widths: Vec<usize> = requests.iter().map(|r| r.input.len()).collect();
+        // Members of one unit each need their own copy of the slice, so
+        // inputs are cloned per run rather than moved (the ungrouped
+        // paths' zero-copy hand-off has no equivalent here).
+        let request_inputs: Vec<BitVec> = requests.into_iter().map(|r| r.input).collect();
+        let mut slots: Vec<Option<Prediction>> = vec![None; request_ids.len()];
+        let mut pending: Vec<usize> = (0..request_ids.len()).collect();
+        let mut round = 0u64;
+        while !pending.is_empty() {
+            if self.resilient {
+                for &ri in &pending {
+                    self.check_healthy(request_widths[ri])?;
+                }
+            }
+            if round > 0 {
+                self.metrics.retries.inc();
+                self.metrics.redirects.add(pending.len() as u64);
+            }
+            round += 1;
+            let profiles = self.shard_profiles();
+            // Unit profiles for the planner: the lead member stands in
+            // for the unit (a group's members share one width and beat
+            // cost by construction, and their clocks advance in
+            // lockstep); the unit's weight is its most conservative
+            // member's.
+            let unit_profiles: Vec<ShardProfile> = units
+                .iter()
+                .map(|members| ShardProfile {
+                    load: profiles[members[0]].load,
+                    width: profiles[members[0]].width,
+                    beats_per_request: profiles[members[0]].beats_per_request,
+                    weight: members
+                        .iter()
+                        .map(|&m| self.weights[m])
+                        .min()
+                        .expect("units are non-empty"),
+                })
+                .collect();
+            let widths: Vec<usize> = pending.iter().map(|&ri| request_widths[ri]).collect();
+            let assignment = if self.resilient {
+                let eligible: Vec<bool> = units
+                    .iter()
+                    .map(|members| members.iter().all(|&m| self.health.eligible(m)))
+                    .collect();
+                self.dispatcher
+                    .plan_eligible(&unit_profiles, &widths, &eligible)
+            } else {
+                self.dispatcher.plan_profiles(&unit_profiles, &widths)
+            };
+            // Per-unit work lists (order within a unit = submission
+            // order), expanded so every member runs its unit's slice.
+            let mut unit_work: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
+            for (k, &u) in assignment.iter().enumerate() {
+                unit_work[u].push(pending[k]);
+            }
+            let mut shard_work: Vec<Vec<usize>> = vec![Vec::new(); self.engines.len()];
+            for (u, members) in units.iter().enumerate() {
+                for &m in members {
+                    shard_work[m] = unit_work[u].clone();
+                }
+            }
+            let directives: Vec<SliceFaults> = (0..self.engines.len())
+                .map(|s| {
+                    if self.faults.armed() && !shard_work[s].is_empty() {
+                        self.faults.plan_slice(s, shard_work[s].len())
+                    } else {
+                        SliceFaults::clean()
+                    }
+                })
+                .collect();
+            for d in &directives {
+                for &label in &d.soft {
+                    count_fault_injected(label);
+                }
+                if let Some(label) = d.hard {
+                    count_fault_injected(label);
+                }
+            }
+            let serial = self.shared_chunk_cost.is_some();
+            let threads = self.threads.unwrap_or_else(matador_par::configured_threads);
+            let mut runs: Vec<ShardRun<'_, 'a>> = self
+                .engines
+                .iter_mut()
+                .zip(&profiles)
+                .zip(&shard_work)
+                .zip(directives)
+                .map(|(((engine, profile), indices), directives)| ShardRun {
+                    engine,
+                    beats_per_request: profile.beats_per_request,
+                    inputs: indices
+                        .iter()
+                        .map(|&ri| request_inputs[ri].clone())
+                        .collect(),
+                    directives,
+                    outcome: None,
+                })
+                .collect();
+            Self::execute_runs(serial, threads, self.resilient, &mut runs);
+
+            // Tear the runs down into per-shard outcomes so units can be
+            // triaged while the pool's health state is mutable again.
+            let mut outcomes: Vec<Option<Result<ShardOutput, SliceError>>> =
+                Vec::with_capacity(runs.len());
+            let mut run_directives: Vec<SliceFaults> = Vec::with_capacity(runs.len());
+            for run in runs {
+                outcomes.push(run.outcome);
+                run_directives.push(run.directives);
+            }
+
+            // Soft faults degrade their shard whether or not the unit's
+            // slice also died — deterministic shard order.
+            for (shard, d) in run_directives.iter().enumerate() {
+                for &label in &d.soft {
+                    count_fault_detected(label);
+                    self.health.note_soft(shard, label);
+                }
+            }
+
+            // Triage per unit: all members clean → merge and serve; any
+            // failure → discard the whole slice and redirect.
+            let mut next_pending: Vec<usize> = Vec::new();
+            let mut hard_faults: Vec<(usize, &'static str)> = Vec::new();
+            for (u, members) in units.iter().enumerate() {
+                let indices = &unit_work[u];
+                if indices.is_empty() {
+                    continue;
+                }
+                let mut failed: Vec<(usize, &'static str)> = Vec::new();
+                for &m in members {
+                    match &outcomes[m] {
+                        Some(Ok(_)) => {}
+                        Some(Err(SliceError::Engine(error))) => {
+                            if !self.resilient {
+                                return Err(ServeError::Shard {
+                                    shard: m,
+                                    error: *error,
+                                });
+                            }
+                            failed.push((m, "engine_error"));
+                        }
+                        Some(Err(SliceError::Corrupted)) => failed.push((m, "corrupt_sum")),
+                        // An unset outcome after execution means the
+                        // worker panicked (only reachable in resilient
+                        // mode, where panics are contained).
+                        None => failed.push((m, run_directives[m].hard.unwrap_or("panic"))),
+                    }
+                }
+                if !failed.is_empty() {
+                    hard_faults.extend(failed);
+                    next_pending.extend_from_slice(indices);
+                    continue;
+                }
+                let lead = members[0];
+                for (j, &ri) in indices.iter().enumerate() {
+                    let mut merged: Vec<i32> = Vec::new();
+                    let mut latency = 0u64;
+                    let mut completed = 0u64;
+                    for &m in members {
+                        let Some(Ok(output)) = &outcomes[m] else {
+                            unreachable!("failed units never reach the merge")
+                        };
+                        if members.len() > 1 {
+                            if merged.is_empty() {
+                                merged.clone_from(&output.class_sums[j]);
+                            } else {
+                                for (acc, &s) in merged.iter_mut().zip(&output.class_sums[j]) {
+                                    *acc += s;
+                                }
+                            }
+                        }
+                        latency = latency.max(output.results[j].cycle - output.first_beats[j] + 1);
+                        completed = completed.max(output.results[j].cycle);
+                    }
+                    let Some(Ok(lead_output)) = &outcomes[lead] else {
+                        unreachable!("failed units never reach the merge")
+                    };
+                    let winner = if members.len() > 1 {
+                        tsetlin::tm::argmax(&merged)
+                    } else {
+                        lead_output.results[j].winner
+                    };
+                    let class_sums = self.capture_sums.then(|| {
+                        if members.len() > 1 {
+                            merged.clone()
+                        } else {
+                            lead_output.class_sums[j].clone()
+                        }
+                    });
+                    slots[ri] = Some(Prediction {
+                        request: request_ids[ri],
+                        winner,
+                        shard: lead,
+                        latency_cycles: latency,
+                        completed_at_cycle: completed,
+                        class_sums,
+                    });
+                }
+                // Every member did real engine work — book it per
+                // member (the report's per-shard streams stay honest),
+                // and clean runs count toward breaker recovery.
+                for &m in members {
+                    let before = profiles[m].load;
+                    self.note_shard_work(
+                        m,
+                        indices.len(),
+                        profiles[m].beats_per_request,
+                        (before.ii_cycles, before.ii_samples),
+                    );
+                    if self.resilient && run_directives[m].is_clean() {
+                        self.health.note_clean(m);
+                    }
+                }
+            }
+            for (shard, cause) in hard_faults {
+                count_fault_detected(cause);
+                self.health.note_hard(shard, cause);
+            }
+            // Submission order keeps redirect planning deterministic.
+            next_pending.sort_unstable();
+            pending = next_pending;
+        }
+        let predictions: Vec<Prediction> = slots
+            .into_iter()
+            .map(|p| p.expect("the partitioned flush serves every request or fails typed"))
             .collect();
         self.latencies
             .extend(predictions.iter().map(|p| p.latency_cycles));
@@ -2846,5 +3205,185 @@ mod tests {
         options.fault_seed = Some(11);
         let pool = ShardPool::with_options(&a, options).expect("valid");
         assert!(pool.resilient());
+    }
+
+    /// A partitionable twin of [`accel`]: the same 8-feature, 2-packet
+    /// geometry with four clauses per class, so the compile pipeline can
+    /// cut it into two clause-range parts.
+    fn wide_accel() -> CompiledAccelerator {
+        let shape = AccelShape {
+            bus_width: 4,
+            features: 8,
+            classes: 2,
+            clauses_per_class: 4,
+        };
+        let w0 = vec![
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::from_lits([Lit::pos(1)]),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(2)]),
+            Cube::from_lits([Lit::pos(3)]),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::from_lits([Lit::pos(1)]),
+        ];
+        let w1 = vec![
+            Cube::one(),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(0)]),
+            Cube::one(),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(1)]),
+            Cube::one(),
+            Cube::from_lits([Lit::pos(3)]),
+        ];
+        CompiledAccelerator::from_window_cubes(shape, &[w0, w1], Sharing::Enabled)
+    }
+
+    fn partitioned_specs(a: &CompiledAccelerator, k: usize, group: u32) -> Vec<ShardSpec> {
+        use matador_sim::{CompileOptions, CompilePipeline};
+        let plan = CompilePipeline::new(CompileOptions::default().with_partitions(k)).partition(a);
+        ShardSpec::partitioned(plan, group)
+    }
+
+    #[test]
+    fn partitioned_group_is_bit_identical_to_monolithic() {
+        let a = wide_accel();
+        let xs = inputs(9);
+        let mono_specs = vec![ShardSpec::new(a.clone())];
+        let mut options = ServeOptions::new(1);
+        options.capture_class_sums = true;
+        let mut mono = ShardPool::heterogeneous(&mono_specs, options).expect("valid");
+        let expected = mono.serve(&xs).expect("drains");
+
+        let specs = partitioned_specs(&a, 2, 0);
+        assert_eq!(specs.len(), 2, "cpc 4 splits into two parts");
+        let mut options = ServeOptions::new(2);
+        options.capture_class_sums = true;
+        let mut pool = ShardPool::heterogeneous(&specs, options).expect("valid");
+        assert_eq!(pool.units(), &[vec![0, 1]]);
+        let preds = pool.serve(&xs).expect("drains");
+        // Observation-for-observation identical: winners, merged class
+        // sums, latency and completion stamps, and the lead member as
+        // the shard attribution (the monolithic pool's only shard is 0,
+        // which is also the group's lead).
+        assert_eq!(preds, expected);
+    }
+
+    #[test]
+    fn partition_group_coexists_with_standalone_shards() {
+        let a = wide_accel();
+        let six = six_feature_accel();
+        let mut specs = partitioned_specs(&a, 2, 0);
+        specs.push(ShardSpec::new(six.clone()));
+        let mut pool = ShardPool::heterogeneous(&specs, ServeOptions::new(3)).expect("valid");
+        assert_eq!(pool.units(), &[vec![0, 1], vec![2]]);
+        let wide = inputs(4);
+        let narrow: Vec<BitVec> = (0..3)
+            .map(|i| {
+                if i % 2 == 0 {
+                    BitVec::from_indices(6, &[0])
+                } else {
+                    BitVec::zeros(6)
+                }
+            })
+            .collect();
+        for x in wide.iter().chain(&narrow) {
+            pool.submit(x).expect("admitted");
+        }
+        let preds = pool.flush().expect("drains");
+        assert_eq!(preds.len(), 7);
+        // Width routes each request: 8-feature inputs to the group
+        // (attributed to its lead), 6-feature inputs to the standalone
+        // shard — winners matching each design's own reference.
+        for (p, x) in preds[..4].iter().zip(&wide) {
+            assert_eq!(p.shard, 0);
+            assert_eq!(p.winner, tsetlin::tm::argmax(&a.reference_class_sums(x)));
+        }
+        for (p, x) in preds[4..].iter().zip(&narrow) {
+            assert_eq!(p.shard, 2);
+            assert_eq!(p.winner, tsetlin::tm::argmax(&six.reference_class_sums(x)));
+        }
+    }
+
+    #[test]
+    fn grouped_flush_spread_counts_units_not_shards() {
+        let a = wide_accel();
+        let mut specs = partitioned_specs(&a, 2, 0);
+        specs.extend(partitioned_specs(&a, 2, 1));
+        let pool = ShardPool::heterogeneous(&specs, ServeOptions::new(4)).expect("valid");
+        assert_eq!(pool.shards(), 4);
+        assert_eq!(pool.units().len(), 2);
+        assert_eq!(pool.flush_spread(16), 2);
+    }
+
+    #[test]
+    fn partitioned_member_panic_redirects_to_the_sibling_group() {
+        with_quiet_panics(|| {
+            let a = wide_accel();
+            let xs = inputs(6);
+            let expected: Vec<usize> = xs
+                .iter()
+                .map(|x| tsetlin::tm::argmax(&a.reference_class_sums(x)))
+                .collect();
+            // Two replica groups of the same partitioned design; one
+            // member of group 0 panics on its first slice.
+            let mut specs = partitioned_specs(&a, 2, 0);
+            specs.extend(partitioned_specs(&a, 2, 1));
+            let plan = FaultPlan::from_events(vec![FaultEvent {
+                shard: 1,
+                at_request: 0,
+                kind: FaultKind::Panic,
+            }]);
+            let mut pool =
+                ShardPool::heterogeneous_with_fault_plan(&specs, ServeOptions::new(4), plan)
+                    .expect("valid");
+            let preds = pool.serve(&xs).expect("a sibling unit absorbs the slice");
+            // Zero drops, correct winners: the failed unit's whole slice
+            // was discarded (a lone partial sum is meaningless) and
+            // re-served by a full unit.
+            assert_eq!(preds.len(), xs.len());
+            let winners: Vec<usize> = preds.iter().map(|p| p.winner).collect();
+            assert_eq!(winners, expected);
+            assert!(!pool.health_log().is_empty(), "the panic was observed");
+        });
+    }
+
+    #[test]
+    fn partitioned_group_with_no_sibling_fails_typed_when_a_member_dies() {
+        with_quiet_panics(|| {
+            let a = wide_accel();
+            let specs = partitioned_specs(&a, 2, 0);
+            let plan = FaultPlan::kill_shard(1, 0);
+            let mut pool =
+                ShardPool::heterogeneous_with_fault_plan(&specs, ServeOptions::new(2), plan)
+                    .expect("valid");
+            // The only unit serving width 8 has a permanently dead
+            // member: the flush must fail typed, never spin.
+            let err = pool.serve(&inputs(4)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ServeError::ShardQuarantined { shard: 1 }
+                        | ServeError::NoHealthyShard { width: 8 }
+                ),
+                "got {err:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn partitioned_serving_is_thread_count_invariant() {
+        let a = wide_accel();
+        let xs = inputs(13);
+        let run = |threads: usize| {
+            let specs = partitioned_specs(&a, 2, 0);
+            let mut options = ServeOptions::new(2);
+            options.capture_class_sums = true;
+            options.threads = Some(threads);
+            let mut pool = ShardPool::heterogeneous(&specs, options).expect("valid");
+            pool.serve(&xs).expect("drains")
+        };
+        assert_eq!(run(1), run(8));
     }
 }

@@ -10,7 +10,7 @@
 //! [`crate::ServeSession::heterogeneous`].
 
 use crate::error::ServeError;
-use matador_sim::{CompiledAccelerator, EngineBackend};
+use matador_sim::{CompiledAccelerator, EngineBackend, PartitionPlan};
 
 /// One shard of a heterogeneous pool: its own compiled design, engine
 /// backend and dispatch weight.
@@ -50,6 +50,13 @@ pub struct ShardSpec {
     /// Whether the shard's engine models the two-stage (pipelined) class
     /// sum — per design, since pipelining is a generation-time choice.
     pub pipelined_sum: bool,
+    /// `Some(group)` marks this shard as one member of a partition
+    /// group: its design is one slice of a clause-partitioned model (see
+    /// [`matador_sim::CompilePipeline::partition`]) and the pool must
+    /// execute every request of the group on *all* members, merging
+    /// their partial class sums into the final winner. `None` (the
+    /// default) is an ordinary standalone shard.
+    pub partition_group: Option<u32>,
 }
 
 impl ShardSpec {
@@ -60,7 +67,39 @@ impl ShardSpec {
             backend: EngineBackend::CycleAccurate,
             weight: 1,
             pipelined_sum: false,
+            partition_group: None,
         }
+    }
+
+    /// One spec per part of a [`PartitionPlan`], all members of partition
+    /// `group`: the spec-list fragment that maps one clause-partitioned
+    /// design onto as many shards as the plan has parts. Adjust backends
+    /// or weights with the builder methods before pooling:
+    ///
+    /// ```
+    /// use matador_logic::cube::{Cube, Lit};
+    /// use matador_logic::dag::Sharing;
+    /// use matador_serve::ShardSpec;
+    /// use matador_sim::{AccelShape, CompiledAccelerator, CompileOptions, CompilePipeline};
+    ///
+    /// let shape = AccelShape { bus_width: 4, features: 4, classes: 2, clauses_per_class: 4 };
+    /// let cubes = vec![vec![
+    ///     Cube::from_lits([Lit::pos(0)]), Cube::one(),
+    ///     Cube::from_lits([Lit::pos(1)]), Cube::one(),
+    ///     Cube::from_lits([Lit::pos(2)]), Cube::one(),
+    ///     Cube::from_lits([Lit::pos(3)]), Cube::one(),
+    /// ]];
+    /// let accel = CompiledAccelerator::from_window_cubes(shape, &cubes, Sharing::Enabled);
+    /// let plan = CompilePipeline::new(CompileOptions::default().with_partitions(2)).partition(&accel);
+    /// let specs = ShardSpec::partitioned(plan, 0);
+    /// assert_eq!(specs.len(), 2);
+    /// assert!(specs.iter().all(|s| s.partition_group == Some(0)));
+    /// ```
+    pub fn partitioned(plan: PartitionPlan, group: u32) -> Vec<ShardSpec> {
+        plan.into_parts()
+            .into_iter()
+            .map(|part| ShardSpec::new(part).partition_group(Some(group)))
+            .collect()
     }
 
     /// Sets the execution backend.
@@ -84,6 +123,13 @@ impl ShardSpec {
         self
     }
 
+    /// Sets (or clears) this shard's partition-group membership.
+    #[must_use]
+    pub fn partition_group(mut self, group: Option<u32>) -> Self {
+        self.partition_group = group;
+        self
+    }
+
     /// Feature width (booleanized input bits) this shard accepts.
     pub fn width(&self) -> usize {
         self.design.shape().features
@@ -100,14 +146,31 @@ impl ShardSpec {
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::ZeroShards`] for an empty list and
-    /// [`ServeError::ZeroWeight`] for a spec with dispatch weight zero.
+    /// Returns [`ServeError::ZeroShards`] for an empty list,
+    /// [`ServeError::ZeroWeight`] for a spec with dispatch weight zero
+    /// and [`ServeError::PartitionWidthMismatch`] when the members of one
+    /// partition group admit different feature widths (the lowest
+    /// offending group is named).
     pub fn validate_all(specs: &[ShardSpec]) -> Result<(), ServeError> {
         if specs.is_empty() {
             return Err(ServeError::ZeroShards);
         }
         if let Some(shard) = specs.iter().position(|s| s.weight == 0) {
             return Err(ServeError::ZeroWeight { shard });
+        }
+        let mut group_widths: std::collections::BTreeMap<u32, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for spec in specs {
+            if let Some(group) = spec.partition_group {
+                group_widths.entry(group).or_default().push(spec.width());
+            }
+        }
+        for (group, mut widths) in group_widths {
+            widths.sort_unstable();
+            widths.dedup();
+            if widths.len() > 1 {
+                return Err(ServeError::PartitionWidthMismatch { group, widths });
+            }
         }
         Ok(())
     }
@@ -168,5 +231,47 @@ mod tests {
             ServeError::ZeroWeight { shard: 1 }
         );
         assert!(ShardSpec::validate_all(&specs[..1]).is_ok());
+    }
+
+    #[test]
+    fn partition_group_width_mismatch_is_typed_and_names_the_group() {
+        // Group 0 is consistent; group 1 mixes widths 8 and 12 and is the
+        // one the error must name, with its widths sorted ascending.
+        let specs = vec![
+            ShardSpec::new(accel(4, 8)).partition_group(Some(0)),
+            ShardSpec::new(accel(4, 8)).partition_group(Some(0)),
+            ShardSpec::new(accel(4, 12)).partition_group(Some(1)),
+            ShardSpec::new(accel(4, 8)).partition_group(Some(1)),
+        ];
+        assert_eq!(
+            ShardSpec::validate_all(&specs).unwrap_err(),
+            ServeError::PartitionWidthMismatch {
+                group: 1,
+                widths: vec![8, 12],
+            }
+        );
+        // Ungrouped shards may mix widths freely — only groups are bound.
+        let specs = vec![
+            ShardSpec::new(accel(4, 8)),
+            ShardSpec::new(accel(4, 12)),
+            ShardSpec::new(accel(4, 8)).partition_group(Some(0)),
+            ShardSpec::new(accel(4, 8)).partition_group(Some(0)),
+        ];
+        assert!(ShardSpec::validate_all(&specs).is_ok());
+    }
+
+    #[test]
+    fn partitioned_specs_cover_the_plan() {
+        use matador_sim::{CompileOptions, CompilePipeline};
+        let design = accel(4, 8); // clauses_per_class = 1 → 1 part max
+        let plan =
+            CompilePipeline::new(CompileOptions::default().with_partitions(4)).partition(&design);
+        let specs = ShardSpec::partitioned(plan, 7);
+        assert!(!specs.is_empty());
+        for spec in &specs {
+            assert_eq!(spec.partition_group, Some(7));
+            assert_eq!(spec.width(), 8);
+            assert_eq!(spec.weight, 1);
+        }
     }
 }

@@ -72,6 +72,26 @@ impl CompiledAccelerator {
         CompiledAccelerator { shape, windows }
     }
 
+    /// Assembles an accelerator from pre-built window DAGs — the
+    /// partitioner's constructor (each part reuses the monolithic node
+    /// tables with a filtered output list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window count or any window's output count is
+    /// inconsistent with `shape`.
+    pub(crate) fn from_shape_windows(shape: AccelShape, windows: Vec<LogicDag>) -> Self {
+        assert_eq!(windows.len(), shape.num_packets(), "window count mismatch");
+        for dag in &windows {
+            assert_eq!(
+                dag.outputs().len(),
+                shape.total_clauses(),
+                "clause count mismatch"
+            );
+        }
+        CompiledAccelerator { shape, windows }
+    }
+
     /// The architectural shape.
     pub fn shape(&self) -> &AccelShape {
         &self.shape

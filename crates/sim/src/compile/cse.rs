@@ -1,0 +1,129 @@
+//! Cross-window common-subexpression elimination over the tape IR.
+//!
+//! Two layers, both pure tape rewrites:
+//!
+//! 1. **Local value numbering** inside each window: structurally
+//!    identical instructions collapse to one slot (`And` operands are
+//!    commutative, so they canonicalize low-slot-first), trivial ANDs
+//!    fold (`x & 1 → x`, `x & 0 → 0`, `x & x → x`), and a final
+//!    dead-code sweep drops every slot no output reaches — including the
+//!    two constant slots the lower pass unconditionally emits, which is
+//!    why CSE shrinks every real tape.
+//! 2. **Cross-window dedup**: windows whose lowered tapes are identical
+//!    (common under clause sharing — e.g. all-empty-cube windows) are
+//!    compiled once and cloned, extending the paper's clause-sharing
+//!    idea across window boundaries.
+//!
+//! Value numbering uses a `BTreeMap` keyed on the canonicalized op so
+//! the rewrite is a pure function of the input tape — no hash-order
+//! dependence anywhere near the determinism contract.
+
+use super::ir::{Op, WindowProgram};
+use std::collections::BTreeMap;
+
+/// What the pass did, for [`crate::compile::PassStats`].
+pub(crate) struct CseOutcome {
+    /// Windows replaced by a clone of an identical earlier window.
+    pub(crate) dedup_hits: usize,
+}
+
+/// Runs CSE over every window tape in place.
+pub(crate) fn run(windows: &mut [WindowProgram]) -> CseOutcome {
+    // Key on the *lowered* tape: identical windows optimize identically,
+    // so process the first occurrence and clone it into the duplicates.
+    let mut seen: BTreeMap<WindowProgram, usize> = BTreeMap::new();
+    let mut dedup_hits = 0usize;
+    for i in 0..windows.len() {
+        if let Some(&first) = seen.get(&windows[i]) {
+            windows[i] = windows[first].clone();
+            dedup_hits += 1;
+            continue;
+        }
+        let key = windows[i].clone();
+        cse_window(&mut windows[i]);
+        seen.insert(key, i);
+    }
+    CseOutcome { dedup_hits }
+}
+
+/// Local value numbering + constant folding + dead-code elimination for
+/// one window tape. Every output slot's value is preserved exactly.
+fn cse_window(w: &mut WindowProgram) {
+    // Value numbering: map[i] is the canonical new slot for old slot i.
+    let mut map = vec![0u32; w.ops.len()];
+    let mut table: BTreeMap<Op, u32> = BTreeMap::new();
+    let mut ops: Vec<Op> = Vec::with_capacity(w.ops.len());
+    for (i, &op) in w.ops.iter().enumerate() {
+        let canon = match op {
+            Op::And(a, b) => {
+                let (mut a, mut b) = (map[a as usize], map[b as usize]);
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                if a == b {
+                    map[i] = a; // x & x → x
+                    continue;
+                }
+                match (ops[a as usize], ops[b as usize]) {
+                    (Op::Const0, _) => {
+                        map[i] = a; // 0 & y → 0
+                        continue;
+                    }
+                    (_, Op::Const0) => {
+                        map[i] = b; // x & 0 → 0
+                        continue;
+                    }
+                    (Op::Const1, _) => {
+                        map[i] = b; // 1 & y → y
+                        continue;
+                    }
+                    (_, Op::Const1) => {
+                        map[i] = a; // x & 1 → x
+                        continue;
+                    }
+                    _ => Op::And(a, b),
+                }
+            }
+            other => other,
+        };
+        map[i] = match table.get(&canon) {
+            Some(&slot) => slot,
+            None => {
+                let slot = u32::try_from(ops.len()).expect("tape fits u32");
+                ops.push(canon);
+                table.insert(canon, slot);
+                slot
+            }
+        };
+    }
+    let outputs: Vec<u32> = w.outputs.iter().map(|&o| map[o as usize]).collect();
+
+    // Dead-code sweep from the outputs: anything unreachable — notably
+    // the constant prelude slots when no clause needs them — vanishes.
+    let mut live = vec![false; ops.len()];
+    for &o in &outputs {
+        live[o as usize] = true;
+    }
+    for i in (0..ops.len()).rev() {
+        if live[i] {
+            if let Op::And(a, b) = ops[i] {
+                live[a as usize] = true;
+                live[b as usize] = true;
+            }
+        }
+    }
+    let mut remap = vec![u32::MAX; ops.len()];
+    let mut compact = Vec::with_capacity(ops.len());
+    for (i, &op) in ops.iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        remap[i] = u32::try_from(compact.len()).expect("tape fits u32");
+        compact.push(match op {
+            Op::And(a, b) => Op::And(remap[a as usize], remap[b as usize]),
+            o => o,
+        });
+    }
+    w.ops = compact;
+    w.outputs = outputs.iter().map(|&o| remap[o as usize]).collect();
+}

@@ -1,0 +1,146 @@
+//! The partitioner: splits one oversized design into K standalone
+//! sub-accelerators whose class sums add back to the monolithic sums.
+//!
+//! The split axis is the clause dimension. Each class's clause range is
+//! cut at **even** local indices, so a clause at local offset `j'`
+//! inside its part keeps the polarity of its monolithic offset `j`
+//! (`j' ≡ j (mod 2)`): every part is an ordinary
+//! [`CompiledAccelerator`] — same bus width, features and classes,
+//! fewer clauses per class — and the vote convention
+//! (`+1` even, `−1` odd) makes its class sums exact partial sums of the
+//! original. Summing the K parts element-wise reproduces the monolithic
+//! sums bit-for-bit, and because every part streams the same packets
+//! per datapoint, per-part cycle stamps are identical to the
+//! monolithic engine's. That is the whole merge plan: add, then argmax.
+//!
+//! Parts keep the full window node tables (filtered to the part's
+//! outputs by DAG reachability at lowering time), so logic feeding
+//! clauses on both sides of a cut is duplicated into both parts — the
+//! **cut cost** reported in the plan counts exactly those duplicated
+//! nodes.
+
+use crate::accel::CompiledAccelerator;
+use matador_logic::dag::LogicDag;
+
+/// A design split into K parts plus the deterministic merge plan.
+///
+/// Produced by [`crate::compile::CompilePipeline::partition`]. Serving
+/// integration: hand each part to one shard of a pool (see
+/// `matador_serve::ShardSpec::partitioned`) and the pool merges member
+/// sums per request; or merge by hand with
+/// [`PartitionPlan::merge_class_sums`].
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    parts: Vec<CompiledAccelerator>,
+    /// Per part: the monolithic clause range `[start, end)` it owns
+    /// within every class.
+    ranges: Vec<(usize, usize)>,
+    cut_cost: u64,
+}
+
+impl PartitionPlan {
+    /// The partitioned sub-accelerators, in clause-range order.
+    pub fn parts(&self) -> &[CompiledAccelerator] {
+        &self.parts
+    }
+
+    /// Consumes the plan, yielding the parts.
+    pub fn into_parts(self) -> Vec<CompiledAccelerator> {
+        self.parts
+    }
+
+    /// Per part, the monolithic per-class clause range `[start, end)` it
+    /// carries. Starts are always even — the polarity-preserving cut.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Window DAG nodes duplicated across parts by the cut: the summed
+    /// per-part reachable node count minus the monolithic one.
+    pub fn cut_cost(&self) -> u64 {
+        self.cut_cost
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True when the plan has no parts (never produced by the pipeline).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The merge plan, applied: element-wise sum of one class-sum vector
+    /// per part. Bit-identical to the monolithic design's class sums for
+    /// the same datapoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member_sums` doesn't hold exactly one equal-length
+    /// vector per part.
+    pub fn merge_class_sums(&self, member_sums: &[Vec<i32>]) -> Vec<i32> {
+        assert_eq!(member_sums.len(), self.parts.len(), "one vector per part");
+        let mut merged = member_sums[0].clone();
+        for sums in &member_sums[1..] {
+            assert_eq!(sums.len(), merged.len(), "class count mismatch");
+            for (m, s) in merged.iter_mut().zip(sums) {
+                *m += s;
+            }
+        }
+        merged
+    }
+}
+
+/// Splits `accel` into at most `k` parts along the clause dimension.
+/// `k <= 1` (or a design with a single vote pair per class) yields a
+/// one-part plan that is a verbatim clone of the input.
+pub(crate) fn partition(accel: &CompiledAccelerator, k: usize) -> PartitionPlan {
+    let shape = *accel.shape();
+    let cpc = shape.clauses_per_class;
+    // Cut between vote pairs so every part keeps the +/− convention.
+    let pairs = cpc.div_ceil(2).max(1);
+    let k = k.clamp(1, pairs);
+    if k == 1 {
+        return PartitionPlan {
+            parts: vec![accel.clone()],
+            ranges: vec![(0, cpc)],
+            cut_cost: 0,
+        };
+    }
+    let monolithic_nodes: u64 = accel.windows().iter().map(reachable_nodes).sum();
+    let mut parts = Vec::with_capacity(k);
+    let mut ranges = Vec::with_capacity(k);
+    let mut part_nodes = 0u64;
+    for p in 0..k {
+        let start = 2 * (p * pairs / k);
+        let end = (2 * ((p + 1) * pairs / k)).min(cpc);
+        let part_shape = crate::accel::AccelShape {
+            clauses_per_class: end - start,
+            ..shape
+        };
+        let windows: Vec<LogicDag> = accel
+            .windows()
+            .iter()
+            .map(|dag| {
+                let outputs = (0..shape.classes)
+                    .flat_map(|class| (start..end).map(move |j| dag.outputs()[class * cpc + j]))
+                    .collect();
+                LogicDag::from_parts(dag.width(), dag.nodes().to_vec(), outputs, dag.sharing())
+                    .expect("window nodes stay well-formed under output filtering")
+            })
+            .collect();
+        part_nodes += windows.iter().map(reachable_nodes).sum::<u64>();
+        parts.push(CompiledAccelerator::from_shape_windows(part_shape, windows));
+        ranges.push((start, end));
+    }
+    PartitionPlan {
+        parts,
+        ranges,
+        cut_cost: part_nodes.saturating_sub(monolithic_nodes),
+    }
+}
+
+fn reachable_nodes(dag: &LogicDag) -> u64 {
+    dag.reachable().iter().filter(|&&r| r).count() as u64
+}

@@ -1,0 +1,103 @@
+//! Instruction scheduling for lane-word locality.
+//!
+//! The strip evaluator keeps one lane-word strip per tape slot, so an
+//! `And` whose operands sit far behind the instruction pointer touches
+//! cold scratch lines. This pass re-emits each window tape in
+//! depth-first output-cone postorder: a node lands immediately after the
+//! subtree that feeds it, pulling operand slots toward their single use
+//! and cutting the summed use-to-def distance the scratch arena has to
+//! cover. Any topological order evaluates to the same bits, so the
+//! rewrite is invisible to results — it only reorders (and renumbers)
+//! slots. Slots unreachable from the outputs are dropped on the way.
+
+use super::ir::{Op, WindowProgram};
+
+/// What the pass did, for [`crate::compile::PassStats`].
+pub(crate) struct ScheduleOutcome {
+    /// Summed `And` use-to-def slot distance before rescheduling.
+    pub(crate) distance_before: u64,
+    /// The same sum after rescheduling.
+    pub(crate) distance_after: u64,
+}
+
+/// Reschedules every window tape in place. A window keeps its original
+/// order when the postorder doesn't improve its summed distance (small
+/// shared subtrees can land farther from a second user than the
+/// original interleaving put them), so the pass never regresses
+/// locality: `distance_after <= distance_before`, always.
+pub(crate) fn run(windows: &mut [WindowProgram]) -> ScheduleOutcome {
+    let distance_before = windows.iter().map(operand_distance).sum();
+    for w in windows.iter_mut() {
+        let mut candidate = w.clone();
+        schedule_window(&mut candidate);
+        if operand_distance(&candidate) <= operand_distance(w) {
+            *w = candidate;
+        }
+    }
+    ScheduleOutcome {
+        distance_before,
+        distance_after: windows.iter().map(operand_distance).sum(),
+    }
+}
+
+/// Summed slot distance from each `And` to its operands — the locality
+/// figure of merit this pass minimizes.
+fn operand_distance(w: &WindowProgram) -> u64 {
+    w.ops
+        .iter()
+        .enumerate()
+        .map(|(i, op)| match *op {
+            Op::And(a, b) => (i as u64 - u64::from(a)) + (i as u64 - u64::from(b)),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Re-emits one tape in deterministic DFS postorder over the output
+/// cones (first output's cone first; shared subtrees stay where their
+/// first user put them).
+fn schedule_window(w: &mut WindowProgram) {
+    let n = w.ops.len();
+    // Old slots in new emission order.
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    // 0 = unvisited, 1 = expanding, 2 = emitted.
+    let mut state = vec![0u8; n];
+    let mut stack: Vec<(u32, bool)> = Vec::new();
+    for &root in &w.outputs {
+        stack.push((root, false));
+        while let Some((s, expanded)) = stack.pop() {
+            let si = s as usize;
+            if state[si] == 2 {
+                continue;
+            }
+            if expanded {
+                state[si] = 2;
+                order.push(s);
+                continue;
+            }
+            // Operands always index earlier slots, so the walk is
+            // acyclic and an "expanding" node is never re-entered.
+            debug_assert_ne!(state[si], 1, "tape operands form a DAG");
+            state[si] = 1;
+            stack.push((s, true));
+            if let Op::And(a, b) = w.ops[si] {
+                stack.push((b, false));
+                stack.push((a, false));
+            }
+        }
+    }
+    let mut remap = vec![u32::MAX; n];
+    for (new, &old) in order.iter().enumerate() {
+        remap[old as usize] = u32::try_from(new).expect("tape fits u32");
+    }
+    w.ops = order
+        .iter()
+        .map(|&old| match w.ops[old as usize] {
+            Op::And(a, b) => Op::And(remap[a as usize], remap[b as usize]),
+            o => o,
+        })
+        .collect();
+    for o in &mut w.outputs {
+        *o = remap[*o as usize];
+    }
+}

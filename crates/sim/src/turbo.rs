@@ -45,8 +45,8 @@
 //! batch.
 
 use crate::accel::{AccelShape, CompiledAccelerator};
+use crate::compile::ir::WindowProgram;
 use crate::engine::{SimError, SimResult};
-use matador_logic::dag::{LogicDag, Node};
 use matador_obs::{Counter, Histogram, Registry};
 use std::sync::{Arc, OnceLock};
 use tsetlin::bits::BitVec;
@@ -147,87 +147,6 @@ pub fn configured_chunk_threshold() -> u64 {
     match std::env::var(CHUNK_THRESHOLD_ENV) {
         Ok(v) => v.trim().parse::<u64>().unwrap_or(DEFAULT_CHUNK_THRESHOLD),
         Err(_) => DEFAULT_CHUNK_THRESHOLD,
-    }
-}
-
-/// One instruction of a flattened window tape, operating on lane-word
-/// strips.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Op {
-    /// All lanes 0.
-    Const0,
-    /// All lanes 1.
-    Const1,
-    /// Window input bit `b`, one lane per datapoint.
-    Input(u16),
-    /// Inverted window input bit `b`.
-    NotInput(u16),
-    /// Lane-wise AND of two earlier slots.
-    And(u32, u32),
-}
-
-/// One window DAG flattened into a topologically-ordered tape over the
-/// nodes reachable from its outputs (plus the two constant slots).
-#[derive(Debug, Clone)]
-struct WindowProgram {
-    ops: Vec<Op>,
-    /// Tape slot per clause output.
-    outputs: Vec<u32>,
-}
-
-impl WindowProgram {
-    fn compile(dag: &LogicDag) -> Self {
-        let reach = dag.reachable();
-        let mut slot = vec![u32::MAX; dag.nodes().len()];
-        let mut ops = Vec::new();
-        for (i, node) in dag.nodes().iter().enumerate() {
-            // Constants always occupy slots 0/1; dead logic is dropped.
-            if i >= 2 && !reach[i] {
-                continue;
-            }
-            slot[i] = u32::try_from(ops.len()).expect("tape fits u32");
-            ops.push(match *node {
-                Node::Const0 => Op::Const0,
-                Node::Const1 => Op::Const1,
-                Node::Input(b) => Op::Input(b as u16),
-                Node::NotInput(b) => Op::NotInput(b as u16),
-                Node::And(a, b) => Op::And(slot[a.index()], slot[b.index()]),
-            });
-        }
-        let outputs = dag.outputs().iter().map(|o| slot[o.index()]).collect();
-        WindowProgram { ops, outputs }
-    }
-
-    /// Runs the tape over a strip of `W` lane words per slot:
-    /// `inputs[b*W..b*W+W]` carries window bit `b` of up to `W·64`
-    /// datapoints, `nodes` receives every slot's strip at the same
-    /// stride. Monomorphized per strip width so the per-instruction word
-    /// loop unrolls — one op decode advances `W` lane words.
-    fn eval_strip<const W: usize>(&self, inputs: &[u64], nodes: &mut [u64]) {
-        debug_assert!(nodes.len() >= self.ops.len() * W);
-        for (i, op) in self.ops.iter().enumerate() {
-            let o = i * W;
-            match *op {
-                Op::Const0 => nodes[o..o + W].fill(0),
-                Op::Const1 => nodes[o..o + W].fill(!0),
-                Op::Input(b) => {
-                    let s = b as usize * W;
-                    nodes[o..o + W].copy_from_slice(&inputs[s..s + W]);
-                }
-                Op::NotInput(b) => {
-                    let s = b as usize * W;
-                    for w in 0..W {
-                        nodes[o + w] = !inputs[s + w];
-                    }
-                }
-                Op::And(a, b) => {
-                    let (a, b) = (a as usize * W, b as usize * W);
-                    for w in 0..W {
-                        nodes[o + w] = nodes[a + w] & nodes[b + w];
-                    }
-                }
-            }
-        }
     }
 }
 
@@ -397,12 +316,21 @@ pub struct TurboProgram {
 }
 
 impl TurboProgram {
-    /// Flattens every window DAG of `accel` into an instruction tape and
-    /// precomputes the per-class vote masks.
+    /// Compiles `accel` through the default
+    /// [`CompilePipeline`](crate::compile::CompilePipeline) (CSE +
+    /// scheduling, no partitioning) — the convenience entry point.
+    /// Callers needing pass toggles, per-pass stats or the design
+    /// partitioner use the pipeline directly.
     pub fn compile(accel: &CompiledAccelerator) -> Self {
-        let shape = *accel.shape();
-        let windows: Vec<WindowProgram> =
-            accel.windows().iter().map(WindowProgram::compile).collect();
+        crate::compile::CompilePipeline::default()
+            .compile(accel)
+            .program
+    }
+
+    /// Packages already-lowered (and possibly optimized) window tapes
+    /// into an executable program: precomputes the per-class vote masks
+    /// and the cost-model bookkeeping. The pipeline's exit point.
+    pub(crate) fn from_tapes(shape: AccelShape, windows: Vec<WindowProgram>) -> Self {
         let max_slots = windows.iter().map(|w| w.ops.len()).max().unwrap_or(0);
         let tape_len = windows.iter().map(|w| w.ops.len()).sum();
         let c = shape.total_clauses();

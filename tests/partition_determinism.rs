@@ -1,0 +1,220 @@
+//! Partitioned-serving determinism: a clause-partitioned design served
+//! as one partition group is a pure deployment knob.
+//!
+//! One trained design is cut by the compile pipeline's partitioner into
+//! K sub-programs and served behind a [`ShardPool`] (and a [`Front`])
+//! whose K shards form one partition group — one logical model. Every
+//! prediction must be **bit-identical** to the monolithic pool's:
+//! winners, merged class sums, latency and completion stamps —
+//! independent of K (2 or 4), engine backend and worker-thread count —
+//! and every winner must equal the software model's inference. The
+//! merge is exact integer addition over disjoint clause ranges, so
+//! there is no tolerance anywhere: the partitioned pool either
+//! reproduces the monolithic pool bit for bit or this test fails.
+
+use matador_repro::datasets::{generate, DatasetKind, SplitSizes};
+use matador_repro::matador::config::MatadorConfig;
+use matador_repro::matador::design::AcceleratorDesign;
+use matador_repro::serve::{
+    EngineBackend, Front, FrontOptions, Prediction, Reply, ServeOptions, ShardPool, ShardSpec,
+    TenantQuota,
+};
+use matador_repro::tsetlin::bits::BitVec;
+use matador_repro::tsetlin::model::TrainedModel;
+use matador_repro::tsetlin::params::TmParams;
+use matador_repro::tsetlin::MultiClassTm;
+use matador_repro::{CompileOptions, CompilePipeline};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SEED: u64 = 23;
+const TENANTS: u32 = 3;
+const REQUESTS: usize = 48;
+const SIZES: SplitSizes = SplitSizes {
+    train: 80,
+    test: 40,
+};
+
+fn trained() -> (TrainedModel, AcceleratorDesign) {
+    let kind = DatasetKind::NoisyXor;
+    let data = generate(kind, SIZES, SEED);
+    let params = TmParams::builder(kind.features(), kind.classes())
+        .clauses_per_class(12)
+        .threshold(5)
+        .specificity(4.0)
+        .build()
+        .expect("valid params");
+    let mut tm = MultiClassTm::new(params);
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    tm.fit_with_threads(&data.train, 4, &mut rng, 1);
+    let model = tm.to_model();
+    let config = MatadorConfig::builder()
+        .design_name("partition_determinism")
+        .bus_width(4)
+        .build()
+        .expect("valid config");
+    let design = AcceleratorDesign::generate(model.clone(), config);
+    (model, design)
+}
+
+fn test_inputs() -> Vec<BitVec> {
+    generate(DatasetKind::NoisyXor, SIZES, SEED)
+        .test
+        .iter()
+        .map(|s| s.input.clone())
+        .collect()
+}
+
+/// The design cut into (up to) `k` sub-programs, as one partition group
+/// on `backend` shards.
+fn partitioned_specs(
+    design: &AcceleratorDesign,
+    k: usize,
+    backend: EngineBackend,
+) -> Vec<ShardSpec> {
+    let accel = design.compile_for_sim();
+    let plan = CompilePipeline::new(CompileOptions::default().with_partitions(k)).partition(&accel);
+    ShardSpec::partitioned(plan, 0)
+        .into_iter()
+        .map(|spec| spec.backend(backend))
+        .collect()
+}
+
+fn serve_specs(specs: &[ShardSpec], inputs: &[BitVec], threads: usize) -> Vec<Prediction> {
+    // Metrics recording stays live: per-shard series are pure sinks and
+    // the replay contract must hold with them on.
+    matador_repro::obs::set_enabled(true);
+    let mut options = ServeOptions::new(specs.len());
+    options.capture_class_sums = true;
+    options.threads = Some(threads);
+    let mut pool = ShardPool::heterogeneous(specs, options).expect("valid specs");
+    // Two batches exercise the cumulative unit clocks the planner
+    // dispatches on.
+    let mid = inputs.len() / 2;
+    let mut predictions = pool.serve(&inputs[..mid]).expect("engines drain");
+    predictions.extend(pool.serve(&inputs[mid..]).expect("engines drain"));
+    predictions
+}
+
+#[test]
+fn partitioned_pools_are_bit_identical_to_monolithic() {
+    let (model, design) = trained();
+    let inputs = test_inputs();
+    let accel = design.compile_for_sim();
+
+    let mono_specs = vec![ShardSpec::new(accel)];
+    let reference = serve_specs(&mono_specs, &inputs, 1);
+    // The monolithic pool agrees with software inference, bit for bit.
+    for (x, p) in inputs.iter().zip(&reference) {
+        assert_eq!(p.winner, model.predict(x));
+        assert_eq!(
+            p.class_sums.as_ref().expect("capture was enabled"),
+            &model.class_sums(x)
+        );
+    }
+
+    for k in [2usize, 4] {
+        for backend in [EngineBackend::CycleAccurate, EngineBackend::Turbo] {
+            let specs = partitioned_specs(&design, k, backend);
+            assert_eq!(specs.len(), k, "12 clauses per class split {k} ways");
+            for threads in [1usize, 8] {
+                let served = serve_specs(&specs, &inputs, threads);
+                // Observation-for-observation identical: winner, merged
+                // class sums, latency and completion stamps, and the
+                // group lead (shard 0) as attribution — matching the
+                // monolithic pool's only shard.
+                assert_eq!(
+                    served, reference,
+                    "k={k} {backend:?} threads={threads} diverged from monolithic"
+                );
+            }
+        }
+    }
+}
+
+/// Replays one seeded arrival trace through a [`Front`] over `specs`.
+fn replay(specs: &[ShardSpec], inputs: &[BitVec], threads: usize) -> (Vec<Reply>, u64) {
+    matador_repro::obs::set_enabled(true);
+    let mut options = ServeOptions::new(specs.len());
+    options.capture_class_sums = true;
+    options.threads = Some(threads);
+    let pool = ShardPool::heterogeneous(specs, options).expect("valid specs");
+    let mut front = Front::new(
+        pool,
+        FrontOptions {
+            lane_block: 8,
+            idle_cycles: 300,
+            quota: Some(TenantQuota {
+                burst_requests: 64,
+                millitokens_per_cycle: 100,
+            }),
+            ..FrontOptions::new()
+        },
+    )
+    .expect("valid options");
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut t = 0u64;
+    for i in 0..REQUESTS {
+        t += 1 + (rng.gen::<f64>() * 40.0) as u64;
+        front.advance_to(t).expect("advance");
+        front
+            .submit(&inputs[i % inputs.len()], t + 2_000, (i as u32) % TENANTS)
+            .expect("trace stays within quota and bounds");
+    }
+    front.advance_to(t + 5_000).expect("advance");
+    front.drain().expect("drains");
+    let accepted = front.accepted();
+    (front.take_replies(), accepted)
+}
+
+#[test]
+fn front_treats_a_partition_group_as_one_logical_model() {
+    let (_, design) = trained();
+    let inputs = test_inputs();
+    let accel = design.compile_for_sim();
+
+    let mono_specs = vec![ShardSpec::new(accel)];
+    let (reference, accepted) = replay(&mono_specs, &inputs, 1);
+    assert_eq!(accepted, REQUESTS as u64);
+    assert_eq!(reference.len(), REQUESTS, "every admitted request replied");
+    let key = |r: &Reply| (r.tenant, r.seq);
+    let mut expect: Vec<&Reply> = reference.iter().collect();
+    expect.sort_by_key(|r| key(r));
+
+    for k in [2usize, 4] {
+        for backend in [EngineBackend::CycleAccurate, EngineBackend::Turbo] {
+            let specs = partitioned_specs(&design, k, backend);
+            let (ref_replies, accepted) = replay(&specs, &inputs, 1);
+            assert_eq!(accepted, REQUESTS as u64, "k={k} {backend:?}: admission");
+            assert_eq!(
+                ref_replies.len(),
+                REQUESTS,
+                "k={k} {backend:?}: no admitted request is dropped"
+            );
+
+            // Matched by (tenant, seq): winners and class sums are the
+            // monolithic pool's, bit for bit — through admission, fair
+            // queueing, batching and delivery.
+            let mut got: Vec<&Reply> = ref_replies.iter().collect();
+            got.sort_by_key(|r| key(r));
+            for (x, y) in expect.iter().zip(&got) {
+                assert_eq!(key(x), key(y), "k={k} {backend:?}");
+                assert_eq!(
+                    (x.winner, &x.class_sums),
+                    (y.winner, &y.class_sums),
+                    "k={k} {backend:?}: tenant {} seq {}",
+                    x.tenant,
+                    x.seq
+                );
+            }
+
+            // And the whole reply stream — stamps, order, everything —
+            // is worker-thread invariant.
+            let (threaded, _) = replay(&specs, &inputs, 8);
+            assert_eq!(
+                threaded, ref_replies,
+                "k={k} {backend:?}: threads=8 diverged from threads=1"
+            );
+        }
+    }
+}
